@@ -1,0 +1,123 @@
+"""EXP-ABL — §6 extensions: adaptive assignments, batch tuner, budget.
+
+These are the paper's discussion/future-work proposals, implemented and
+measured as ablations:
+
+* adaptive assignment counts cut assignments versus a fixed five per
+  question at (essentially) equal accuracy;
+* the binary-search batch tuner finds the largest batch size the crowd
+  will accept, below the refusal wall;
+* the whole-plan budget allocator keeps a query under a dollar cap by
+  degrading replication before data coverage.
+"""
+
+from conftest import run_once
+
+from repro.combine.adaptive import AdaptivePolicy
+from repro.core.batch_tuner import BatchTuner, ProbeResult
+from repro.core.budget import OperatorEstimate, allocate_budget
+from repro.core.context import ExecutionConfig
+from repro.core.engine import Qurk
+from repro.crowd import SimulatedMarketplace
+from repro.datasets import celebrity_dataset
+from repro.hits import TaskManager
+from repro.hits.hit import CompareGroup, ComparePayload
+from repro.joins.batching import JoinInterface
+
+QUERY = "SELECT c.name, p.id FROM celeb c JOIN photos p ON samePerson(c.img, p.img)"
+
+
+def run_adaptive_ablation(seed: int = 0, n: int = 12):
+    """(fixed outcome, adaptive outcome) for the same join."""
+    data = celebrity_dataset(n=n, seed=seed)
+
+    def run(config):
+        market = SimulatedMarketplace(data.truth, seed=seed + 1)
+        engine = Qurk(platform=market, config=config)
+        engine.register_table(data.celebs)
+        engine.register_table(data.photos)
+        engine.define(data.task_dsl)
+        result = engine.execute(QUERY)
+        correct = sum(
+            1
+            for row in result.rows
+            if str(row["c.name"]).rsplit("-", 1)[1] == str(row["p.id"])
+        )
+        return result.assignment_count, correct
+
+    fixed = run(ExecutionConfig(join_interface=JoinInterface.SIMPLE, assignments=5))
+    adaptive = run(
+        ExecutionConfig(
+            join_interface=JoinInterface.SIMPLE,
+            # One question per HIT isolates adaptiveness from batching.
+            filter_batch_size=1,
+            adaptive=AdaptivePolicy(initial_votes=3, step_votes=2, max_votes=9, margin=2),
+        )
+    )
+    return fixed, adaptive
+
+
+def test_adaptive_assignments_save_money(benchmark):
+    (fixed_assignments, fixed_correct), (adaptive_assignments, adaptive_correct) = (
+        run_once(benchmark, run_adaptive_ablation, seed=0)
+    )
+    print()
+    print(f"fixed-5:   {fixed_assignments} assignments, {fixed_correct} correct")
+    print(f"adaptive:  {adaptive_assignments} assignments, {adaptive_correct} correct")
+    assert adaptive_assignments < fixed_assignments * 0.85
+    assert adaptive_correct >= fixed_correct - 2
+
+
+def test_batch_tuner_finds_the_wall(benchmark):
+    from repro.crowd import GroundTruth
+
+    truth = GroundTruth()
+    truth.add_rank_task(
+        "rank", {f"i{k}": float(k) for k in range(24)}, comparison_ambiguity=0.2
+    )
+
+    def probe(group_size: int) -> ProbeResult:
+        market = SimulatedMarketplace(truth, seed=group_size * 7)
+        manager = TaskManager(market)
+        items = tuple(f"i{k}" for k in range(min(group_size, 24)))
+        if len(items) < 2:
+            return ProbeResult(group_size, completed=True)
+        payload = ComparePayload("rank", (CompareGroup(items),))
+        outcome = manager.run_units(
+            [[payload]], assignments=3, label="probe", strict=False
+        )
+        return ProbeResult(group_size, completed=not outcome.uncompleted_hit_ids)
+
+    def tune():
+        tuner = BatchTuner(min_batch=2, max_batch=24, latency_ceiling_seconds=1e9)
+        return tuner.tune(probe), tuner
+
+    best, tuner = run_once(benchmark, tune)
+    print()
+    print(f"largest accepted compare group: {best}; history: "
+          f"{[(r.batch_size, r.completed) for r in tuner.history]}")
+    # The paper saw group size 10 work and 20 refused: the wall is between.
+    assert 5 <= best < 20
+
+
+def test_budget_allocator_respects_cap(benchmark):
+    def allocate():
+        return allocate_budget(
+            [
+                OperatorEstimate("feature-pass", units=120, requested_assignments=5),
+                OperatorEstimate("join", units=300, requested_assignments=5),
+                OperatorEstimate("sort", units=80, requested_assignments=5),
+            ],
+            budget=15.0,
+        )
+
+    plan = run_once(benchmark, allocate)
+    print()
+    for allocation in plan.allocations:
+        print(
+            f"{allocation.name}: {allocation.assignments} assignments, "
+            f"{allocation.data_fraction:.0%} of data"
+        )
+    print(f"total: ${plan.total_cost:.2f}")
+    assert plan.total_cost <= 15.0
+    assert all(a.assignments >= 1 for a in plan.allocations)

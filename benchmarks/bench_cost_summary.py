@@ -1,0 +1,24 @@
+"""EXP-COST — §3.4: the celebrity-join cost story.
+
+Paper: $67.50 naive → ~$27 with feature filtering → ~$2.70 adding 10-way
+batching; an overall order-of-magnitude-plus reduction.
+"""
+
+from conftest import run_once
+
+from repro.experiments.feature_experiments import run_cost_summary
+
+
+def test_cost_summary(benchmark):
+    table = run_once(benchmark, run_cost_summary, seed=0)
+    print()
+    print(table.format())
+
+    naive = table.cell("Unfiltered, unbatched", "Cost ($)")
+    filtered = table.cell("Feature filtering", "Cost ($)")
+    batched = table.cell("Feature filtering + batch 10", "Cost ($)")
+
+    assert naive == 67.5
+    assert filtered < naive / 2  # filtering alone halves the cost or better
+    assert batched < naive / 10  # filtering + batching: >10x reduction
+    assert batched < filtered

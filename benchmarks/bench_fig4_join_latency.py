@@ -1,0 +1,35 @@
+"""EXP-F4 — Figure 4: join completion-time percentiles.
+
+Paper shape: batching reduces latency even though each HIT holds more work;
+SimpleJoin is slowest with high trial-to-trial variance; a large share of
+the total wait is spent on the last few percent of assignments.
+"""
+
+from conftest import run_once
+
+from repro.experiments.join_experiments import run_fig4
+
+
+def test_fig4_join_latency(benchmark):
+    table = run_once(benchmark, run_fig4, seed=0)
+    print()
+    print(table.format())
+
+    def full_time(scheme, trial):
+        for row in table.rows:
+            if row[0] == scheme and row[1].startswith(trial):
+                return row[4]
+        raise KeyError((scheme, trial))
+
+    # Simple is slower than every batched variant in both trials.
+    for trial in ("#1", "#2"):
+        simple = full_time("Simple", trial)
+        for scheme in ("Naive 5", "Naive 10", "Smart 3x3"):
+            assert full_time(scheme, trial) < simple
+
+    # The straggler tail: the 95th percentile is well below the 100th,
+    # i.e. the last few percent take a disproportionate share of the wait.
+    simple_row = [row for row in table.rows if row[0] == "Simple"][0]
+    p50, p95, p100 = simple_row[2], simple_row[3], simple_row[4]
+    assert p100 > p95 > p50
+    assert (p100 - p95) > 0.25 * (p100 - p50)

@@ -1,0 +1,35 @@
+"""EXP-F6 — Figure 6: τ and modified κ across queries Q1–Q5.
+
+Paper shape: both metrics fall as query ambiguity rises; Q4 (Saturn) still
+agrees better than Q5 (random), whose κ sits at the chance floor; small
+10-item samples estimate both metrics well.
+"""
+
+from conftest import run_once
+
+from repro.experiments.sort_experiments import run_fig6
+
+
+def test_fig6_query_ambiguity(benchmark):
+    table = run_once(benchmark, run_fig6, seed=0)
+    print()
+    print(table.format())
+
+    kappa = {row[0]: row[2] for row in table.rows}
+    tau = {row[0]: row[4] for row in table.rows}
+
+    # κ decreases monotonically with ambiguity across Q1→Q5.
+    assert kappa["Q1"] > kappa["Q2"] > kappa["Q3"] > kappa["Q4"] > kappa["Q5"]
+    # Even the nonsensical Saturn query beats truly random answers.
+    assert kappa["Q4"] > kappa["Q5"] + 0.1
+    assert abs(kappa["Q5"]) < 0.15  # chance floor
+
+    # τ: rating matches comparison well on Q1–Q3, poorly on Q4, not at all Q5.
+    assert tau["Q1"] > 0.6 and tau["Q2"] > 0.6
+    assert tau["Q4"] < tau["Q3"]
+    assert abs(tau["Q5"]) < 0.3
+
+    # 10-item sampled estimates track the full-data values.
+    for row in table.rows:
+        sampled_kappa = float(str(row[3]).split(" ")[0])
+        assert abs(sampled_kappa - row[2]) < 0.2

@@ -1,0 +1,69 @@
+"""EXP-F7 / EXP-S424 — Figure 7: hybrid sort τ vs comparison HITs.
+
+Paper shape: Rate is cheap (≈8 HITs) but imperfect (τ ≈ 0.78); Compare is
+perfect but costs ≈78 HITs; hybrid schemes interpolate, with the sliding
+window whose stride does not divide N (Window 6) reaching τ > 0.95 within
+~30 extra HITs and converging in roughly half of Compare's budget, while
+Window 5 (stride divides 40) plateaus; on the animal-size query the hybrid
+lifts τ substantially within 20 iterations.
+"""
+
+from conftest import run_once
+
+from repro.experiments.sort_experiments import run_animal_hybrid, run_fig7
+
+
+def test_fig7_hybrid_sort(benchmark):
+    table, traces = run_once(benchmark, run_fig7, seed=0)
+    print()
+    print(table.format())
+    from repro.util.charts import ascii_chart
+
+    print()
+    print(
+        ascii_chart(
+            traces,
+            height=12,
+            width=60,
+            y_label="tau vs additional comparison HITs (Figure 7)",
+            y_min=0.75,
+            y_max=1.0,
+        )
+    )
+
+    compare_tau = table.cell("Compare", "final tau")
+    compare_hits = table.cell("Compare", "HITs")
+    rate_tau = table.cell("Rate", "final tau")
+    rate_hits = table.cell("Rate", "HITs")
+
+    assert compare_tau > 0.97
+    assert rate_hits < compare_hits / 5
+    assert 0.6 < rate_tau < compare_tau
+
+    window6 = traces["Window 6"]
+    window5 = traces["Window 5"]
+    random_trace = traces["Random"]
+
+    # Window 6 exceeds τ 0.95 within 30 additional HITs...
+    assert max(window6[:30]) > 0.95
+    # ...and converges near Compare quality within half of Compare's HITs.
+    half_budget = int(compare_hits / 2)
+    assert window6[min(half_budget, len(window6)) - 1] > 0.97
+    # Window 5's divisor stride plateaus below Window 6.
+    assert window6[-1] >= window5[-1]
+    # Every hybrid improves on the rating starting point.
+    for trace in traces.values():
+        assert trace[-1] > rate_tau - 0.02
+    # Random wastes comparisons relative to Window 6 (paper ordering).
+    assert window6[-1] >= random_trace[-1]
+
+
+def test_animal_hybrid(benchmark):
+    table = run_once(benchmark, run_animal_hybrid, seed=0)
+    print()
+    print(table.format())
+
+    start = table.rows[0][1]
+    final = table.rows[-1][1]
+    assert final > start + 0.05  # τ improves materially within 20 iterations
+    assert final > 0.9

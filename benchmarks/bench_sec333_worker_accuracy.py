@@ -1,0 +1,22 @@
+"""EXP-S33 — §3.3.3: worker accuracy vs tasks completed.
+
+Paper: R² = 0.028 with a slightly positive slope — the amount of work a
+worker does explains almost none of their accuracy, so there is no
+fatigue/boredom effect to correct for.
+"""
+
+from conftest import run_once
+
+from repro.experiments.join_experiments import run_assignments_accuracy
+
+
+def test_sec333_worker_accuracy(benchmark):
+    table, fit = run_once(benchmark, run_assignments_accuracy, seed=0)
+    print()
+    print(table.format())
+
+    # The headline finding: volume explains (almost) nothing.
+    assert fit.r_squared < 0.1
+    # No strong negative effect (heavy workers are not sloppier).
+    assert fit.slope > -0.001
+    assert fit.n >= 50

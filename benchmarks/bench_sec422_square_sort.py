@@ -1,0 +1,52 @@
+"""EXP-S422 — §4.2.2: square-sort microbenchmarks.
+
+Paper shape: Compare is essentially perfect at group sizes 5 and 10 but
+slower at 10, and group size 20 is refused outright; Rate lands near
+τ ≈ 0.78 regardless of batch size; rating granularity is stable as the
+dataset grows from 20 to 50 items.
+"""
+
+from conftest import run_once
+
+from repro.experiments.sort_experiments import (
+    run_compare_batching,
+    run_rate_batching,
+    run_rate_granularity,
+)
+from repro.util.stats import mean
+
+
+def test_compare_batching(benchmark):
+    table = run_once(benchmark, run_compare_batching, seed=0)
+    print()
+    print(table.format())
+
+    by_size = {row[0]: row for row in table.rows}
+    assert by_size[5][1] > 0.97 and by_size[5][4] == "yes"
+    assert by_size[10][1] > 0.97 and by_size[10][4] == "yes"
+    assert "no" in by_size[20][4]  # the refusal wall
+
+
+def test_rate_batching(benchmark):
+    table = run_once(benchmark, run_rate_batching, seed=0)
+    print()
+    print(table.format())
+
+    taus = [row[1] for row in table.rows]
+    assert 0.6 < mean(taus) < 0.95  # strong but imperfect, like the paper
+    # Rate stays well below the (near-perfect) Compare accuracy.
+    assert max(taus) < 0.98
+    # Batching divides the HIT count.
+    hits = {row[0]: row[2] for row in table.rows}
+    assert hits[1] == 40 and hits[10] == 4
+
+
+def test_rate_granularity(benchmark):
+    table = run_once(benchmark, run_rate_granularity, seed=0)
+    print()
+    print(table.format())
+
+    taus = [row[1] for row in table.rows]
+    assert 0.6 < mean(taus) < 0.95
+    # No collapse as the dataset grows: every size stays strongly correlated.
+    assert min(taus) > 0.5

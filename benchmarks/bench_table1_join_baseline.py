@@ -1,0 +1,23 @@
+"""EXP-T1 — Table 1: unbatched join baselines (20 celebrities).
+
+Paper: all three implementations are near-ideal without batching (at most
+one missing true positive; true negatives essentially perfect).
+"""
+
+from conftest import run_once
+
+from repro.experiments.join_experiments import run_table1
+
+
+def test_table1_join_baseline(benchmark):
+    table = run_once(benchmark, run_table1, seed=0)
+    print()
+    print(table.format())
+
+    ideal_tp = table.cell("IDEAL", "TruePos (MV)")
+    ideal_tn = table.cell("IDEAL", "TrueNeg (MV)")
+    for implementation in ("Simple", "Naive", "Smart"):
+        for column in ("TruePos (MV)", "TruePos (QA)"):
+            assert table.cell(implementation, column) >= ideal_tp - 2
+        for column in ("TrueNeg (MV)", "TrueNeg (QA)"):
+            assert table.cell(implementation, column) >= ideal_tn - 5

@@ -1,0 +1,35 @@
+"""EXP-T2 — Table 2: feature filtering effectiveness.
+
+Paper shape: feature filters cut the join cost by more than a factor of two
+versus the $67.50 unfiltered join; combining the three features into one
+HIT both reduces cost and lowers the error rate versus asking them in
+isolation; errors stay small (single digits out of 30 matches).
+"""
+
+from conftest import run_once
+
+from repro.experiments.feature_experiments import ASSIGNMENTS, PRICING, run_table2
+
+
+def test_table2_feature_filtering(benchmark):
+    table = run_once(benchmark, run_table2, seed=0)
+    print()
+    print(table.format())
+
+    unfiltered_cost = PRICING.cost(900 * ASSIGNMENTS)  # $67.50
+    combined_rows = [row for row in table.rows if row[1] == "Y"]
+    isolated_rows = [row for row in table.rows if row[1] == "N"]
+    assert len(combined_rows) == 2 and len(isolated_rows) == 2
+
+    for _, _, errors, saved, cost in table.rows:
+        assert cost < unfiltered_cost / 2  # >2x cost reduction
+        assert saved > 400  # most of the 870 non-matches avoided
+        assert errors <= 8  # only a handful of matches lost
+
+    mean_combined_errors = sum(row[2] for row in combined_rows) / 2
+    mean_isolated_errors = sum(row[2] for row in isolated_rows) / 2
+    assert mean_combined_errors <= mean_isolated_errors
+
+    mean_combined_cost = sum(row[4] for row in combined_rows) / 2
+    mean_isolated_cost = sum(row[4] for row in isolated_rows) / 2
+    assert mean_combined_cost <= mean_isolated_cost + 1.0

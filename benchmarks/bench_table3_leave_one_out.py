@@ -1,0 +1,27 @@
+"""EXP-T3 — Table 3: leave-one-out feature analysis.
+
+Paper shape: gender is by far the most effective filter (omitting it costs
+the most); hair color is responsible for the filtering errors, so omitting
+hair removes (most of) them — hair is the feature to drop.
+"""
+
+from conftest import run_once
+
+from repro.experiments.feature_experiments import run_table3
+
+
+def test_table3_leave_one_out(benchmark):
+    table = run_once(benchmark, run_table3, seed=0)
+    print()
+    print(table.format())
+
+    errors = {row[0]: row[1] for row in table.rows}
+    costs = {row[0]: row[3] for row in table.rows}
+
+    # Omitting gender hurts cost the most: gender is the workhorse filter.
+    assert costs["gender"] >= costs["hairColor"]
+    assert costs["gender"] >= costs["skinColor"]
+
+    # Hair is the error source: dropping it leaves the fewest errors.
+    assert errors["hairColor"] <= errors["gender"]
+    assert errors["hairColor"] <= errors["skinColor"]

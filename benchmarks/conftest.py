@@ -1,0 +1,18 @@
+"""Benchmark harness conventions.
+
+Each benchmark regenerates one paper artifact (table or figure), prints the
+reproduced rows/series, and asserts the paper's *qualitative* shape — who
+wins, by roughly what factor, where crossovers fall. Absolute numbers come
+from the simulated marketplace and are not expected to match the authors'
+2011 MTurk testbed.
+
+Experiments run once per benchmark (``rounds=1``): the interesting metric is
+the artifact itself, not the wall-clock of the simulation.
+"""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

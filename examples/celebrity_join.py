@@ -1,0 +1,72 @@
+"""The paper's flagship workload: the celebrity join (§3).
+
+Joins a table of celebrity profile photos with a table of event photos
+using the crowd, three ways:
+
+1. naive SimpleJoin — one pair per HIT, the full cross product;
+2. SmartBatch 3×3 grids — an order of magnitude fewer HITs;
+3. SmartBatch + POSSIBLY feature filtering (gender/hair/skin) — the
+   paper's full optimization stack ($67.50 → about $3 at n=30).
+
+Run:  python examples/celebrity_join.py
+"""
+
+from repro import ExecutionConfig, JoinInterface, Qurk, SimulatedMarketplace
+from repro.datasets import celebrity_dataset
+
+JOIN = "SELECT c.name, p.id FROM celeb c JOIN photos p ON samePerson(c.img, p.img)"
+
+FILTERED_JOIN = """
+SELECT c.name, p.id
+FROM celeb c JOIN photos p
+ON samePerson(c.img, p.img)
+AND POSSIBLY gender(c.img) = gender(p.img)
+AND POSSIBLY hairColor(c.img) = hairColor(p.img)
+AND POSSIBLY skinColor(c.img) = skinColor(p.img)
+"""
+
+
+def run(name: str, query: str, config: ExecutionConfig, n: int = 30, seed: int = 1):
+    data = celebrity_dataset(n=n, seed=seed)
+    market = SimulatedMarketplace(data.truth, seed=seed)
+    engine = Qurk(platform=market, config=config)
+    engine.register_table(data.celebs)
+    engine.register_table(data.photos)
+    engine.define(data.task_dsl)
+    result = engine.execute(query)
+    correct = sum(
+        1
+        for row in result.rows
+        if str(row["c.name"]).rsplit("-", 1)[1] == str(row["p.id"])
+    )
+    print(
+        f"{name:<34} HITs={result.hit_count:>4}  cost=${result.total_cost:>6.2f}  "
+        f"matches={correct}/{n}  false positives={len(result) - correct}"
+    )
+    return result
+
+
+def main() -> None:
+    print("Celebrity join, 30 celebrities x 30 photos (900 candidate pairs)\n")
+    run(
+        "SimpleJoin (naive)",
+        JOIN,
+        ExecutionConfig(join_interface=JoinInterface.SIMPLE),
+    )
+    run(
+        "SmartBatch 3x3",
+        JOIN,
+        ExecutionConfig(join_interface=JoinInterface.SMART, grid_rows=3, grid_cols=3),
+    )
+    result = run(
+        "SmartBatch 3x3 + feature filters",
+        FILTERED_JOIN,
+        ExecutionConfig(join_interface=JoinInterface.SMART, grid_rows=3, grid_cols=3),
+    )
+    print("\nEXPLAIN of the optimized plan (note the per-feature kappa signals —")
+    print("low hair-color agreement is exactly the paper's Table 4 finding):\n")
+    print(result.explain())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""Using the boto-style MTurk API shim directly (no query engine).
+
+Qurk's declarative layer sits on top of an imperative crowd API. This
+example drives that API the way a 2011-era boto script would: create HITs,
+poll for reviewable work, fetch assignments, combine answers yourself, and
+approve the workers — all against the simulator.
+
+Run:  python examples/mturk_api_demo.py
+"""
+
+from collections import Counter
+
+from repro import GroundTruth, SimulatedMarketplace
+from repro.crowd.mturk_api import HITTypeParams, MTurkConnection
+from repro.hits.hit import FilterPayload, FilterQuestion
+
+
+def main() -> None:
+    # Ground truth for ten "is this photo outdoors?" questions.
+    truth = GroundTruth()
+    truth.add_filter_task(
+        "isOutdoors", {f"img://photo/{i}": i % 3 != 0 for i in range(10)}
+    )
+
+    market = SimulatedMarketplace(truth, seed=42)
+    mturk = MTurkConnection(market)
+    params = HITTypeParams(
+        title="Is this photo taken outdoors?",
+        description="Look at the photo and answer yes or no.",
+        reward=0.01,
+        assignments=5,
+        keywords=("image", "categorization"),
+    )
+
+    hit_ids = [
+        mturk.create_hit(
+            (
+                FilterPayload(
+                    "isOutdoors",
+                    (FilterQuestion(item=f"img://photo/{i}"),),
+                    yes_text="Outdoors",
+                    no_text="Indoors",
+                ),
+            ),
+            params,
+        )
+        for i in range(10)
+    ]
+    print(f"posted {len(hit_ids)} HITs; first HIT's form:\n")
+    print(mturk.hit_html(hit_ids[0])[:400], "...\n")
+
+    correct = 0
+    for i, hit_id in enumerate(mturk.get_reviewable_hits()):
+        assignments = mturk.get_assignments(hit_id)
+        votes = Counter(
+            value for a in assignments for value in a.answers.values()
+        )
+        decision = votes[True] > votes[False]
+        correct += decision == (i % 3 != 0)
+        mturk.approve_all(hit_id)
+        mturk.dispose_hit(hit_id)
+
+    print(f"majority-vote accuracy over 10 questions: {correct}/10")
+    print(
+        f"assignments completed: {market.stats.assignments_completed}, "
+        f"virtual seconds elapsed: {market.clock_seconds:.0f}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The execution environment has setuptools but no ``wheel`` package, so PEP 660
+editable installs (``pip install -e .`` via pyproject alone) cannot build.
+This file lets ``pip install -e . --no-use-pep517`` (and plain
+``python setup.py develop``) work offline; all metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

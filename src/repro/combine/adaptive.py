@@ -1,0 +1,60 @@
+"""Adaptive assignment counts (§2.1/§6 extension).
+
+Instead of always buying five assignments per question, start with a small
+number and buy more only for questions whose votes are still contested. The
+stopping rule is a vote-margin test: stop once the leading answer leads by
+``margin`` votes, or the budget of ``max_votes`` is exhausted.
+
+This is the "algorithms for adaptively deciding whether another answer is
+needed" the paper defers to future work; operators expose it via their
+``adaptive`` option, and the ablation benchmark measures the assignment
+savings at equal accuracy.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.hits.hit import Vote
+
+
+@dataclass(frozen=True)
+class AdaptivePolicy:
+    """Parameters of the adaptive collection loop."""
+
+    initial_votes: int = 3
+    step_votes: int = 2
+    max_votes: int = 9
+    margin: int = 2
+
+    def __post_init__(self) -> None:
+        if self.initial_votes < 1 or self.step_votes < 1:
+            raise ValueError("vote counts must be positive")
+        if self.max_votes < self.initial_votes:
+            raise ValueError("max_votes must be >= initial_votes")
+        if self.margin < 1:
+            raise ValueError("margin must be >= 1")
+
+
+def vote_margin(votes: Sequence[Vote]) -> int:
+    """Lead of the most popular answer over the runner-up."""
+    if not votes:
+        return 0
+    counts = Counter(vote.value for vote in votes).most_common()
+    if len(counts) == 1:
+        return counts[0][1]
+    return counts[0][1] - counts[1][1]
+
+
+def needs_more_votes(votes: Sequence[Vote], policy: AdaptivePolicy) -> bool:
+    """Whether the stopping rule wants another round for this question."""
+    if len(votes) >= policy.max_votes:
+        return False
+    # An unreachable margin within budget also stops collection early.
+    remaining = policy.max_votes - len(votes)
+    current = vote_margin(votes)
+    if current >= policy.margin:
+        return False
+    return current + remaining >= policy.margin

@@ -1,0 +1,39 @@
+"""Combiner interface.
+
+A combiner receives the whole *corpus* of votes for one logical question set
+(e.g. every pair of a join) at once, because the QualityAdjust EM learns
+per-worker confusion across questions. Per-question combiners like majority
+vote simply iterate.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.errors import CombinerError
+from repro.hits.hit import Vote
+
+
+class Combiner:
+    """Base class: corpus of votes → one answer per question."""
+
+    def combine(self, corpus: Mapping[str, Sequence[Vote]]) -> dict[str, object]:
+        """Combined answer for every question id in the corpus."""
+        raise NotImplementedError
+
+    def combine_one(self, votes: Sequence[Vote]) -> object:
+        """Convenience for a single question."""
+        result = self.combine({"q": votes})
+        return result["q"]
+
+
+def combine_corpus(
+    combiner: Combiner, corpus: Mapping[str, Sequence[Vote]]
+) -> dict[str, object]:
+    """Run a combiner, validating that every question has votes."""
+    empty = [qid for qid, votes in corpus.items() if not votes]
+    if empty:
+        raise CombinerError(
+            f"{len(empty)} question(s) have no votes to combine, e.g. {empty[0]!r}"
+        )
+    return combiner.combine(corpus)

@@ -1,0 +1,40 @@
+"""Text normalizers (§2.2): canonicalise free-text answers before combining.
+
+The TASK DSL references normalizers by name (``Normalizer:
+LowercaseSingleSpace``); this registry resolves them. Custom normalizers can
+be registered by advanced users.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.util.text import lowercase_single_space
+
+Normalizer = Callable[[str], str]
+
+_REGISTRY: dict[str, Normalizer] = {}
+
+
+def register_normalizer(name: str, fn: Normalizer, replace: bool = False) -> None:
+    """Register a normalizer under a DSL-visible name."""
+    if name in _REGISTRY and not replace:
+        raise KeyError(f"normalizer {name!r} already registered")
+    _REGISTRY[name] = fn
+
+
+def get_normalizer(name: str | None) -> Normalizer:
+    """Resolve a normalizer name; ``None`` resolves to the identity."""
+    if name is None or name == "None":
+        return lambda text: text
+    try:
+        return _REGISTRY[name]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown normalizer {name!r}; available: {sorted(_REGISTRY)}"
+        ) from exc
+
+
+register_normalizer("LowercaseSingleSpace", lowercase_single_space)
+register_normalizer("Strip", str.strip)
+register_normalizer("Lowercase", str.lower)

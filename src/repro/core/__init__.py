@@ -1,0 +1,44 @@
+"""The Qurk query engine: plans, operators, executor, and facade.
+
+The public entry point is :class:`~repro.core.engine.Qurk`: register tables,
+define tasks in the TASK DSL, and execute SELECT queries whose filters,
+joins, and sorts run on a crowd platform.
+"""
+
+from repro.core.batch_tuner import BatchTuner, ProbeResult
+from repro.core.budget import BudgetPlan, allocate_budget
+from repro.core.context import ExecutionConfig, QueryContext
+from repro.core.engine import QueryResult, Qurk
+from repro.core.plan import (
+    ComputedFilterNode,
+    CrowdPredicateNode,
+    JoinNode,
+    LimitNode,
+    PlanNode,
+    ProjectNode,
+    ScanNode,
+    SortNode,
+)
+from repro.core.planner import build_plan
+from repro.core.optimizer import optimize
+
+__all__ = [
+    "BatchTuner",
+    "BudgetPlan",
+    "ComputedFilterNode",
+    "CrowdPredicateNode",
+    "ExecutionConfig",
+    "JoinNode",
+    "LimitNode",
+    "PlanNode",
+    "ProbeResult",
+    "ProjectNode",
+    "QueryContext",
+    "QueryResult",
+    "Qurk",
+    "ScanNode",
+    "SortNode",
+    "allocate_budget",
+    "build_plan",
+    "optimize",
+]

@@ -1,0 +1,76 @@
+"""Adaptive batch sizing (§6, "Choosing Batch Size").
+
+"Such an algorithm performs a binary search on the batch size, reducing the
+size when workers refuse to do work or accuracy drops, and increasing the
+size when no noticeable change to latency and accuracy is observed."
+
+The tuner drives a caller-provided probe (post a small batch at size b,
+report completion/accuracy/latency) through that search and remembers the
+largest size that worked — ideal starting sizes "can be learned for various
+media types" across runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+@dataclass(frozen=True)
+class ProbeResult:
+    """Outcome of trying one batch size on a small probe set."""
+
+    batch_size: int
+    completed: bool
+    accuracy: float = 1.0
+    latency_seconds: float = 0.0
+
+
+@dataclass
+class BatchTuner:
+    """Binary search over batch sizes with accuracy/latency guards."""
+
+    min_batch: int = 1
+    max_batch: int = 32
+    accuracy_floor: float = 0.8
+    latency_ceiling_seconds: float = 3600.0
+    history: list[ProbeResult] = field(default_factory=list)
+
+    def tune(self, probe: Callable[[int], ProbeResult]) -> int:
+        """Find the largest acceptable batch size.
+
+        ``probe`` posts a probe round at the given size. A size is
+        acceptable when it completes, accuracy stays above the floor, and
+        latency under the ceiling. Classic binary search over [min, max].
+        """
+        if self.min_batch < 1 or self.max_batch < self.min_batch:
+            raise ValueError("invalid batch-size bounds")
+        low = self.min_batch
+        high = self.max_batch
+        best = 0
+        while low <= high:
+            mid = (low + high) // 2
+            result = probe(mid)
+            self.history.append(result)
+            if self._acceptable(result):
+                best = mid
+                low = mid + 1
+            else:
+                high = mid - 1
+        if best == 0:
+            # Even the minimum batch failed; report the floor and let the
+            # caller decide whether to raise pay or abandon the task.
+            return self.min_batch
+        return best
+
+    def _acceptable(self, result: ProbeResult) -> bool:
+        return (
+            result.completed
+            and result.accuracy >= self.accuracy_floor
+            and result.latency_seconds <= self.latency_ceiling_seconds
+        )
+
+    def refusal_wall(self) -> int | None:
+        """The smallest batch size the crowd refused outright, if any."""
+        refused = [r.batch_size for r in self.history if not r.completed]
+        return min(refused) if refused else None

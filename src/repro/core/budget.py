@@ -1,0 +1,136 @@
+"""Whole-plan budget allocation (§6, "Whole Plan Budget Allocation").
+
+"Another important problem is how to assign a fixed amount of money to an
+entire query plan. Additionally, when there is too much data to process
+given a budget, we would like Qurk to be able to decide which data items to
+process in more detail."
+
+The allocator takes per-operator work estimates (how many HIT-units each
+operator would post at full fidelity) and a dollar budget, then:
+
+1. funds every operator at the minimum viable replication (1 assignment);
+2. spends the remainder raising replication toward the requested level,
+   cheapest-impact first (operators with fewer units are topped up first —
+   raising their confidence costs least);
+3. if even minimum replication is unaffordable, scales down the *data
+   fraction* processed, trimming from the most expensive operator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import BudgetExceededError
+from repro.hits.pricing import PricingModel
+
+
+@dataclass(frozen=True)
+class OperatorEstimate:
+    """Work forecast for one operator."""
+
+    name: str
+    units: int
+    """Atomic questions the operator must ask (pairs, items, groups)."""
+
+    requested_assignments: int = 5
+    """Replication the configuration asked for."""
+
+
+@dataclass
+class Allocation:
+    """Funding decision for one operator."""
+
+    name: str
+    units: int
+    assignments: int
+    data_fraction: float = 1.0
+
+    def cost(self, pricing: PricingModel) -> float:
+        """Dollars this allocation will spend."""
+        effective_units = round(self.units * self.data_fraction)
+        return pricing.cost(effective_units * self.assignments)
+
+
+@dataclass
+class BudgetPlan:
+    """The full allocation with its total."""
+
+    allocations: list[Allocation] = field(default_factory=list)
+    pricing: PricingModel = field(default_factory=PricingModel)
+
+    @property
+    def total_cost(self) -> float:
+        """Dollars the plan will spend."""
+        return sum(allocation.cost(self.pricing) for allocation in self.allocations)
+
+    def for_operator(self, name: str) -> Allocation:
+        """Look up one operator's allocation."""
+        for allocation in self.allocations:
+            if allocation.name == name:
+                return allocation
+        raise KeyError(name)
+
+
+def allocate_budget(
+    estimates: list[OperatorEstimate],
+    budget: float,
+    pricing: PricingModel | None = None,
+) -> BudgetPlan:
+    """Allocate a dollar budget across operators.
+
+    Raises :class:`BudgetExceededError` when even one assignment per unit on
+    a small data fraction (10%) cannot fit.
+    """
+    pricing = pricing or PricingModel()
+    if not estimates:
+        return BudgetPlan(pricing=pricing)
+    plan = BudgetPlan(
+        allocations=[
+            Allocation(name=e.name, units=e.units, assignments=1) for e in estimates
+        ],
+        pricing=pricing,
+    )
+
+    if plan.total_cost > budget:
+        # Minimum replication is unaffordable: trim the data fraction,
+        # largest operator first, down to a 10% floor.
+        fractions = [1.0 for _ in estimates]
+        order = sorted(
+            range(len(estimates)), key=lambda i: -estimates[i].units
+        )
+        step = 0.05
+        while plan.total_cost > budget:
+            trimmed = False
+            for index in order:
+                if fractions[index] - step >= 0.1:
+                    fractions[index] -= step
+                    plan.allocations[index].data_fraction = fractions[index]
+                    trimmed = True
+                    if plan.total_cost <= budget:
+                        break
+            if not trimmed:
+                raise BudgetExceededError(
+                    f"budget ${budget:.2f} cannot fund even 1 assignment over "
+                    f"10% of the data (minimum ${plan.total_cost:.2f})"
+                )
+        return plan
+
+    # Spend the remainder on replication, cheapest top-ups first.
+    improved = True
+    while improved:
+        improved = False
+        candidates = sorted(
+            (
+                (estimate.units, index)
+                for index, estimate in enumerate(estimates)
+                if plan.allocations[index].assignments
+                < estimate.requested_assignments
+            ),
+        )
+        for units, index in candidates:
+            extra = pricing.cost(units)
+            if plan.total_cost + extra <= budget + 1e-9:
+                plan.allocations[index].assignments += 1
+                improved = True
+                break
+    return plan

@@ -1,0 +1,155 @@
+"""Execution configuration and per-query context.
+
+:class:`ExecutionConfig` carries every tunable the paper studies — batch
+sizes, join interface, sort method, assignment counts, combiner choice,
+feature-filtering switches — so experiments are pure configuration sweeps.
+:class:`QueryContext` carries the live machinery (catalog, task manager,
+stats) through one query execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING
+
+from repro.combine import get_combiner
+from repro.combine.adaptive import AdaptivePolicy
+from repro.combine.base import Combiner
+from repro.errors import PlanError
+from repro.hits.manager import TaskManager
+from repro.joins.batching import JoinInterface
+from repro.relational.catalog import Catalog
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.plan import PlanNode
+
+
+@dataclass(frozen=True)
+class ExecutionConfig:
+    """Every knob the operators read. Defaults follow the paper's setup."""
+
+    assignments: int = 5
+    """Worker responses requested per HIT (§2.1 default)."""
+
+    combiner: str | None = None
+    """Override the per-task combiner ('MajorityVote' / 'QualityAdjust')."""
+
+    filter_batch_size: int = 5
+    """Tuples per filter HIT (merging)."""
+
+    generative_batch_size: int = 4
+    """Tuples per generative HIT (the paper's feature extraction used 4)."""
+
+    combine_features: bool = True
+    """Ask all of a tuple's features in one HIT (combining, §3.3.4)."""
+
+    join_interface: JoinInterface = JoinInterface.SMART
+    """Which join UI to use."""
+
+    naive_batch_size: int = 5
+    """Pairs per NaiveBatch HIT."""
+
+    grid_rows: int = 5
+    grid_cols: int = 5
+    """SmartBatch grid dimensions."""
+
+    use_feature_filters: bool = True
+    """Apply POSSIBLY clauses at all."""
+
+    auto_feature_selection: bool = False
+    """Run the §3.2 rejection tests instead of applying every feature."""
+
+    sort_method: str = "compare"
+    """'compare', 'rate', or 'hybrid' (§4.1)."""
+
+    compare_group_size: int = 5
+    """Items per comparison group (S)."""
+
+    compare_batch_groups: int = 1
+    """Comparison groups per HIT (b)."""
+
+    rate_batch_size: int = 5
+    """Ratings per HIT (b)."""
+
+    rate_anchor_count: int = 10
+    """Random context items shown in the rating interface."""
+
+    hybrid_strategy: str = "window"
+    """'random', 'confidence', or 'window'."""
+
+    hybrid_stride: int = 6
+    """Sliding-window stride t (Window 6 won in §4.2.4)."""
+
+    hybrid_iterations: int = 30
+    """Comparison HITs the hybrid sort may spend."""
+
+    adaptive: AdaptivePolicy | None = None
+    """Adaptive assignment counts (§6 extension); None = fixed count."""
+
+    max_budget: float | None = None
+    """Abort (raise) before posting work that would exceed this many dollars."""
+
+    strict_hits: bool = True
+    """Raise when the crowd leaves HITs uncompleted."""
+
+    seed: int = 0
+    """Seed for engine-side sampling (covering groups, anchors, windows)."""
+
+    def __post_init__(self) -> None:
+        if self.sort_method not in ("compare", "rate", "hybrid"):
+            raise PlanError(f"unknown sort method {self.sort_method!r}")
+        if self.hybrid_strategy not in ("random", "confidence", "window"):
+            raise PlanError(f"unknown hybrid strategy {self.hybrid_strategy!r}")
+        if self.assignments < 1:
+            raise PlanError("assignments must be >= 1")
+
+    def with_overrides(self, **kwargs) -> "ExecutionConfig":
+        """A copy with some fields replaced (experiment sweeps)."""
+        return replace(self, **kwargs)
+
+
+@dataclass
+class OperatorStats:
+    """Signals collected per plan node for EXPLAIN (§6)."""
+
+    label: str = ""
+    hits: int = 0
+    assignments: int = 0
+    rows_in: int = 0
+    rows_out: int = 0
+    elapsed_seconds: float = 0.0
+    signals: dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class QueryContext:
+    """Live state for one query execution."""
+
+    catalog: Catalog
+    manager: TaskManager
+    config: ExecutionConfig = field(default_factory=ExecutionConfig)
+    node_stats: dict[int, OperatorStats] = field(default_factory=dict)
+
+    def combiner_for(self, task_combiner: str) -> Combiner:
+        """Instantiate the effective combiner for a task."""
+        name = self.config.combiner or task_combiner
+        return get_combiner(name)
+
+    def stats_for(self, node: "PlanNode") -> OperatorStats:
+        """The mutable stats bucket for a plan node."""
+        return self.node_stats.setdefault(id(node), OperatorStats(label=node.label()))
+
+    def charge_budget(self, upcoming_assignments: int) -> None:
+        """Pre-flight budget check before posting more work."""
+        if self.config.max_budget is None:
+            return
+        projected = self.manager.ledger.total_cost + self.manager.ledger.pricing.cost(
+            upcoming_assignments
+        )
+        if projected > self.config.max_budget + 1e-9:
+            from repro.errors import BudgetExceededError
+
+            raise BudgetExceededError(
+                f"posting {upcoming_assignments} assignments would cost "
+                f"${projected:.2f}, exceeding the ${self.config.max_budget:.2f} budget"
+            )

@@ -1,0 +1,422 @@
+"""Executing crowd UDF calls: argument binding, payload building, combining.
+
+The bridge between expressions in a query and HIT payloads: evaluate a
+call's arguments against a row, reduce them to item references, build
+payloads, hand them to the Task Manager, and combine the votes back into
+per-item answers usable during expression evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.combine.adaptive import AdaptivePolicy, needs_more_votes
+from repro.combine.base import combine_corpus
+from repro.combine.normalize import get_normalizer
+from repro.core.context import QueryContext
+from repro.errors import ExecutionError, PlanError
+from repro.hits.hit import (
+    FilterPayload,
+    FilterQuestion,
+    GenerativeFieldSpec,
+    GenerativePayload,
+    GenerativeQuestion,
+    Payload,
+    Vote,
+    filter_qid,
+    generative_qid,
+)
+from repro.hits.manager import BatchOutcome
+from repro.metrics.agreement import feature_kappa
+from repro.relational.expressions import (
+    And,
+    BinaryOp,
+    ColumnRef,
+    Comparison,
+    Expression,
+    Literal,
+    Not,
+    Or,
+    UDFCall,
+)
+from repro.relational.rows import Row
+from repro.tasks.base import Task, resolve_item_ref
+from repro.tasks.filter import FilterTask
+from repro.tasks.generative import GenerativeTask
+
+
+def evaluate_arg(expr: Expression, row: Row, env: Mapping) -> object:
+    """Evaluate a UDF argument; bare aliases resolve to the row slice.
+
+    ``isFemale(c)`` passes the whole tuple bound to alias ``c``: the value
+    is the mapping of that alias's columns. Qualified references
+    (``c.img``) and computed expressions evaluate normally.
+    """
+    if isinstance(expr, ColumnRef) and expr.qualifier is None:
+        if expr.name not in row.schema:
+            prefix = f"{expr.name}."
+            slice_values = {
+                name: row[name] for name in row.schema.names if name.startswith(prefix)
+            }
+            if slice_values:
+                return slice_values
+    return expr.evaluate(row, env)
+
+
+def call_item_ref(call: UDFCall, row: Row, env: Mapping) -> str:
+    """The item reference a call is 'about' (its first argument)."""
+    if not call.args:
+        raise ExecutionError(f"crowd UDF {call.name!r} called with no arguments")
+    return resolve_item_ref(evaluate_arg(call.args[0], row, env))
+
+
+def template_bindings(
+    task: Task, call: UDFCall, row: Row, env: Mapping, source: str = "tuple"
+) -> dict[tuple[str, str], object]:
+    """(source, param) → value bindings for prompt rendering."""
+    task.validate_arity(len(call.args))
+    bindings: dict[tuple[str, str], object] = {}
+    for param, arg in zip(task.params, call.args):
+        bindings[(source, param)] = resolve_item_ref(evaluate_arg(arg, row, env))
+    return bindings
+
+
+# ---------------------------------------------------------------------------
+# Payload builders
+# ---------------------------------------------------------------------------
+
+
+def filter_payload_for(
+    task: FilterTask, call: UDFCall, row: Row, env: Mapping
+) -> FilterPayload:
+    """A single-question filter payload for one row."""
+    bindings = template_bindings(task, call, row, env)
+    return FilterPayload(
+        task_name=task.name,
+        questions=(
+            FilterQuestion(
+                item=call_item_ref(call, row, env),
+                prompt_html=task.prompt.render(bindings),
+            ),
+        ),
+        yes_text=task.yes_text,
+        no_text=task.no_text,
+    )
+
+
+def generative_payload_for(
+    task: GenerativeTask, item_ref: str, prompt_html: str = ""
+) -> GenerativePayload:
+    """A single-question generative payload for one item."""
+    specs = tuple(
+        GenerativeFieldSpec(
+            name=f.name,
+            kind=f.response.kind,
+            options=f.options,
+            normalizer=f.normalizer,
+        )
+        for f in task.fields
+    )
+    return GenerativePayload(
+        task_name=task.name,
+        questions=(GenerativeQuestion(item=item_ref, prompt_html=prompt_html),),
+        fields=specs,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Running calls
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CrowdBindings:
+    """Crowd answers per task, keyed by item reference.
+
+    * filter tasks: ref → bool
+    * generative tasks: ref → {field name: combined value}
+    """
+
+    filters: dict[str, dict[str, bool]] = field(default_factory=dict)
+    generative: dict[str, dict[str, dict[str, object]]] = field(default_factory=dict)
+    outcome: BatchOutcome = field(default_factory=BatchOutcome)
+    signals: dict[str, float] = field(default_factory=dict)
+
+
+def run_filter_call(
+    call: UDFCall,
+    rows: Sequence[Row],
+    ctx: QueryContext,
+    label: str,
+) -> tuple[dict[str, bool], BatchOutcome]:
+    """Execute one filter task over distinct item refs; returns ref → pass."""
+    task = ctx.catalog.task(call.name)
+    if not isinstance(task, FilterTask):
+        raise PlanError(f"{call.name!r} used as a filter but is {type(task).__name__}")
+    env = ctx.catalog.functions()
+    units: list[list[Payload]] = []
+    seen: set[str] = set()
+    for row in rows:
+        ref = call_item_ref(call, row, env)
+        if ref in seen:
+            continue
+        seen.add(ref)
+        units.append([filter_payload_for(task, call, row, env)])
+    if not units:
+        return {}, BatchOutcome()
+    if ctx.config.adaptive is not None:
+        votes, outcome = adaptive_single_question_votes(
+            units,
+            [filter_qid(task.name, p[0].questions[0].item) for p in units],  # type: ignore[attr-defined]
+            ctx,
+            label,
+        )
+    else:
+        ctx.charge_budget(len(units) * ctx.config.assignments)
+        outcome = ctx.manager.run_units(
+            units,
+            batch_size=ctx.config.filter_batch_size,
+            assignments=ctx.config.assignments,
+            label=label,
+            strict=ctx.config.strict_hits,
+        )
+        votes = outcome.votes
+    combiner = ctx.combiner_for(task.combiner)
+    corpus = {qid: qvotes for qid, qvotes in votes.items() if ":filter:" in qid}
+    decisions = combine_corpus(combiner, corpus)
+    answers = {
+        qid.rsplit(":filter:", 1)[1]: bool(value) for qid, value in decisions.items()
+    }
+    return answers, outcome
+
+
+def run_generative_units(
+    task_items: Mapping[str, Sequence[str]],
+    ctx: QueryContext,
+    label: str,
+    combine_tasks: bool = False,
+    batch_size: int | None = None,
+) -> tuple[dict[str, dict[str, dict[str, object]]], BatchOutcome, dict[str, dict[str, list[Vote]]]]:
+    """Run one or more generative tasks over item lists.
+
+    ``task_items`` maps task name → item refs. With ``combine_tasks`` the
+    tasks are *combined*: each HIT unit asks all tasks about one item
+    (requires identical item lists, the §3.3.4 combined feature interface).
+
+    Returns (task → ref → field values, outcome, task → field corpus).
+    """
+    tasks = {name: ctx.catalog.task(name) for name in task_items}
+    for name, task in tasks.items():
+        if not isinstance(task, GenerativeTask):
+            raise PlanError(
+                f"{name!r} used generatively but is {type(task).__name__}"
+            )
+
+    units: list[list[Payload]] = []
+    item_lists = [tuple(items) for items in task_items.values()]
+    if combine_tasks and len(tasks) > 1 and len(set(item_lists)) != 1:
+        # Combining requires the tasks to share their item list; fall back
+        # to per-task merging otherwise.
+        combine_tasks = False
+    if combine_tasks and len(tasks) > 1:
+        for item in item_lists[0]:
+            units.append(
+                [
+                    generative_payload_for(tasks[name], item)  # type: ignore[arg-type]
+                    for name in task_items
+                ]
+            )
+    else:
+        for name, items in task_items.items():
+            for item in items:
+                units.append([generative_payload_for(tasks[name], item)])  # type: ignore[arg-type]
+
+    if not units:
+        return {}, BatchOutcome(), {}
+    ctx.charge_budget(len(units) * ctx.config.assignments)
+    outcome = ctx.manager.run_units(
+        units,
+        batch_size=batch_size or ctx.config.generative_batch_size,
+        assignments=ctx.config.assignments,
+        label=label,
+        strict=ctx.config.strict_hits,
+    )
+
+    results: dict[str, dict[str, dict[str, object]]] = {}
+    corpora: dict[str, dict[str, list[Vote]]] = {}
+    for name, task in tasks.items():
+        assert isinstance(task, GenerativeTask)
+        results[name] = {}
+        corpora[name] = {}
+        for gen_field in task.fields:
+            normalizer = get_normalizer(gen_field.normalizer)
+            field_corpus: dict[str, list[Vote]] = {}
+            for item in task_items[name]:
+                qid = generative_qid(name, item, gen_field.name)
+                votes = outcome.votes.get(qid, [])
+                if gen_field.is_categorical:
+                    normalized = list(votes)
+                else:
+                    normalized = [
+                        Vote(worker_id=v.worker_id, value=normalizer(str(v.value)))
+                        for v in votes
+                    ]
+                field_corpus[qid] = normalized
+            combiner = ctx.combiner_for(gen_field.combiner)
+            decisions = combine_corpus(
+                combiner, {q: v for q, v in field_corpus.items() if v}
+            )
+            for qid, value in decisions.items():
+                item = qid.rsplit(":", 1)[0].rsplit(":gen:", 1)[1]
+                results[name].setdefault(item, {})[gen_field.name] = value
+            corpora[name].update(field_corpus)
+    return results, outcome, corpora
+
+
+def adaptive_single_question_votes(
+    units: Sequence[Sequence[Payload]],
+    qids: Sequence[str],
+    ctx: QueryContext,
+    label: str,
+) -> tuple[dict[str, list[Vote]], BatchOutcome]:
+    """Adaptive vote collection for single-question units (§6 extension).
+
+    Posts an initial small number of assignments, then re-posts only the
+    still-contested questions in increments until the margin rule is
+    satisfied or the per-question budget runs out.
+    """
+    policy: AdaptivePolicy = ctx.config.adaptive or AdaptivePolicy()
+    votes: dict[str, list[Vote]] = {qid: [] for qid in qids}
+    total = BatchOutcome(post_time=ctx.manager.platform.clock_seconds)
+    pending = list(zip(units, qids))
+    round_votes = policy.initial_votes
+    while pending:
+        ctx.charge_budget(len(pending) * round_votes)
+        outcome = ctx.manager.run_units(
+            [unit for unit, _ in pending],
+            batch_size=ctx.config.filter_batch_size,
+            assignments=round_votes,
+            label=label,
+            strict=ctx.config.strict_hits,
+        )
+        total.merge(outcome)
+        for qid, new_votes in outcome.votes.items():
+            if qid in votes:
+                votes[qid].extend(new_votes)
+        pending = [
+            (unit, qid)
+            for unit, qid in pending
+            if needs_more_votes(votes[qid], policy)
+        ]
+        round_votes = policy.step_votes
+    return votes, total
+
+
+# ---------------------------------------------------------------------------
+# Predicate evaluation with crowd bindings
+# ---------------------------------------------------------------------------
+
+
+def evaluate_with_crowd(
+    expr: Expression,
+    row: Row,
+    bindings: CrowdBindings,
+    ctx: QueryContext,
+) -> object:
+    """Evaluate an expression, answering crowd UDF calls from ``bindings``."""
+    env = ctx.catalog.functions()
+
+    def recurse(node: Expression) -> object:
+        if isinstance(node, UDFCall):
+            if node.name in env:
+                return node.evaluate(row, env)
+            ref = call_item_ref(node, row, env)
+            if node.name in bindings.filters:
+                return bindings.filters[node.name].get(ref, False)
+            if node.name in bindings.generative:
+                values = bindings.generative[node.name].get(ref, {})
+                if node.field is not None:
+                    if node.field not in values:
+                        raise ExecutionError(
+                            f"no combined value for {node.name}(...).{node.field} "
+                            f"on item {ref!r}"
+                        )
+                    return values[node.field]
+                task = ctx.catalog.task(node.name)
+                assert isinstance(task, GenerativeTask)
+                if len(task.fields) == 1:
+                    return values.get(task.fields[0].name)
+                return values
+            raise ExecutionError(
+                f"no crowd results bound for UDF {node.name!r}"
+            )
+        if isinstance(node, Comparison):
+            left = recurse(node.left)
+            right = recurse(node.right)
+            return Comparison(op=node.op, left=Literal(left), right=Literal(right)).evaluate(row, env)
+        if isinstance(node, And):
+            return all(recurse(op) for op in node.operands)
+        if isinstance(node, Or):
+            return any(recurse(op) for op in node.operands)
+        if isinstance(node, Not):
+            return not recurse(node.operand)
+        if isinstance(node, BinaryOp):
+            return BinaryOp(
+                op=node.op, left=Literal(recurse(node.left)), right=Literal(recurse(node.right))
+            ).evaluate(row, env)
+        return node.evaluate(row, env)
+
+    return recurse(expr)
+
+
+def run_predicate_calls(
+    predicate: Expression,
+    rows: Sequence[Row],
+    ctx: QueryContext,
+    label: str,
+) -> CrowdBindings:
+    """Run every crowd UDF call inside a predicate over the rows."""
+    bindings = CrowdBindings()
+    env = ctx.catalog.functions()
+    generative_items: dict[str, list[str]] = {}
+    generative_calls: dict[str, UDFCall] = {}
+    for call in predicate.udf_calls():
+        if call.name in env:
+            continue
+        task = ctx.catalog.task(call.name)
+        if isinstance(task, FilterTask):
+            if call.name not in bindings.filters:
+                answers, outcome = run_filter_call(call, rows, ctx, f"{label}:{call.name}")
+                bindings.filters[call.name] = answers
+                bindings.outcome.merge(outcome)
+                if answers:
+                    bindings.signals[f"{call.name}.yes_fraction"] = sum(
+                        answers.values()
+                    ) / len(answers)
+        elif isinstance(task, GenerativeTask):
+            refs = generative_items.setdefault(call.name, [])
+            generative_calls[call.name] = call
+            for row in rows:
+                ref = call_item_ref(call, row, env)
+                if ref not in refs:
+                    refs.append(ref)
+        else:
+            raise PlanError(
+                f"task {call.name!r} ({type(task).__name__}) cannot appear in "
+                "a WHERE predicate"
+            )
+    if generative_items:
+        results, outcome, corpora = run_generative_units(
+            generative_items,
+            ctx,
+            f"{label}:gen",
+            combine_tasks=ctx.config.combine_features,
+        )
+        bindings.generative.update(results)
+        bindings.outcome.merge(outcome)
+        for task_name, corpus in corpora.items():
+            populated = {q: v for q, v in corpus.items() if v}
+            if populated:
+                bindings.signals[f"{task_name}.kappa"] = feature_kappa(populated)
+    return bindings

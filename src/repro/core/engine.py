@@ -1,0 +1,203 @@
+"""The Qurk engine facade: register data and tasks, run queries.
+
+Typical use::
+
+    market = SimulatedMarketplace(truth, seed=1)
+    q = Qurk(platform=market)
+    q.register_table(celebs)
+    q.register_table(photos)
+    q.define(SAME_PERSON_TASK_DSL)
+    result = q.execute("SELECT c.name FROM celeb c JOIN photos p "
+                       "ON samePerson(c.img, p.img)")
+    result.rows, result.total_cost, result.hit_count, result.explain()
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.core.context import ExecutionConfig, OperatorStats, QueryContext
+from repro.core.executor import run_plan
+from repro.core.explain import render_explain
+from repro.core.optimizer import optimize
+from repro.core.plan import PlanNode
+from repro.core.planner import build_plan
+from repro.errors import PlanError
+from repro.hits.cache import TaskCache
+from repro.hits.hit import PickBestPayload
+from repro.hits.manager import CrowdPlatform, TaskManager
+from repro.hits.pricing import CostLedger
+from repro.language.ast import SelectQuery, TaskDefinition
+from repro.language.parser import parse_statements
+from repro.relational.catalog import Catalog
+from repro.relational.rows import Row
+from repro.relational.table import Table
+from repro.sorting.topk import pick_extreme_order
+from repro.tasks.base import task_from_definition
+from repro.tasks.rank import RankTask
+
+
+@dataclass
+class QueryResult:
+    """Rows plus the execution economics and diagnostics."""
+
+    rows: list[Row]
+    plan: PlanNode
+    hit_count: int = 0
+    assignment_count: int = 0
+    total_cost: float = 0.0
+    elapsed_seconds: float = 0.0
+    node_stats: dict[int, OperatorStats] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def column(self, name: str) -> list[object]:
+        """One output column's values in row order."""
+        return [row[name] for row in self.rows]
+
+    def as_dicts(self) -> list[dict[str, object]]:
+        """Rows as plain dicts."""
+        return [row.as_dict() for row in self.rows]
+
+    def explain(self) -> str:
+        """EXPLAIN-style tree with per-operator quality signals (§6)."""
+        return render_explain(self.plan, self.node_stats)
+
+
+class Qurk:
+    """A crowd-powered declarative query engine (the paper's system)."""
+
+    def __init__(
+        self,
+        platform: CrowdPlatform,
+        config: ExecutionConfig | None = None,
+        catalog: Catalog | None = None,
+        ledger: CostLedger | None = None,
+        cache: TaskCache | None = None,
+    ) -> None:
+        self.platform = platform
+        self.config = config or ExecutionConfig()
+        self.catalog = catalog or Catalog()
+        self.ledger = ledger or CostLedger()
+        self.manager = TaskManager(platform, ledger=self.ledger, cache=cache)
+
+    # -- registration ------------------------------------------------------
+
+    def register_table(self, table: Table, replace: bool = False) -> None:
+        """Make a table queryable."""
+        self.catalog.register_table(table, replace=replace)
+
+    def register_function(
+        self, name: str, fn: Callable[..., object], replace: bool = False
+    ) -> None:
+        """Register a computer-evaluable scalar function."""
+        self.catalog.register_function(name, fn, replace=replace)
+
+    def define(self, dsl_text: str, replace: bool = False) -> list[str]:
+        """Parse and register TASK definitions; returns the task names."""
+        names: list[str] = []
+        for statement in parse_statements(dsl_text):
+            if not isinstance(statement, TaskDefinition):
+                raise PlanError(
+                    "define() accepts TASK definitions; use execute() for queries"
+                )
+            task = task_from_definition(statement)
+            self.catalog.register_task(task, replace=replace)
+            names.append(task.name)
+        return names
+
+    # -- execution ---------------------------------------------------------
+
+    def plan(self, query: str | SelectQuery) -> PlanNode:
+        """Parse, plan, and optimize a query without running it."""
+        parsed = self._parse(query)
+        return optimize(build_plan(parsed, self.catalog))
+
+    def execute(
+        self, query: str | SelectQuery, config: ExecutionConfig | None = None
+    ) -> QueryResult:
+        """Run a query against the crowd platform."""
+        plan = self.plan(query)
+        ctx = QueryContext(
+            catalog=self.catalog,
+            manager=self.manager,
+            config=config or self.config,
+        )
+        hits_before = self.ledger.total_hits
+        assignments_before = self.ledger.total_assignments
+        cost_before = self.ledger.total_cost
+        clock_before = self.platform.clock_seconds
+        rows = run_plan(plan, ctx)
+        return QueryResult(
+            rows=rows,
+            plan=plan,
+            hit_count=self.ledger.total_hits - hits_before,
+            assignment_count=self.ledger.total_assignments - assignments_before,
+            total_cost=self.ledger.total_cost - cost_before,
+            elapsed_seconds=self.platform.clock_seconds - clock_before,
+            node_stats=ctx.node_stats,
+        )
+
+    def explain(self, query: str | SelectQuery) -> str:
+        """The optimized plan tree without executing (no stats)."""
+        return render_explain(self.plan(query), {})
+
+    def _parse(self, query: str | SelectQuery) -> SelectQuery:
+        if isinstance(query, SelectQuery):
+            return query
+        statements = parse_statements(query)
+        queries = [s for s in statements if isinstance(s, SelectQuery)]
+        for statement in statements:
+            if isinstance(statement, TaskDefinition):
+                task = task_from_definition(statement)
+                self.catalog.register_task(task, replace=True)
+        if len(queries) != 1:
+            raise PlanError(f"expected exactly one SELECT, found {len(queries)}")
+        return queries[0]
+
+    # -- aggregates ----------------------------------------------------------
+
+    def extreme(
+        self,
+        task_name: str,
+        items: Sequence[str],
+        most: bool = True,
+        batch_size: int = 5,
+        assignments: int | None = None,
+    ) -> tuple[str, int]:
+        """MAX/MIN via the best-of-batch tournament interface (§2.3).
+
+        Returns (winning item ref, HITs spent).
+        """
+        task = self.catalog.task(task_name)
+        if not isinstance(task, RankTask):
+            raise PlanError(f"extreme() needs a Rank task, got {type(task).__name__}")
+        votes_requested = assignments or self.config.assignments
+        direction = task.most_name if most else task.least_name
+
+        def pick(batch: Sequence[str]) -> str:
+            payload = PickBestPayload(
+                task_name=task.name,
+                items=tuple(batch),
+                question=(
+                    f"Which of these {task.plural_name} is the {direction} "
+                    f"by {task.order_dimension_name}?"
+                ),
+                pick_most=most,
+            )
+            outcome = self.manager.run_units(
+                [[payload]],
+                batch_size=1,
+                assignments=votes_requested,
+                label="aggregate:extreme",
+            )
+            from collections import Counter
+
+            votes = outcome.votes.get(payload.qid(), [])
+            counts = Counter(str(v.value) for v in votes)
+            winner, _ = max(counts.items(), key=lambda kv: (kv[1], kv[0]))
+            return winner
+
+        return pick_extreme_order(items, pick, batch_size=batch_size)

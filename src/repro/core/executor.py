@@ -1,0 +1,161 @@
+"""Plan interpreter.
+
+The paper's executor runs each operator in its own thread with async queues
+(§2.6); for determinism we interpret the plan tree depth-first over the
+marketplace's virtual clock (see DESIGN.md for the substitution note).
+Crowd operators materialise their inputs — they must, since HIT batches are
+built over whole tuple sets.
+"""
+
+from __future__ import annotations
+
+from repro.core.context import QueryContext
+from repro.core.crowd_calls import evaluate_with_crowd, run_predicate_calls
+from repro.core.join_exec import execute_join
+from repro.core.plan import (
+    ComputedFilterNode,
+    CrowdPredicateNode,
+    JoinNode,
+    LimitNode,
+    PlanNode,
+    ProjectNode,
+    ScanNode,
+    SortNode,
+)
+from repro.core.sort_exec import execute_sort
+from repro.errors import ExecutionError
+from repro.relational.expressions import UDFCall
+from repro.relational.rows import Row
+
+
+def run_plan(node: PlanNode, ctx: QueryContext) -> list[Row]:
+    """Execute a plan tree; returns the output rows."""
+    if isinstance(node, ScanNode):
+        return _run_scan(node, ctx)
+    if isinstance(node, ComputedFilterNode):
+        return _run_computed_filter(node, ctx)
+    if isinstance(node, CrowdPredicateNode):
+        return _run_crowd_predicate(node, ctx)
+    if isinstance(node, JoinNode):
+        return _run_join(node, ctx)
+    if isinstance(node, SortNode):
+        rows = run_plan(node.inputs[0], ctx)
+        return execute_sort(node, rows, ctx)
+    if isinstance(node, ProjectNode):
+        return _run_project(node, ctx)
+    if isinstance(node, LimitNode):
+        rows = run_plan(node.inputs[0], ctx)
+        stats = ctx.stats_for(node)
+        stats.rows_in = len(rows)
+        stats.rows_out = min(len(rows), node.count)
+        return rows[: node.count]
+    raise ExecutionError(f"no executor for plan node {type(node).__name__}")
+
+
+def _run_scan(node: ScanNode, ctx: QueryContext) -> list[Row]:
+    table = ctx.catalog.table(node.table_name)
+    rows = [row.prefixed(node.alias) for row in table.scan()]
+    stats = ctx.stats_for(node)
+    stats.rows_in = len(table)
+    stats.rows_out = len(rows)
+    return rows
+
+
+def _run_computed_filter(node: ComputedFilterNode, ctx: QueryContext) -> list[Row]:
+    rows = run_plan(node.inputs[0], ctx)
+    assert node.predicate is not None
+    env = ctx.catalog.functions()
+    kept = [row for row in rows if node.predicate.evaluate(row, env)]
+    stats = ctx.stats_for(node)
+    stats.rows_in = len(rows)
+    stats.rows_out = len(kept)
+    return kept
+
+
+def _run_crowd_predicate(node: CrowdPredicateNode, ctx: QueryContext) -> list[Row]:
+    rows = run_plan(node.inputs[0], ctx)
+    assert node.predicate is not None
+    stats = ctx.stats_for(node)
+    stats.rows_in = len(rows)
+    if not rows:
+        stats.rows_out = 0
+        return []
+    bindings = run_predicate_calls(node.predicate, rows, ctx, "where")
+    stats.hits += bindings.outcome.hit_count
+    stats.assignments += bindings.outcome.assignment_count
+    stats.elapsed_seconds += bindings.outcome.elapsed_seconds
+    stats.signals.update(bindings.signals)
+    kept = [
+        row
+        for row in rows
+        if evaluate_with_crowd(node.predicate, row, bindings, ctx)
+    ]
+    stats.rows_out = len(kept)
+    return kept
+
+
+def _run_join(node: JoinNode, ctx: QueryContext) -> list[Row]:
+    left_rows = run_plan(node.inputs[0], ctx)
+    right_rows = run_plan(node.inputs[1], ctx)
+    left_aliases = _aliases(node.inputs[0])
+    right_aliases = _aliases(node.inputs[1])
+    return execute_join(node, left_rows, right_rows, ctx, left_aliases, right_aliases)
+
+
+def _aliases(node: PlanNode) -> set[str]:
+    return {n.alias for n in node.walk() if isinstance(n, ScanNode)}
+
+
+def _run_project(node: ProjectNode, ctx: QueryContext) -> list[Row]:
+    rows = run_plan(node.inputs[0], ctx)
+    stats = ctx.stats_for(node)
+    stats.rows_in = len(rows)
+    if node.star:
+        stats.rows_out = len(rows)
+        return rows
+    # The select list may contain generative crowd calls (§2.2).
+    crowd_calls = [
+        call
+        for item in node.items
+        for call in item.expr.udf_calls()
+        if not ctx.catalog.has_function(call.name)
+    ]
+    bindings = None
+    if crowd_calls and rows:
+        from repro.relational.expressions import And
+
+        synthetic = And(operands=tuple(item.expr for item in node.items))
+        bindings = run_predicate_calls(synthetic, rows, ctx, "select")
+        stats.hits += bindings.outcome.hit_count
+        stats.assignments += bindings.outcome.assignment_count
+        stats.signals.update(bindings.signals)
+
+    from repro.relational.rows import Row as RowClass
+    from repro.relational.schema import Column, ColumnType, Schema
+
+    names = [item.output_name for item in node.items]
+    schema = Schema([Column(name, ColumnType.ANY) for name in names])
+    env = ctx.catalog.functions()
+    out: list[Row] = []
+    for row in rows:
+        values = {}
+        for item, name in zip(node.items, names):
+            if bindings is not None and any(
+                not ctx.catalog.has_function(call.name)
+                for call in item.expr.udf_calls()
+            ):
+                values[name] = evaluate_with_crowd(item.expr, row, bindings, ctx)
+            else:
+                values[name] = _evaluate_plain(item.expr, row, env)
+        out.append(RowClass(schema, values))
+    stats.rows_out = len(out)
+    return out
+
+
+def _evaluate_plain(expr, row: Row, env) -> object:
+    """Evaluate a non-crowd select expression; bare aliases unsupported."""
+    if isinstance(expr, UDFCall) and expr.name not in env:
+        raise ExecutionError(
+            f"crowd UDF {expr.name!r} reached plain evaluation — planner bug"
+        )
+    return expr.evaluate(row, env)

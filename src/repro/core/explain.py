@@ -1,0 +1,55 @@
+"""EXPLAIN with quality signals (§6, "Iterative Debugging").
+
+"As future work, we want to design a SQL EXPLAIN-like interface which
+annotates operators with signals such as rater agreement, comparison vs
+rating agreement, and other indicators of where a query has gone astray."
+
+After execution, each plan node renders with its HIT/assignment counts,
+row flow, and the signals its operator collected (feature κ, pair
+agreement, filter selectivity, comparison κ, ...). Signals that look
+pathological get flagged so the workflow designer knows where to look.
+"""
+
+from __future__ import annotations
+
+from repro.core.context import OperatorStats
+from repro.core.plan import PlanNode
+
+KAPPA_WARNING = 0.35
+AGREEMENT_WARNING = 0.7
+
+
+def _signal_notes(stats: OperatorStats) -> list[str]:
+    notes = []
+    for name, value in sorted(stats.signals.items()):
+        note = f"{name}={value:.3f}"
+        if name.endswith("kappa") and value < KAPPA_WARNING:
+            note += " [!] low agreement: question may be ambiguous"
+        if name.endswith("agreement") and value < AGREEMENT_WARNING:
+            note += " [!] workers disagree"
+        notes.append(note)
+    return notes
+
+
+def render_explain(plan: PlanNode, node_stats: dict[int, OperatorStats]) -> str:
+    """Render the plan tree annotated with collected operator signals."""
+    lines: list[str] = []
+
+    def visit(node: PlanNode, depth: int) -> None:
+        indent = "  " * depth
+        stats = node_stats.get(id(node))
+        header = f"{indent}{node.label()}"
+        if stats is not None and (stats.hits or stats.rows_in or stats.rows_out):
+            header += (
+                f"  [rows {stats.rows_in}->{stats.rows_out}"
+                f", hits={stats.hits}, assignments={stats.assignments}]"
+            )
+        lines.append(header)
+        if stats is not None:
+            for note in _signal_notes(stats):
+                lines.append(f"{indent}    ~ {note}")
+        for child in node.inputs:
+            visit(child, depth + 1)
+
+    visit(plan, 0)
+    return "\n".join(lines)

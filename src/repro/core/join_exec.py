@@ -1,0 +1,389 @@
+"""Crowd join execution (§3): block nested loops over candidate pairs.
+
+Qurk "implements a block nested loop join, and uses the results of the HIT
+comparisons to evaluate whether two elements satisfy the join condition".
+This module materialises both inputs, applies POSSIBLY feature filtering
+(equality features across the tables plus unary feature predicates on one
+side), shapes the surviving candidates into the configured interface's HITs,
+and combines the votes into join results.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.combine.base import combine_corpus
+from repro.core.context import QueryContext
+from repro.core.crowd_calls import (
+    adaptive_single_question_votes,
+    call_item_ref,
+    evaluate_arg,
+    run_generative_units,
+)
+from repro.core.plan import JoinNode
+from repro.errors import PlanError
+from repro.hits.hit import (
+    JoinGridPayload,
+    JoinPair,
+    JoinPairsPayload,
+    Payload,
+    join_qid,
+)
+from repro.joins.batching import JoinInterface, all_pairs, smart_grids, smart_grids_for_candidates
+from repro.joins.feature_filter import (
+    confident_feature_values,
+    evaluate_features,
+    filter_candidates,
+)
+from repro.metrics.agreement import feature_kappa
+from repro.relational.expressions import (
+    UNKNOWN,
+    Comparison,
+    Expression,
+    Literal,
+    UDFCall,
+    feature_equal,
+)
+from repro.relational.rows import Row
+from repro.tasks.equijoin import EquiJoinTask
+from repro.tasks.generative import GenerativeTask
+
+
+class _PossiblyClauses:
+    """Classified POSSIBLY expressions."""
+
+    def __init__(self) -> None:
+        # (feature key, left call, right call)
+        self.equality: list[tuple[str, UDFCall, UDFCall]] = []
+        # (expression, side, call) with side in {"left", "right"}
+        self.unary: list[tuple[Expression, str, UDFCall]] = []
+
+
+def _classify_possibly(
+    node: JoinNode,
+    left_aliases: set[str],
+    right_aliases: set[str],
+    ctx: QueryContext,
+) -> _PossiblyClauses:
+    clauses = _PossiblyClauses()
+    for expr in node.possibly:
+        calls = [
+            call
+            for call in expr.udf_calls()
+            if not ctx.catalog.has_function(call.name)
+        ]
+        for call in calls:
+            task = ctx.catalog.task(call.name)
+            if not isinstance(task, GenerativeTask):
+                raise PlanError(
+                    f"POSSIBLY clause task {call.name!r} must be Generative"
+                )
+        sides = [_call_side(call, left_aliases, right_aliases) for call in calls]
+        if (
+            len(calls) == 2
+            and isinstance(expr, Comparison)
+            and expr.op == "="
+            and set(sides) == {"left", "right"}
+        ):
+            left_call = calls[sides.index("left")]
+            right_call = calls[sides.index("right")]
+            clauses.equality.append((left_call.name, left_call, right_call))
+        elif len(calls) == 1:
+            clauses.unary.append((expr, sides[0], calls[0]))
+        else:
+            raise PlanError(
+                f"unsupported POSSIBLY clause {expr}; expected "
+                "feature(l) = feature(r) or a single-side predicate"
+            )
+    return clauses
+
+
+def _call_side(
+    call: UDFCall, left_aliases: set[str], right_aliases: set[str]
+) -> str:
+    refs = call.references()
+    bindings = {ref.split(".", 1)[0] if "." in ref else ref for ref in refs}
+    if bindings and bindings <= left_aliases:
+        return "left"
+    if bindings and bindings <= right_aliases:
+        return "right"
+    raise PlanError(
+        f"POSSIBLY call {call} references {sorted(bindings)}, which is not "
+        "confined to one side of the join"
+    )
+
+
+def _field_value(
+    task: GenerativeTask, call: UDFCall, values: Mapping[str, object]
+) -> object:
+    field_name = call.field or task.single_field.name
+    return values.get(field_name, UNKNOWN)
+
+
+def execute_join(
+    node: JoinNode,
+    left_rows: Sequence[Row],
+    right_rows: Sequence[Row],
+    ctx: QueryContext,
+    left_aliases: set[str],
+    right_aliases: set[str],
+) -> list[Row]:
+    """Run the crowd equijoin; returns merged rows for matching pairs."""
+    assert node.condition is not None
+    task = ctx.catalog.task(node.condition.name)
+    if not isinstance(task, EquiJoinTask):
+        raise PlanError(f"join task {node.condition.name!r} is not an EquiJoin")
+    stats = ctx.stats_for(node)
+    stats.rows_in = len(left_rows) + len(right_rows)
+    env = ctx.catalog.functions()
+    left_arg, right_arg = node.condition.args
+
+    left_map = _ref_map(left_rows, left_arg, env)
+    right_map = _ref_map(right_rows, right_arg, env)
+    left_refs = list(left_map)
+    right_refs = list(right_map)
+    if not left_refs or not right_refs:
+        return []
+
+    features: dict[str, tuple[dict[str, object], dict[str, object]]] = {}
+    corpora: dict[str, dict] = {}
+    if ctx.config.use_feature_filters and node.possibly:
+        clauses = _classify_possibly(node, left_aliases, right_aliases, ctx)
+        left_refs, right_refs, features, corpora = _run_feature_extraction(
+            node, clauses, left_refs, right_refs, ctx
+        )
+        if ctx.config.auto_feature_selection and features:
+            report = evaluate_features(
+                left_refs,
+                right_refs,
+                features,
+                corpora,
+            )
+            features = {name: features[name] for name in report.kept}
+            stats.signals["features_kept"] = float(len(report.kept))
+            stats.signals["features_dropped"] = float(len(report.dropped))
+
+    if features:
+        candidates = filter_candidates(
+            left_refs, right_refs, list(features.values())
+        )
+    else:
+        candidates = all_pairs(left_refs, right_refs)
+    cross = len(left_refs) * len(right_refs)
+    stats.signals["candidate_pairs"] = float(len(candidates))
+    stats.signals["cross_product"] = float(cross)
+    if cross:
+        stats.signals["filter_selectivity"] = len(candidates) / cross
+
+    matches = _run_join_interface(task, candidates, left_refs, right_refs, ctx, node)
+
+    out: list[Row] = []
+    for left_ref, right_ref in matches:
+        for lrow in left_map[left_ref]:
+            for rrow in right_map[right_ref]:
+                out.append(lrow.merged(rrow))
+    stats.rows_out = len(out)
+    return out
+
+
+def _ref_map(rows: Sequence[Row], arg, env) -> dict[str, list[Row]]:
+    mapping: dict[str, list[Row]] = {}
+    from repro.tasks.base import resolve_item_ref
+
+    for row in rows:
+        ref = resolve_item_ref(evaluate_arg(arg, row, env))
+        mapping.setdefault(ref, []).append(row)
+    return mapping
+
+
+def _run_feature_extraction(
+    node: JoinNode,
+    clauses: _PossiblyClauses,
+    left_refs: list[str],
+    right_refs: list[str],
+    ctx: QueryContext,
+):
+    """Linear crowd passes extracting POSSIBLY features on both sides."""
+    stats = ctx.stats_for(node)
+    left_tasks: dict[str, list[str]] = {}
+    right_tasks: dict[str, list[str]] = {}
+    for _, left_call, right_call in clauses.equality:
+        left_tasks[left_call.name] = left_refs
+        right_tasks[right_call.name] = right_refs
+    for _, side, call in clauses.unary:
+        target = left_tasks if side == "left" else right_tasks
+        target[call.name] = left_refs if side == "left" else right_refs
+
+    left_results, left_outcome, left_corpora = run_generative_units(
+        left_tasks, ctx, "join:features:left", combine_tasks=ctx.config.combine_features
+    )
+    right_results, right_outcome, right_corpora = run_generative_units(
+        right_tasks, ctx, "join:features:right", combine_tasks=ctx.config.combine_features
+    )
+    stats.hits += left_outcome.hit_count + right_outcome.hit_count
+    stats.assignments += left_outcome.assignment_count + right_outcome.assignment_count
+
+    # Unary predicates prune one side before the cross product forms.
+    for expr, side, call in clauses.unary:
+        task = ctx.catalog.task(call.name)
+        assert isinstance(task, GenerativeTask)
+        results = left_results if side == "left" else right_results
+        refs = left_refs if side == "left" else right_refs
+        kept = []
+        for ref in refs:
+            value = _field_value(task, call, results.get(call.name, {}).get(ref, {}))
+            if value is UNKNOWN or _evaluate_unary(expr, call, value):
+                kept.append(ref)
+        if side == "left":
+            left_refs = kept
+        else:
+            right_refs = kept
+        stats.signals[f"{call.name}.selectivity"] = (
+            len(kept) / len(refs) if refs else 1.0
+        )
+
+    features: dict[str, tuple[dict[str, object], dict[str, object]]] = {}
+    corpora: dict[str, dict] = {}
+    for key, left_call, right_call in clauses.equality:
+        left_task = ctx.catalog.task(left_call.name)
+        right_task = ctx.catalog.task(right_call.name)
+        assert isinstance(left_task, GenerativeTask)
+        assert isinstance(right_task, GenerativeTask)
+        # Filtering values use the abstention rule: contested labels demote
+        # to UNKNOWN so noisy features (hair) filter weakly, not wrongly.
+        left_field = left_call.field or left_task.single_field.name
+        right_field = right_call.field or right_task.single_field.name
+        left_confident = confident_feature_values(
+            _field_corpus(left_corpora.get(left_call.name, {}), left_field)
+        )
+        right_confident = confident_feature_values(
+            _field_corpus(right_corpora.get(right_call.name, {}), right_field)
+        )
+        left_values = {ref: left_confident.get(ref, UNKNOWN) for ref in left_refs}
+        right_values = {ref: right_confident.get(ref, UNKNOWN) for ref in right_refs}
+        features[key] = (left_values, right_values)
+        merged_corpus = {}
+        merged_corpus.update(left_corpora.get(left_call.name, {}))
+        merged_corpus.update(right_corpora.get(right_call.name, {}))
+        populated = {qid: votes for qid, votes in merged_corpus.items() if votes}
+        corpora[key] = populated
+        if populated:
+            stats.signals[f"{key}.kappa"] = feature_kappa(populated)
+    return left_refs, right_refs, features, corpora
+
+
+def _field_corpus(corpus: Mapping[str, list], field_name: str) -> dict[str, list]:
+    """Restrict a generative vote corpus to one field's questions."""
+    suffix = f":{field_name}"
+    return {qid: votes for qid, votes in corpus.items() if qid.endswith(suffix) and votes}
+
+
+def _evaluate_unary(expr: Expression, call: UDFCall, value: object) -> bool:
+    """Evaluate a unary POSSIBLY predicate with the call's value substituted."""
+
+    def substitute(node: Expression) -> Expression:
+        if node is call or node == call:
+            return Literal(value)
+        if isinstance(node, Comparison):
+            return Comparison(
+                op=node.op, left=substitute(node.left), right=substitute(node.right)
+            )
+        return node
+
+    substituted = substitute(expr)
+    from repro.relational.schema import Schema
+
+    empty_row = Row(Schema([]), {})
+    return bool(substituted.evaluate(empty_row, {}))
+
+
+def _run_join_interface(
+    task: EquiJoinTask,
+    candidates: list[tuple[str, str]],
+    left_refs: list[str],
+    right_refs: list[str],
+    ctx: QueryContext,
+    node: JoinNode,
+) -> list[tuple[str, str]]:
+    """Post the join HITs for the configured interface; combine votes."""
+    if not candidates:
+        return []
+    stats = ctx.stats_for(node)
+    interface = ctx.config.join_interface
+    question = task.pair_question()
+    units: list[list[Payload]] = []
+    batch_size = 1
+
+    if interface in (JoinInterface.SIMPLE, JoinInterface.NAIVE):
+        units = [
+            [JoinPairsPayload(task.name, (JoinPair(l, r),), question=question)]
+            for l, r in candidates
+        ]
+        batch_size = (
+            1 if interface is JoinInterface.SIMPLE else ctx.config.naive_batch_size
+        )
+    else:
+        full_cross = len(candidates) == len(left_refs) * len(right_refs)
+        if full_cross:
+            grids = smart_grids(
+                left_refs, right_refs, ctx.config.grid_rows, ctx.config.grid_cols
+            )
+        else:
+            grids = smart_grids_for_candidates(
+                candidates, ctx.config.grid_rows, ctx.config.grid_cols
+            )
+        units = [
+            [
+                JoinGridPayload(
+                    task.name,
+                    tuple(left_block),
+                    tuple(right_block),
+                    question=task.grid_question(),
+                )
+            ]
+            for left_block, right_block in grids
+        ]
+
+    if ctx.config.adaptive is not None and interface is not JoinInterface.SMART:
+        qids = [
+            join_qid(task.name, unit[0].pairs[0].left, unit[0].pairs[0].right)  # type: ignore[attr-defined]
+            for unit in units
+        ]
+        votes, outcome = adaptive_single_question_votes(units, qids, ctx, "join:pairs")
+    else:
+        ctx.charge_budget(len(units) * ctx.config.assignments)
+        outcome = ctx.manager.run_units(
+            units,
+            batch_size=batch_size,
+            assignments=ctx.config.assignments,
+            label="join:pairs",
+            strict=ctx.config.strict_hits,
+        )
+        votes = outcome.votes
+    stats.hits += outcome.hit_count
+    stats.assignments += outcome.assignment_count
+    stats.elapsed_seconds += outcome.elapsed_seconds
+
+    corpus = {qid: v for qid, v in votes.items() if ":join:" in qid and v}
+    if not corpus:
+        return []
+    combiner = ctx.combiner_for(task.combiner)
+    decisions = combine_corpus(combiner, corpus)
+    candidate_set = set(candidates)
+    matches: list[tuple[str, str]] = []
+    for qid, is_match in decisions.items():
+        if not is_match:
+            continue
+        pair_part = qid.rsplit(":join:", 1)[1]
+        left_ref, right_ref = pair_part.split("|", 1)
+        if (left_ref, right_ref) in candidate_set:
+            matches.append((left_ref, right_ref))
+    matches.sort()
+    agreements = [
+        max(sum(1 for v in vs if v.value), sum(1 for v in vs if not v.value)) / len(vs)
+        for vs in corpus.values()
+    ]
+    if agreements:
+        stats.signals["mean_pair_agreement"] = sum(agreements) / len(agreements)
+    stats.signals["matches"] = float(len(matches))
+    return matches

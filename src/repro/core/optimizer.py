@@ -1,0 +1,114 @@
+"""Plan rewrites (§2.5).
+
+The headline rule: relational operations a computer can evaluate are pushed
+below crowd operators — "it's better to filter tables before joining them"
+and HIT-based work should see as few tuples as possible. Implemented
+rewrites:
+
+* **Computed-filter pushdown** — computed predicates sink below crowd
+  filters, sorts, and into the matching side of joins (decided by which
+  alias bindings the predicate references).
+* **Crowd-filter pushdown below joins** — "the system generates HITs for
+  all non-join WHERE clause expressions first, and then ... feeds them into
+  join operators": a crowd predicate confined to one join side runs before
+  the join so the cross product shrinks.
+* **Filter ordering** — computed filters run before crowd filters at the
+  same level; crowd conjuncts keep their query order relative to each other
+  (Qurk has no selectivity estimation).
+"""
+
+from __future__ import annotations
+
+from repro.core.plan import (
+    ComputedFilterNode,
+    CrowdPredicateNode,
+    JoinNode,
+    PlanNode,
+    ScanNode,
+    SortNode,
+)
+from repro.relational.expressions import Expression
+
+
+def optimize(plan: PlanNode) -> PlanNode:
+    """Apply rewrites until a fixpoint (bounded by tree size)."""
+    for _ in range(64):
+        rewritten, changed = _push_down_once(plan)
+        plan = rewritten
+        if not changed:
+            break
+    return plan
+
+
+def _aliases_in(node: PlanNode) -> set[str]:
+    """The table aliases visible in a subtree's output."""
+    return {n.alias for n in node.walk() if isinstance(n, ScanNode)}
+
+
+def _references_only(predicate: Expression, aliases: set[str]) -> bool:
+    """Whether every column the predicate touches belongs to ``aliases``.
+
+    A bare (unqualified) reference is a whole-row alias binding like
+    ``isFemale(c)``; it is confined iff the alias itself is in scope.
+    """
+    refs = predicate.references()
+    if not refs:
+        return False
+    for ref in refs:
+        qualifier = ref.split(".", 1)[0] if "." in ref else ref
+        if qualifier not in aliases:
+            return False
+    return True
+
+
+def _sink_into_join(
+    filter_node: PlanNode, predicate: Expression, join: JoinNode
+) -> tuple[PlanNode, bool]:
+    """Try to move a filter below the matching side of a join."""
+    left, right = join.inputs
+    wrapper = type(filter_node)
+    if _references_only(predicate, _aliases_in(left)):
+        join.inputs = (wrapper(predicate=predicate, inputs=(left,)), right)
+        return join, True
+    if _references_only(predicate, _aliases_in(right)):
+        join.inputs = (left, wrapper(predicate=predicate, inputs=(right,)))
+        return join, True
+    return filter_node, False
+
+
+def _push_down_once(node: PlanNode) -> tuple[PlanNode, bool]:
+    """One bottom-up pass; returns (new node, whether anything changed)."""
+    new_inputs = []
+    changed = False
+    for child in node.inputs:
+        new_child, child_changed = _push_down_once(child)
+        new_inputs.append(new_child)
+        changed |= child_changed
+    node.inputs = tuple(new_inputs)
+
+    if isinstance(node, ComputedFilterNode):
+        child = node.inputs[0]
+        assert node.predicate is not None
+
+        # Sink below crowd filters and sorts: the crowd then sees fewer
+        # tuples (or the same tuples later, which is free).
+        if isinstance(child, (CrowdPredicateNode, SortNode)):
+            node.inputs = child.inputs
+            child.inputs = (node,)
+            return child, True
+
+        # Sink into the side of a join the predicate refers to.
+        if isinstance(child, JoinNode):
+            sunk, did = _sink_into_join(node, node.predicate, child)
+            if did:
+                return sunk, True
+
+    if isinstance(node, CrowdPredicateNode):
+        child = node.inputs[0]
+        assert node.predicate is not None
+        if isinstance(child, JoinNode):
+            sunk, did = _sink_into_join(node, node.predicate, child)
+            if did:
+                return sunk, True
+
+    return node, changed

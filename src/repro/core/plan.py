@@ -1,0 +1,129 @@
+"""Logical plan nodes.
+
+Plans are passive trees; the executor interprets them. Node kinds:
+
+* :class:`ScanNode` — read a catalog table under an alias.
+* :class:`ComputedFilterNode` — a predicate evaluable without the crowd
+  (pushed down as far as possible, §2.5).
+* :class:`CrowdPredicateNode` — a predicate whose UDF calls require crowd
+  work (filter tasks and/or generative features), one per WHERE conjunct so
+  that conjuncts execute serially (§2.5).
+* :class:`JoinNode` — a crowd equijoin with optional POSSIBLY features.
+* :class:`SortNode` — ORDER BY with plain columns and/or a Rank UDF.
+* :class:`ProjectNode` / :class:`LimitNode`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.language.ast import OrderItem, SelectItem
+from repro.relational.expressions import Expression, UDFCall
+
+
+@dataclass
+class PlanNode:
+    """Base class; children in ``inputs``."""
+
+    inputs: tuple["PlanNode", ...] = field(default_factory=tuple, kw_only=True)
+
+    def label(self) -> str:
+        """One-line description for EXPLAIN output."""
+        return type(self).__name__
+
+    def walk(self) -> Iterator["PlanNode"]:
+        """Pre-order traversal of the subtree."""
+        yield self
+        for child in self.inputs:
+            yield from child.walk()
+
+
+@dataclass
+class ScanNode(PlanNode):
+    """Scan a registered table, qualifying columns with the alias."""
+
+    table_name: str = ""
+    alias: str = ""
+
+    def label(self) -> str:
+        return f"Scan({self.table_name} AS {self.alias})"
+
+
+@dataclass
+class ComputedFilterNode(PlanNode):
+    """A computer-evaluable predicate (no HITs)."""
+
+    predicate: Expression | None = None
+
+    def label(self) -> str:
+        return f"ComputedFilter({self.predicate})"
+
+
+@dataclass
+class CrowdPredicateNode(PlanNode):
+    """A predicate that needs crowd answers for its UDF calls."""
+
+    predicate: Expression | None = None
+
+    def label(self) -> str:
+        return f"CrowdFilter({self.predicate})"
+
+    def crowd_calls(self) -> list[UDFCall]:
+        """The UDF calls whose answers the crowd must provide."""
+        assert self.predicate is not None
+        return self.predicate.udf_calls()
+
+
+@dataclass
+class JoinNode(PlanNode):
+    """Crowd equijoin of the two inputs with POSSIBLY feature clauses."""
+
+    condition: UDFCall | None = None
+    possibly: tuple[Expression, ...] = ()
+
+    def label(self) -> str:
+        suffix = f" + {len(self.possibly)} POSSIBLY" if self.possibly else ""
+        return f"CrowdJoin({self.condition}{suffix})"
+
+
+@dataclass
+class SortNode(PlanNode):
+    """ORDER BY: leading plain expressions group; a Rank UDF sorts groups."""
+
+    order_items: tuple[OrderItem, ...] = ()
+
+    def label(self) -> str:
+        rendered = ", ".join(str(item) for item in self.order_items)
+        return f"Sort({rendered})"
+
+
+@dataclass
+class ProjectNode(PlanNode):
+    """Evaluate the select list (may trigger generative crowd work)."""
+
+    items: tuple[SelectItem, ...] = ()
+    star: bool = False
+
+    def label(self) -> str:
+        if self.star:
+            return "Project(*)"
+        return f"Project({', '.join(str(item) for item in self.items)})"
+
+
+@dataclass
+class LimitNode(PlanNode):
+    """Keep the first k rows (top-K over a crowd sort, §2.3)."""
+
+    count: int = 0
+
+    def label(self) -> str:
+        return f"Limit({self.count})"
+
+
+def plan_tree_lines(node: PlanNode, indent: int = 0) -> list[str]:
+    """Indented tree rendering used by EXPLAIN."""
+    lines = ["  " * indent + node.label()]
+    for child in node.inputs:
+        lines.extend(plan_tree_lines(child, indent + 1))
+    return lines

@@ -1,0 +1,108 @@
+"""Planner: parsed SELECT statement → logical plan tree (§2.5).
+
+Construction follows the paper's rules:
+
+* tables scan bottom-up; joins are left-deep in query order;
+* WHERE conjuncts become separate filter nodes issued serially;
+* conjuncts evaluable by a computer become :class:`ComputedFilterNode`
+  (the optimizer pushes them down);
+* ORDER BY and LIMIT cap the tree, with projection in between
+  (the select list may itself require generative crowd work).
+"""
+
+from __future__ import annotations
+
+from repro.core.plan import (
+    ComputedFilterNode,
+    CrowdPredicateNode,
+    JoinNode,
+    LimitNode,
+    PlanNode,
+    ProjectNode,
+    ScanNode,
+    SortNode,
+)
+from repro.errors import PlanError
+from repro.language.ast import SelectQuery
+from repro.relational.catalog import Catalog
+from repro.relational.expressions import Expression, UDFCall, conjuncts
+
+
+def _is_crowd_call(call: UDFCall, catalog: Catalog) -> bool:
+    """Whether a UDF call must be answered by the crowd."""
+    if catalog.has_function(call.name):
+        return False
+    if catalog.has_task(call.name):
+        return True
+    raise PlanError(
+        f"UDF {call.name!r} is neither a registered task nor a function"
+    )
+
+
+def _needs_crowd(expr: Expression, catalog: Catalog) -> bool:
+    return any(_is_crowd_call(call, catalog) for call in expr.udf_calls())
+
+
+def build_plan(query: SelectQuery, catalog: Catalog) -> PlanNode:
+    """Translate a parsed query into an (unoptimized) logical plan."""
+    if not catalog.has_table(query.base.name):
+        raise PlanError(f"unknown table {query.base.name!r}")
+    node: PlanNode = ScanNode(
+        table_name=query.base.name, alias=query.base.binding
+    )
+
+    # Left-deep joins in query order (Qurk lacks selectivity estimation and
+    # "orders filters and joins as they appear in the query", §2.5).
+    for join in query.joins:
+        if not catalog.has_table(join.right.name):
+            raise PlanError(f"unknown table {join.right.name!r}")
+        right: PlanNode = ScanNode(
+            table_name=join.right.name, alias=join.right.binding
+        )
+        condition = _join_condition(join.on, catalog)
+        node = JoinNode(
+            condition=condition,
+            possibly=tuple(join.possibly),
+            inputs=(node, right),
+        )
+
+    # WHERE: one node per conjunct, serial execution order preserved.
+    for conjunct in conjuncts(query.where):
+        if _needs_crowd(conjunct, catalog):
+            node = CrowdPredicateNode(predicate=conjunct, inputs=(node,))
+        else:
+            node = ComputedFilterNode(predicate=conjunct, inputs=(node,))
+
+    if query.order_by:
+        node = SortNode(order_items=tuple(query.order_by), inputs=(node,))
+
+    node = ProjectNode(
+        items=tuple(query.select), star=query.select_star, inputs=(node,)
+    )
+
+    if query.limit is not None:
+        node = LimitNode(count=query.limit, inputs=(node,))
+    return node
+
+
+def _join_condition(expr: Expression, catalog: Catalog) -> UDFCall:
+    """The ON clause must be a single crowd equijoin call."""
+    if isinstance(expr, UDFCall) and _is_crowd_call(expr, catalog):
+        task = catalog.task(expr.name)
+        from repro.tasks.base import TaskType
+
+        if task.task_type is not TaskType.EQUIJOIN:
+            raise PlanError(
+                f"join condition task {expr.name!r} must be an EquiJoin task, "
+                f"got {task.task_type.value}"
+            )
+        if len(expr.args) != 2:
+            raise PlanError(
+                f"join condition {expr.name!r} must take two arguments "
+                f"(left column, right column)"
+            )
+        return expr
+    raise PlanError(
+        f"unsupported join condition {expr}; expected a single EquiJoin "
+        "task call (extra restrictions belong in POSSIBLY/WHERE clauses)"
+    )

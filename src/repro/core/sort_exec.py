@@ -1,0 +1,323 @@
+"""Crowd sort execution (§4): Compare, Rate, and Hybrid.
+
+ORDER BY clauses mix plain expressions with at most one Rank-task UDF: rows
+first group by the plain prefix (e.g. ``ORDER BY name, quality(img)`` sorts
+scenes per actor), then each group's distinct items are ordered by the
+crowd using the configured method.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.core.context import QueryContext
+from repro.core.crowd_calls import call_item_ref, evaluate_arg
+from repro.core.plan import SortNode
+from repro.errors import PlanError
+from repro.hits.hit import (
+    CompareGroup,
+    ComparePayload,
+    Payload,
+    RatePayload,
+    RateQuestion,
+)
+from repro.language.ast import OrderItem
+from repro.metrics.agreement import comparison_kappa
+from repro.relational.expressions import UDFCall
+from repro.relational.rows import Row
+from repro.sorting.groups import covering_groups
+from repro.sorting.head_to_head import head_to_head_order, pair_winners_from_votes
+from repro.sorting.hybrid import (
+    ConfidenceStrategy,
+    HybridSorter,
+    RandomStrategy,
+    SlidingWindowStrategy,
+    WindowStrategy,
+)
+from repro.sorting.rating import RatingSummary, order_by_rating, summarize_ratings
+from repro.tasks.rank import RankTask
+from repro.util.rng import RandomSource
+
+
+def execute_sort(node: SortNode, rows: Sequence[Row], ctx: QueryContext) -> list[Row]:
+    """Order rows per the ORDER BY items."""
+    stats = ctx.stats_for(node)
+    stats.rows_in = len(rows)
+    env = ctx.catalog.functions()
+
+    plain_items: list[OrderItem] = []
+    crowd_item: OrderItem | None = None
+    for item in node.order_items:
+        calls = [
+            call for call in item.expr.udf_calls() if not ctx.catalog.has_function(call.name)
+        ]
+        if not calls:
+            if crowd_item is not None:
+                raise PlanError(
+                    "plain ORDER BY expressions must precede the Rank UDF"
+                )
+            plain_items.append(item)
+        else:
+            if crowd_item is not None:
+                raise PlanError("at most one Rank UDF per ORDER BY is supported")
+            if not isinstance(item.expr, UDFCall):
+                raise PlanError(
+                    f"crowd ORDER BY item must be a bare Rank call, got {item.expr}"
+                )
+            crowd_item = item
+
+    working = list(rows)
+    if crowd_item is None:
+        keyed = [
+            (_plain_key(row, plain_items, env), index, row)
+            for index, row in enumerate(working)
+        ]
+        keyed.sort(key=lambda triple: (triple[0], triple[1]))
+        ordered = [row for _, _, row in keyed]
+        stats.rows_out = len(ordered)
+        return ordered
+
+    call = crowd_item.expr
+    assert isinstance(call, UDFCall)
+    task = ctx.catalog.task(call.name)
+    if not isinstance(task, RankTask):
+        raise PlanError(f"ORDER BY task {call.name!r} must be a Rank task")
+
+    # Group rows by the plain prefix, then crowd-sort within each group.
+    groups: dict[tuple, list[Row]] = {}
+    group_order: list[tuple] = []
+    for row in working:
+        key = _plain_key(row, plain_items, env)
+        if key not in groups:
+            groups[key] = []
+            group_order.append(key)
+        groups[key].append(row)
+    group_order.sort()
+
+    ordered_rows: list[Row] = []
+    for key in group_order:
+        group_rows = groups[key]
+        ref_map: dict[str, list[Row]] = {}
+        for row in group_rows:
+            ref = call_item_ref(call, row, env)
+            ref_map.setdefault(ref, []).append(row)
+        refs = list(ref_map)
+        ordered_refs = crowd_sort_items(task, refs, ctx, node)
+        if not crowd_item.ascending:
+            ordered_refs = list(reversed(ordered_refs))
+        for ref in ordered_refs:
+            ordered_rows.extend(ref_map[ref])
+    stats.rows_out = len(ordered_rows)
+    return ordered_rows
+
+
+def _plain_key(row: Row, items: Sequence[OrderItem], env: Mapping) -> tuple:
+    key = []
+    for item in items:
+        value = item.expr.evaluate(row, env)
+        key.append(_Reversible(value, item.ascending))
+    return tuple(key)
+
+
+class _Reversible:
+    """Sort key wrapper supporting DESC on arbitrary comparable values.
+
+    Hashable so that plain-prefix group keys can serve as dict keys.
+    """
+
+    __slots__ = ("value", "ascending")
+
+    def __init__(self, value, ascending: bool) -> None:
+        self.value = value
+        self.ascending = ascending
+
+    def __lt__(self, other: "_Reversible") -> bool:
+        if self.ascending:
+            return self.value < other.value
+        return other.value < self.value
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _Reversible) and self.value == other.value
+
+    def __hash__(self) -> int:
+        return hash(self.value)
+
+
+# ---------------------------------------------------------------------------
+# Crowd ordering of an item list
+# ---------------------------------------------------------------------------
+
+
+def crowd_sort_items(
+    task: RankTask, refs: Sequence[str], ctx: QueryContext, node: SortNode
+) -> list[str]:
+    """Order item refs least → most with the configured method."""
+    if len(refs) < 2:
+        return list(refs)
+    method = ctx.config.sort_method
+    if method == "compare":
+        order, _ = compare_sort(task, refs, ctx, node)
+        return order
+    if method == "rate":
+        order, _ = rate_sort(task, refs, ctx, node)
+        return order
+    order, _ = hybrid_sort(task, refs, ctx, node)
+    return order
+
+
+def compare_sort(
+    task: RankTask,
+    refs: Sequence[str],
+    ctx: QueryContext,
+    node: SortNode | None = None,
+) -> tuple[list[str], dict]:
+    """Full comparison sort; returns (order, vote corpus)."""
+    group_size = min(ctx.config.compare_group_size, len(refs))
+    groups = covering_groups(list(refs), group_size, seed=ctx.config.seed)
+    item_html = {ref: _item_html(task, ref) for ref in refs}
+    units: list[list[Payload]] = [
+        [
+            ComparePayload(
+                task_name=task.name,
+                groups=(CompareGroup(tuple(group)),),
+                question=task.compare_question(group_size),
+                item_html=item_html,
+            )
+        ]
+        for group in groups
+    ]
+    ctx.charge_budget(len(units) * ctx.config.assignments)
+    outcome = ctx.manager.run_units(
+        units,
+        batch_size=ctx.config.compare_batch_groups,
+        assignments=ctx.config.assignments,
+        label="sort:compare",
+        strict=ctx.config.strict_hits,
+    )
+    corpus = {qid: v for qid, v in outcome.votes.items() if ":cmp:" in qid and v}
+    winners = pair_winners_from_votes(corpus)
+    order = head_to_head_order(list(refs), winners)
+    if node is not None:
+        stats = ctx.stats_for(node)
+        stats.hits += outcome.hit_count
+        stats.assignments += outcome.assignment_count
+        stats.elapsed_seconds += outcome.elapsed_seconds
+        if corpus:
+            stats.signals["comparison_kappa"] = comparison_kappa(corpus)
+    return order, corpus
+
+
+def rate_sort(
+    task: RankTask,
+    refs: Sequence[str],
+    ctx: QueryContext,
+    node: SortNode | None = None,
+) -> tuple[list[str], dict[str, RatingSummary]]:
+    """Rating sort; returns (order, per-item summaries)."""
+    rng = RandomSource(ctx.config.seed).child("rate-anchors", task.name)
+    anchor_count = min(ctx.config.rate_anchor_count, len(refs))
+    anchors = tuple(rng.sample(list(refs), anchor_count))
+    units: list[list[Payload]] = [
+        [
+            RatePayload(
+                task_name=task.name,
+                questions=(RateQuestion(item=ref, prompt_html=_item_html(task, ref)),),
+                anchors=anchors,
+                scale_points=task.scale_points,
+                question=task.rate_question(),
+            )
+        ]
+        for ref in refs
+    ]
+    ctx.charge_budget(len(units) * ctx.config.assignments)
+    outcome = ctx.manager.run_units(
+        units,
+        batch_size=ctx.config.rate_batch_size,
+        assignments=ctx.config.assignments,
+        label="sort:rate",
+        strict=ctx.config.strict_hits,
+    )
+    corpus = {qid: v for qid, v in outcome.votes.items() if ":rate:" in qid and v}
+    summaries = summarize_ratings(corpus)
+    for ref in refs:
+        if ref not in summaries:
+            summaries[ref] = RatingSummary(item=ref, mean=0.0, std=0.0, count=0)
+    order = order_by_rating(summaries)
+    if node is not None:
+        stats = ctx.stats_for(node)
+        stats.hits += outcome.hit_count
+        stats.assignments += outcome.assignment_count
+        stats.elapsed_seconds += outcome.elapsed_seconds
+    return order, summaries
+
+
+def hybrid_sort(
+    task: RankTask,
+    refs: Sequence[str],
+    ctx: QueryContext,
+    node: SortNode | None = None,
+) -> tuple[list[str], HybridSorter]:
+    """Rate, then repair with comparison windows (§4.1.3)."""
+    _, summaries = rate_sort(task, refs, ctx, node)
+    strategy = make_strategy(
+        ctx.config.hybrid_strategy,
+        window_size=min(ctx.config.compare_group_size, len(refs)),
+        stride=ctx.config.hybrid_stride,
+        seed=ctx.config.seed,
+    )
+    sorter = HybridSorter(
+        summaries,
+        strategy,
+        compare=lambda window: run_compare_window(task, window, ctx, node),
+    )
+    sorter.run(ctx.config.hybrid_iterations)
+    return list(sorter.order), sorter
+
+
+def make_strategy(
+    name: str, window_size: int, stride: int, seed: int
+) -> WindowStrategy:
+    """Instantiate a hybrid window-selection strategy by name."""
+    if name == "random":
+        return RandomStrategy(window_size, seed=seed)
+    if name == "confidence":
+        return ConfidenceStrategy(window_size)
+    if name == "window":
+        return SlidingWindowStrategy(window_size, stride)
+    raise PlanError(f"unknown hybrid strategy {name!r}")
+
+
+def run_compare_window(
+    task: RankTask,
+    window: Sequence[str],
+    ctx: QueryContext,
+    node: SortNode | None = None,
+) -> dict[tuple[str, str], str]:
+    """One comparison HIT over a hybrid window; returns per-pair winners."""
+    payload = ComparePayload(
+        task_name=task.name,
+        groups=(CompareGroup(tuple(window)),),
+        question=task.compare_question(len(window)),
+        item_html={ref: _item_html(task, ref) for ref in window},
+    )
+    ctx.charge_budget(ctx.config.assignments)
+    outcome = ctx.manager.run_units(
+        [[payload]],
+        batch_size=1,
+        assignments=ctx.config.assignments,
+        label="sort:hybrid",
+        strict=ctx.config.strict_hits,
+    )
+    if node is not None:
+        stats = ctx.stats_for(node)
+        stats.hits += outcome.hit_count
+        stats.assignments += outcome.assignment_count
+        stats.elapsed_seconds += outcome.elapsed_seconds
+    corpus = {qid: v for qid, v in outcome.votes.items() if ":cmp:" in qid and v}
+    return pair_winners_from_votes(corpus)
+
+
+def _item_html(task: RankTask, ref: str) -> str:
+    """Render the task's per-item HTML with the ref bound to every param."""
+    bindings = {("tuple", param): ref for param in task.params}
+    return task.html.render(bindings)

@@ -1,0 +1,385 @@
+"""Answer generation: how a given worker answers a given HIT.
+
+This is where worker error models meet ground truth. Each payload type has a
+generator; a HIT's answers are the union over its payloads. The HIT-level
+batch size (total atomic units) scales error rates — batching degrades
+honest answers mildly and attracts spammers strongly, which together produce
+the paper's Figure 3 shape.
+
+Noise models:
+
+* **Comparisons** (Thurstonian): the worker perceives each item's latent
+  value plus Gaussian noise with σ = worker.compare_noise × task ambiguity,
+  then ranks the group by perceived value. Close items under ambiguous
+  criteria invert often; crisp tasks (squares) almost never.
+* **Ratings**: Likert point = round(1 + 6 × perceived) + worker bias,
+  clamped to the scale. Perception noise uses the task's rating ambiguity,
+  which exceeds comparison ambiguity (absolute judgements are harder than
+  relative ones — why Rate trails Compare in §4.2).
+* **Joins**: miss/false-alarm probabilities, inflated for grid interfaces
+  with many cells (SmartBatch misses come from failing to click a pair).
+* **Features**: careful workers draw from the dataset's confusion kernel
+  (blond vs white hair, skin tone discomfort in isolation); careless draws
+  are uniform over the options.
+"""
+
+from __future__ import annotations
+
+from repro.crowd.truth import GroundTruth
+from repro.crowd.worker import WorkerProfile
+from repro.errors import MarketplaceError
+from repro.hits.hit import (
+    HIT,
+    ComparePayload,
+    FilterPayload,
+    GenerativePayload,
+    JoinGridPayload,
+    JoinPairsPayload,
+    Payload,
+    PickBestPayload,
+    RatePayload,
+    compare_qid,
+    filter_qid,
+    generative_qid,
+    join_qid,
+    rate_qid,
+)
+from repro.util.rng import RandomSource
+
+GRID_MISS_PER_CELL = 0.025
+"""Extra per-pair miss probability per grid cell beyond a 2×2 grid.
+
+Honest-worker misses grow only mildly with grid area (capped by
+GRID_MISS_CAP); the paper's steep accuracy drop on big batched schemes
+comes mostly from the spammers they attract (§3.3.2), which the pool's
+batch-affinity weighting models."""
+
+GRID_MISS_CAP = 0.20
+"""Ceiling on the extra grid miss probability."""
+
+UNKNOWN_RATE = 0.01
+"""Base probability a careful worker answers UNKNOWN on a feature with an
+UNKNOWN option."""
+
+
+def answer_hit(
+    worker: WorkerProfile, hit: HIT, truth: GroundTruth, rng: RandomSource
+) -> dict[str, object]:
+    """All answers one worker gives to one HIT."""
+    units = hit.unit_count
+    generative_tasks = {
+        payload.task_name
+        for payload in hit.payloads
+        if isinstance(payload, GenerativePayload)
+    }
+    combined = len(generative_tasks) > 1
+    answers: dict[str, object] = {}
+    for payload in hit.payloads:
+        answers.update(
+            answer_payload(worker, payload, truth, rng, units=units, combined=combined)
+        )
+    return answers
+
+
+def answer_payload(
+    worker: WorkerProfile,
+    payload: Payload,
+    truth: GroundTruth,
+    rng: RandomSource,
+    units: int = 1,
+    combined: bool = False,
+) -> dict[str, object]:
+    """Answers for a single payload (see :func:`answer_hit`)."""
+    if isinstance(payload, FilterPayload):
+        return _answer_filter(worker, payload, truth, rng, units)
+    if isinstance(payload, GenerativePayload):
+        return _answer_generative(worker, payload, truth, rng, units, combined)
+    if isinstance(payload, ComparePayload):
+        return _answer_compare(worker, payload, truth, rng, units)
+    if isinstance(payload, RatePayload):
+        return _answer_rate(worker, payload, truth, rng, units)
+    if isinstance(payload, JoinPairsPayload):
+        return _answer_join_pairs(worker, payload, truth, rng, units)
+    if isinstance(payload, JoinGridPayload):
+        return _answer_join_grid(worker, payload, truth, rng)
+    if isinstance(payload, PickBestPayload):
+        return _answer_pick_best(worker, payload, truth, rng)
+    raise MarketplaceError(f"no behaviour model for {type(payload).__name__}")
+
+
+# ---------------------------------------------------------------------------
+# Binary questions
+# ---------------------------------------------------------------------------
+
+
+def _spam_binary(worker: WorkerProfile, rng: RandomSource) -> bool:
+    if worker.spam_style == "always_yes":
+        return True
+    if worker.spam_style in ("always_no", "first_option"):
+        return False
+    return rng.chance(0.5)
+
+
+def _answer_filter(
+    worker: WorkerProfile,
+    payload: FilterPayload,
+    truth: GroundTruth,
+    rng: RandomSource,
+    units: int,
+) -> dict[str, object]:
+    answers: dict[str, object] = {}
+    for question in payload.questions:
+        qid = filter_qid(payload.task_name, question.item)
+        if worker.is_spammer:
+            answers[qid] = _spam_binary(worker, rng)
+            continue
+        correct = truth.filter_answer(payload.task_name, question.item)
+        error = worker.error_rate(worker.filter_error, units)
+        answer = (not correct) if rng.chance(error) else correct
+        # Yes-bias: a biased worker occasionally flips a "no" to "yes"
+        # (or vice versa) beyond their symmetric error rate.
+        if worker.yes_bias > 0 and not answer and rng.chance(worker.yes_bias):
+            answer = True
+        elif worker.yes_bias < 0 and answer and rng.chance(-worker.yes_bias):
+            answer = False
+        answers[qid] = answer
+    return answers
+
+
+def _answer_join_pairs(
+    worker: WorkerProfile,
+    payload: JoinPairsPayload,
+    truth: GroundTruth,
+    rng: RandomSource,
+    units: int,
+) -> dict[str, object]:
+    answers: dict[str, object] = {}
+    for pair in payload.pairs:
+        qid = join_qid(payload.task_name, pair.left, pair.right)
+        if worker.is_spammer:
+            answers[qid] = _spam_binary(worker, rng)
+            continue
+        is_match = truth.join_match(payload.task_name, pair.left, pair.right)
+        if is_match:
+            miss = worker.error_rate(worker.join_miss, units)
+            answers[qid] = not rng.chance(miss)
+        else:
+            false_alarm = worker.error_rate(worker.join_false_alarm, units)
+            answers[qid] = rng.chance(false_alarm)
+    return answers
+
+
+def _answer_join_grid(
+    worker: WorkerProfile,
+    payload: JoinGridPayload,
+    truth: GroundTruth,
+    rng: RandomSource,
+) -> dict[str, object]:
+    """SmartBatch grids: misses come from pairs never clicked.
+
+    Spammers usually tick the "no matches" box (all-no) or click a couple of
+    random cells; honest workers scan the grid with a per-pair miss rate
+    that grows with grid area.
+    """
+    answers: dict[str, object] = {}
+    cells = payload.cell_count
+    if worker.is_spammer:
+        if worker.spam_style == "random":
+            for left in payload.left_items:
+                for right in payload.right_items:
+                    answers[join_qid(payload.task_name, left, right)] = rng.chance(
+                        min(0.5, 2.0 / cells)
+                    )
+        else:
+            for left in payload.left_items:
+                for right in payload.right_items:
+                    answers[join_qid(payload.task_name, left, right)] = (
+                        worker.spam_style == "always_yes"
+                    )
+        return answers
+    extra_miss = min(GRID_MISS_CAP, GRID_MISS_PER_CELL * max(0, cells - 4))
+    for left in payload.left_items:
+        for right in payload.right_items:
+            qid = join_qid(payload.task_name, left, right)
+            if truth.join_match(payload.task_name, left, right):
+                miss = min(0.9, worker.join_miss + extra_miss)
+                answers[qid] = not rng.chance(miss)
+            else:
+                answers[qid] = rng.chance(worker.join_false_alarm)
+    return answers
+
+
+# ---------------------------------------------------------------------------
+# Ranking
+# ---------------------------------------------------------------------------
+
+
+def _perceived(
+    worker: WorkerProfile,
+    task_name: str,
+    item: str,
+    truth: GroundTruth,
+    rng: RandomSource,
+    use_rating_ambiguity: bool = False,
+) -> float:
+    rank_truth = truth.rank_truth(task_name)
+    if rank_truth.random_answers or worker.is_spammer:
+        return rng.random()
+    ambiguity = (
+        rank_truth.rating_ambiguity if use_rating_ambiguity else rank_truth.comparison_ambiguity
+    )
+    noise = worker.compare_noise if not use_rating_ambiguity else worker.rate_noise
+    return truth.latent_value(task_name, item) + rng.gauss(0.0, noise * ambiguity)
+
+
+def _answer_compare(
+    worker: WorkerProfile,
+    payload: ComparePayload,
+    truth: GroundTruth,
+    rng: RandomSource,
+    units: int,
+) -> dict[str, object]:
+    """Rank each group by perceived value; emit every pairwise outcome.
+
+    The vote value for pair qid ``task:cmp:a|b`` is the winning (greater)
+    item's reference.
+    """
+    answers: dict[str, object] = {}
+    batch = worker.batch_factor(units)
+    for group in payload.groups:
+        perceived: dict[str, float] = {}
+        for item in group.items:
+            value = _perceived(worker, payload.task_name, item, truth, rng)
+            # Batch fatigue adds a little extra noise on large HITs.
+            if batch > 1.0 and not worker.is_spammer:
+                value += rng.gauss(0.0, 0.01 * (batch - 1.0))
+            perceived[item] = value
+        items = list(group.items)
+        for i in range(len(items)):
+            for j in range(i + 1, len(items)):
+                a, b = items[i], items[j]
+                winner = a if perceived[a] >= perceived[b] else b
+                answers[compare_qid(payload.task_name, a, b)] = winner
+    return answers
+
+
+def _answer_rate(
+    worker: WorkerProfile,
+    payload: RatePayload,
+    truth: GroundTruth,
+    rng: RandomSource,
+    units: int,
+) -> dict[str, object]:
+    answers: dict[str, object] = {}
+    scale = payload.scale_points
+    for question in payload.questions:
+        qid = rate_qid(payload.task_name, question.item)
+        if worker.is_spammer:
+            answers[qid] = rng.randint(1, scale)
+            continue
+        perceived = _perceived(
+            worker, payload.task_name, question.item, truth, rng, use_rating_ambiguity=True
+        )
+        point = round(1 + (scale - 1) * perceived + worker.rate_bias)
+        answers[qid] = max(1, min(scale, point))
+    return answers
+
+
+def _answer_pick_best(
+    worker: WorkerProfile,
+    payload: PickBestPayload,
+    truth: GroundTruth,
+    rng: RandomSource,
+) -> dict[str, object]:
+    if worker.is_spammer:
+        return {payload.qid(): rng.choice(list(payload.items))}
+    perceived = {
+        item: _perceived(worker, payload.task_name, item, truth, rng)
+        for item in payload.items
+    }
+    chooser = max if payload.pick_most else min
+    best = chooser(payload.items, key=lambda item: perceived[item])
+    return {payload.qid(): best}
+
+
+# ---------------------------------------------------------------------------
+# Generative
+# ---------------------------------------------------------------------------
+
+
+def _answer_generative(
+    worker: WorkerProfile,
+    payload: GenerativePayload,
+    truth: GroundTruth,
+    rng: RandomSource,
+    units: int,
+    combined: bool,
+) -> dict[str, object]:
+    answers: dict[str, object] = {}
+    for question in payload.questions:
+        for spec in payload.fields:
+            qid = generative_qid(payload.task_name, question.item, spec.name)
+            if spec.is_categorical:
+                answers[qid] = _categorical_answer(
+                    worker, payload.task_name, spec, question.item, truth, rng, units, combined
+                )
+            else:
+                answers[qid] = _text_answer(
+                    worker, payload.task_name, spec.name, question.item, truth, rng
+                )
+    return answers
+
+
+def _categorical_answer(
+    worker: WorkerProfile,
+    task_name: str,
+    spec,
+    item: str,
+    truth: GroundTruth,
+    rng: RandomSource,
+    units: int,
+    combined: bool,
+) -> object:
+    options = list(spec.options)
+    if worker.is_spammer:
+        if worker.spam_style == "first_option" and options:
+            return options[0]
+        return rng.choice(options) if options else "spam"
+    feature = truth.feature_truth(task_name, spec.name)
+    careless = worker.error_rate(worker.feature_carelessness, units)
+    if options and rng.chance(careless):
+        return rng.choice(options)
+    distribution = feature.answer_distribution(item, combined)
+    labels = list(distribution.keys())
+    weights = [distribution[label] for label in labels]
+    answer = labels[rng.weighted_index(weights)]
+    # A small chance of honest uncertainty when UNKNOWN is offered.
+    from repro.relational.expressions import UNKNOWN
+
+    if UNKNOWN in options and answer is not UNKNOWN and rng.chance(UNKNOWN_RATE):
+        return UNKNOWN
+    return answer
+
+
+def _text_answer(
+    worker: WorkerProfile,
+    task_name: str,
+    field_name: str,
+    item: str,
+    truth: GroundTruth,
+    rng: RandomSource,
+) -> str:
+    if worker.is_spammer:
+        return rng.choice(["asdf", "good", "nice", "dont know", "n/a"])
+    answer = truth.text_answer(task_name, field_name, item)
+    if rng.chance(worker.feature_carelessness):
+        return rng.choice(["dunno", "not sure", answer.split()[0] if answer else ""])
+    # Surface noise that normalizers are built to strip.
+    variant = rng.randint(0, 3)
+    if variant == 1:
+        return answer.upper()
+    if variant == 2:
+        return f"  {answer.title()} "
+    if variant == 3:
+        return answer.replace(" ", "  ")
+    return answer

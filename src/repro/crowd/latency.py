@@ -1,0 +1,126 @@
+"""Latency model: when assignments get picked up and submitted.
+
+The model reproduces the qualitative latency phenomena of §3.3.2/Figure 4:
+
+* **HIT-group attraction** — Turkers gravitate to groups with many HITs
+  available, so the instantaneous pick-up rate grows with the amount of
+  work remaining in the group.
+* **Straggler tail** — "in several cases, the last 50% of wait time is
+  spent completing the last 5% of tasks": once little work remains the
+  group falls off the front page and pick-up slows dramatically.
+* **Time of day** — the paper ran morning and evening trials and saw
+  variance between them; each :class:`TimeOfDay` applies a rate factor.
+* **Refusals** — workers decline HITs whose effort exceeds their personal
+  threshold; declined considerations consume wall-clock time. Batches big
+  enough that essentially nobody accepts stall to the deadline (the
+  group-size-20 comparison of §4.2.2).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+from repro.crowd.worker import WorkerProfile
+from repro.util.rng import RandomSource
+
+
+class TimeOfDay(enum.Enum):
+    """Posting windows used by the paper's paired trials."""
+
+    MORNING = "morning"
+    EVENING = "evening"
+
+    @property
+    def rate_factor(self) -> float:
+        """Relative worker-arrival rate for the window."""
+        return {TimeOfDay.MORNING: 1.0, TimeOfDay.EVENING: 0.62}[self]
+
+
+@dataclass(frozen=True)
+class LatencyConfig:
+    """Tunable constants of the latency model."""
+
+    base_pickup_rate: float = 1.0 / 6.0
+    """Willing-worker arrivals per second for a very attractive group."""
+
+    attraction_log_scale: float = 0.30
+    """Group attraction: rate multiplier = 1 + scale × log2(1 + remaining)."""
+
+    straggler_fraction: float = 0.05
+    """Fraction of remaining work below which the group goes cold."""
+
+    straggler_slowdown: float = 0.12
+    """Rate multiplier once in the straggler regime."""
+
+    work_time_sigma: float = 0.30
+    """Log-normal σ of actual work time around honest effort × speed."""
+
+    work_overhead_seconds: float = 2.0
+    """Fixed page-load/submit overhead per assignment."""
+
+    deadline_hours: float = 8.0
+    """Give up on unassigned work after this long."""
+
+    max_consecutive_refusals: int = 200
+    """Abort the group early when this many considerations in a row decline
+    (nobody is ever going to take these HITs at this price)."""
+
+    trial_jitter: float = 0.25
+    """Per-posting lognormal jitter on the base rate — MTurk is 'dynamic'
+    (§3.3.2); two identical trials complete in different times."""
+
+
+class LatencyModel:
+    """Computes pick-up gaps and work durations for the marketplace."""
+
+    def __init__(self, config: LatencyConfig | None = None) -> None:
+        self.config = config or LatencyConfig()
+
+    @property
+    def deadline_seconds(self) -> float:
+        """The posting deadline in seconds."""
+        return self.config.deadline_hours * 3600.0
+
+    def trial_rate_factor(self, rng: RandomSource) -> float:
+        """Random per-posting throughput factor (marketplace weather)."""
+        return rng.lognormal(0.0, self.config.trial_jitter)
+
+    def pickup_rate(
+        self,
+        remaining: int,
+        total: int,
+        time_of_day: TimeOfDay,
+        trial_factor: float = 1.0,
+    ) -> float:
+        """Instantaneous willing-worker arrival rate for a group state."""
+        if remaining <= 0 or total <= 0:
+            return self.config.base_pickup_rate
+        attraction = 1.0 + self.config.attraction_log_scale * math.log2(1 + remaining)
+        rate = self.config.base_pickup_rate * attraction * time_of_day.rate_factor
+        if remaining / total <= self.config.straggler_fraction:
+            rate *= self.config.straggler_slowdown
+        return rate * trial_factor
+
+    def next_consideration_gap(
+        self,
+        rng: RandomSource,
+        remaining: int,
+        total: int,
+        time_of_day: TimeOfDay,
+        trial_factor: float = 1.0,
+    ) -> float:
+        """Seconds until the next worker considers the group."""
+        rate = self.pickup_rate(remaining, total, time_of_day, trial_factor)
+        return rng.exponential(rate)
+
+    def work_seconds(
+        self, worker: WorkerProfile, effort_seconds: float, rng: RandomSource
+    ) -> float:
+        """How long this worker actually spends on a HIT of given effort."""
+        nominal = max(0.5, effort_seconds * worker.speed)
+        return (
+            self.config.work_overhead_seconds
+            + nominal * rng.lognormal(0.0, self.config.work_time_sigma)
+        )

@@ -1,0 +1,175 @@
+"""The simulated crowdsourcing marketplace.
+
+:class:`SimulatedMarketplace` implements the platform protocol the Task
+Manager posts to. It is the paper's Mechanical Turk substitute: HIT groups
+are posted, workers from a :class:`~repro.crowd.pool.WorkerPool` consider and
+complete assignments on a virtual clock, answers come from the behaviour
+models against a :class:`~repro.crowd.truth.GroundTruth` oracle, and the
+latency model produces completion-time distributions with the paper's
+qualitative shape.
+
+Everything is deterministic given the construction seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.crowd.behavior import answer_hit
+from repro.crowd.latency import LatencyConfig, LatencyModel, TimeOfDay
+from repro.crowd.pool import PoolConfig, WorkerPool
+from repro.crowd.truth import GroundTruth
+from repro.hits.hit import HIT, Assignment
+from repro.util.rng import RandomSource
+
+
+@dataclass
+class MarketplaceStats:
+    """Aggregate counters exposed for experiments and EXPLAIN output."""
+
+    hits_posted: int = 0
+    assignments_completed: int = 0
+    considerations: int = 0
+    refusals: int = 0
+    uncompleted_hits: int = 0
+    worker_assignment_counts: dict[str, int] = field(default_factory=dict)
+
+    def record_work(self, worker_id: str) -> None:
+        """Count one completed assignment for a worker."""
+        self.assignments_completed += 1
+        self.worker_assignment_counts[worker_id] = (
+            self.worker_assignment_counts.get(worker_id, 0) + 1
+        )
+
+
+@dataclass
+class _PendingAssignment:
+    hit: HIT
+    sequence: int
+
+
+class SimulatedMarketplace:
+    """A deterministic MTurk stand-in satisfying the platform protocol."""
+
+    def __init__(
+        self,
+        truth: GroundTruth,
+        pool: WorkerPool | None = None,
+        seed: int = 0,
+        time_of_day: TimeOfDay | str = TimeOfDay.MORNING,
+        latency: LatencyModel | None = None,
+    ) -> None:
+        self.truth = truth
+        self.pool = pool or WorkerPool.build(PoolConfig(), seed=seed)
+        self.latency = latency or LatencyModel(LatencyConfig())
+        if isinstance(time_of_day, str):
+            time_of_day = TimeOfDay(time_of_day)
+        self.time_of_day = time_of_day
+        self.stats = MarketplaceStats()
+        self._rng = RandomSource(seed).child("marketplace")
+        self._clock = 0.0
+        self._assignment_counter = 0
+
+    @property
+    def clock_seconds(self) -> float:
+        """Current virtual time (seconds since the simulation started)."""
+        return self._clock
+
+    def advance_clock(self, seconds: float) -> None:
+        """Manually advance the virtual clock (e.g. between trials)."""
+        if seconds < 0:
+            raise ValueError("cannot advance the clock backwards")
+        self._clock += seconds
+
+    # ------------------------------------------------------------------
+
+    def post_hit_group(
+        self, hits: Sequence[HIT], group_id: str | None = None
+    ) -> list[Assignment]:
+        """Post HITs as one group; returns completed assignments.
+
+        Blocks (in virtual time) until every assignment completes, the
+        posting deadline passes, or the marketplace concludes nobody will
+        ever take the work (sustained refusals — oversized batches).
+        """
+        if not hits:
+            return []
+        self.stats.hits_posted += len(hits)
+        post_time = self._clock
+        rng = self._rng.child("group", group_id or "anon", self.stats.hits_posted)
+        trial_factor = self.latency.trial_rate_factor(rng.child("trial"))
+
+        pending: list[_PendingAssignment] = []
+        for hit in hits:
+            for sequence in range(hit.assignments_requested):
+                pending.append(_PendingAssignment(hit=hit, sequence=sequence))
+        pending = rng.shuffled(pending)
+
+        total = len(pending)
+        completed: list[Assignment] = []
+        workers_on_hit: dict[str, set[str]] = {hit.hit_id: set() for hit in hits}
+        deadline = post_time + self.latency.deadline_seconds
+        consecutive_refusals = 0
+        now = post_time
+
+        while pending:
+            gap = self.latency.next_consideration_gap(
+                rng, len(pending), total, self.time_of_day, trial_factor
+            )
+            now += gap
+            if now > deadline:
+                break
+            if consecutive_refusals >= self.latency.config.max_consecutive_refusals:
+                break
+            index = rng.randint(0, len(pending) - 1)
+            slot = pending[index]
+            hit = slot.hit
+            self.stats.considerations += 1
+            worker = self.pool.pick_candidate(
+                rng,
+                batch_units=hit.unit_count,
+                exclude=workers_on_hit[hit.hit_id],
+            )
+            if worker is None:
+                consecutive_refusals += 1
+                self.stats.refusals += 1
+                continue
+            if not rng.chance(worker.acceptance_probability(hit.effort_seconds)):
+                consecutive_refusals += 1
+                self.stats.refusals += 1
+                continue
+            consecutive_refusals = 0
+            pending.pop(index)
+            workers_on_hit[hit.hit_id].add(worker.worker_id)
+            work = self.latency.work_seconds(worker, hit.effort_seconds, rng)
+            answers = answer_hit(
+                worker,
+                hit,
+                self.truth,
+                rng.child("answers", hit.hit_id, slot.sequence, worker.worker_id),
+            )
+            self._assignment_counter += 1
+            assignment = Assignment(
+                assignment_id=f"asn-{self._assignment_counter:06d}",
+                hit_id=hit.hit_id,
+                worker_id=worker.worker_id,
+                answers=answers,
+                accept_time=now,
+                submit_time=now + work,
+            )
+            completed.append(assignment)
+            self.stats.record_work(worker.worker_id)
+
+        incomplete_hits = {slot.hit.hit_id for slot in pending}
+        self.stats.uncompleted_hits += len(incomplete_hits)
+        if pending:
+            # The posting sat (partially) unclaimed until we gave up on it.
+            self._clock = max(
+                now, max((a.submit_time for a in completed), default=post_time)
+            )
+        elif completed:
+            self._clock = max(assignment.submit_time for assignment in completed)
+        else:
+            self._clock = now
+        return completed

@@ -1,0 +1,26 @@
+"""Datasets reproducing the paper's four workloads.
+
+Each builder returns tables, a ground-truth oracle for the simulated crowd,
+the TASK DSL defining the crowd UDFs, and the metadata experiments need
+(true orders, match sets, expected counts). Where the paper used real images
+(IMDB headshots, Oscar photos, movie stills) we use synthetic entities with
+latent attributes — see DESIGN.md §2 for why each substitution preserves the
+measured behaviour.
+"""
+
+from repro.datasets.animals import ANIMAL_QUERIES, AnimalsDataset, animals_dataset
+from repro.datasets.celebrities import CelebrityDataset, celebrity_dataset
+from repro.datasets.movie import MovieDataset, movie_dataset
+from repro.datasets.squares import SquaresDataset, squares_dataset
+
+__all__ = [
+    "ANIMAL_QUERIES",
+    "AnimalsDataset",
+    "CelebrityDataset",
+    "MovieDataset",
+    "SquaresDataset",
+    "animals_dataset",
+    "celebrity_dataset",
+    "movie_dataset",
+    "squares_dataset",
+]

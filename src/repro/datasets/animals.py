@@ -1,0 +1,179 @@
+"""The animals dataset (§4.2.1): 25 animals plus a rock and a flower.
+
+The paper's own Compare results serve as ground truth for the three
+meaningful orderings (size, dangerousness, "belongs on Saturn"), with
+per-query ambiguity levels that grow as the question gets stranger. Q5
+("random") makes workers answer uniformly at random — the paper generated
+such responses artificially to calibrate the κ floor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crowd.truth import GroundTruth
+from repro.relational.schema import Schema
+from repro.relational.table import Table
+
+# The paper's reported Compare ground-truth orders (§4.2.3), least → most.
+SIZE_ORDER = [
+    "ant", "bee", "flower", "grasshopper", "parrot", "rock", "rat",
+    "octopus", "skunk", "tazmanian devil", "turkey", "eagle", "lemur",
+    "hyena", "dog", "komodo dragon", "baboon", "wolf", "panther", "dolphin",
+    "elephant seal", "moose", "tiger", "camel", "great white shark",
+    "hippo", "whale",
+]
+
+DANGER_ORDER = [
+    "flower", "ant", "grasshopper", "rock", "bee", "turkey", "dolphin",
+    "parrot", "baboon", "rat", "tazmanian devil", "lemur", "camel",
+    "octopus", "dog", "eagle", "elephant seal", "skunk", "hippo", "hyena",
+    "great white shark", "moose", "komodo dragon", "wolf", "tiger", "whale",
+    "panther",
+]
+
+SATURN_ORDER = [
+    "whale", "octopus", "dolphin", "elephant seal", "great white shark",
+    "bee", "flower", "grasshopper", "hippo", "dog", "lemur", "wolf",
+    "moose", "camel", "hyena", "skunk", "tazmanian devil", "tiger",
+    "baboon", "eagle", "parrot", "turkey", "rat", "panther",
+    "komodo dragon", "ant", "rock",
+]
+
+ANIMAL_QUERIES: dict[str, str] = {
+    "Q1": "squareSorter",
+    "Q2": "sizeSort",
+    "Q3": "dangerSort",
+    "Q4": "saturnSort",
+    "Q5": "randomSort",
+}
+"""Figure 6's query ids → the rank task implementing each."""
+
+_TASK_SPECS: list[tuple[str, str, float, float, bool]] = [
+    # (task, dimension, comparison ambiguity, rating ambiguity, random?)
+    ("sizeSort", "adult size", 0.9, 1.3, False),
+    ("dangerSort", "dangerousness", 1.8, 2.3, False),
+    ("saturnSort", "how much this animal belongs on Saturn", 5.5, 6.0, False),
+    ("randomSort", "random", 1.0, 1.0, True),
+]
+
+TASK_DSL = """
+TASK sizeSort(field) TYPE Rank:
+    SingularName: "animal"
+    PluralName: "animals"
+    OrderDimensionName: "adult size"
+    LeastName: "smallest"
+    MostName: "largest"
+    Html: "<img src='%s' class=lgImg>", tuple[field]
+
+TASK dangerSort(field) TYPE Rank:
+    SingularName: "animal"
+    PluralName: "animals"
+    OrderDimensionName: "dangerousness"
+    LeastName: "least dangerous"
+    MostName: "most dangerous"
+    Html: "<img src='%s' class=lgImg>", tuple[field]
+
+TASK saturnSort(field) TYPE Rank:
+    SingularName: "animal"
+    PluralName: "animals"
+    OrderDimensionName: "how much this animal belongs on Saturn"
+    LeastName: "least Saturn-suited"
+    MostName: "most Saturn-suited"
+    Html: "<img src='%s' class=lgImg>", tuple[field]
+
+TASK randomSort(field) TYPE Rank:
+    SingularName: "animal"
+    PluralName: "animals"
+    OrderDimensionName: "nothing in particular"
+    LeastName: "least"
+    MostName: "most"
+    Html: "<img src='%s' class=lgImg>", tuple[field]
+
+TASK animalInfo(field) TYPE Generative:
+    Prompt: "<table><tr><td><img src='%s'></td>\\
+        <td>What is the common name and species of this animal?</td>\\
+        </tr></table>", tuple[field]
+    Fields: {
+        common: { Response: Text("Common name"),
+                  Combiner: MajorityVote,
+                  Normalizer: LowercaseSingleSpace },
+        species: { Response: Text("Species"),
+                   Combiner: MajorityVote,
+                   Normalizer: LowercaseSingleSpace }
+    }
+"""
+
+# A light-hearted species map for the generative example/tests.
+SPECIES = {
+    "ant": "formica rufa", "bee": "apis mellifera", "flower": "taraxacum officinale",
+    "grasshopper": "caelifera sp", "parrot": "ara macao", "rock": "saxum inanimatum",
+    "rat": "rattus norvegicus", "octopus": "octopus vulgaris",
+    "skunk": "mephitis mephitis", "tazmanian devil": "sarcophilus harrisii",
+    "turkey": "meleagris gallopavo", "eagle": "aquila chrysaetos",
+    "lemur": "lemur catta", "hyena": "crocuta crocuta", "dog": "canis familiaris",
+    "komodo dragon": "varanus komodoensis", "baboon": "papio anubis",
+    "wolf": "canis lupus", "panther": "panthera pardus",
+    "dolphin": "tursiops truncatus", "elephant seal": "mirounga leonina",
+    "moose": "alces alces", "tiger": "panthera tigris", "camel": "camelus dromedarius",
+    "great white shark": "carcharodon carcharias", "hippo": "hippopotamus amphibius",
+    "whale": "balaenoptera musculus",
+}
+
+
+@dataclass
+class AnimalsDataset:
+    """Table + oracle + DSL + the true order per query."""
+
+    table: Table
+    truth: GroundTruth
+    task_dsl: str
+    orders: dict[str, list[str]]
+    """task name → item refs in true (least → most) order."""
+
+    @property
+    def items(self) -> list[str]:
+        """All item refs (size order)."""
+        return list(self.orders["sizeSort"])
+
+
+def _ref(name: str) -> str:
+    return "img://animals/" + name.replace(" ", "-")
+
+
+def animals_dataset() -> AnimalsDataset:
+    """Build the 27-item animals dataset with the paper's ground truths."""
+    schema = Schema.of("name text", "img url")
+    table = Table("animals", schema)
+    for name in SIZE_ORDER:
+        table.insert({"name": name, "img": _ref(name)})
+
+    truth = GroundTruth()
+    orders: dict[str, list[str]] = {}
+    order_by_task = {
+        "sizeSort": SIZE_ORDER,
+        "dangerSort": DANGER_ORDER,
+        "saturnSort": SATURN_ORDER,
+        "randomSort": SIZE_ORDER,  # latents unused; answers are random
+    }
+    for task, dimension, cmp_amb, rate_amb, is_random in _TASK_SPECS:
+        order = order_by_task[task]
+        latents = {_ref(name): float(position) for position, name in enumerate(order)}
+        truth.add_rank_task(
+            task,
+            latents,
+            comparison_ambiguity=cmp_amb,
+            rating_ambiguity=rate_amb,
+            random_answers=is_random,
+        )
+        orders[task] = [_ref(name) for name in order]
+
+    truth.add_text_task(
+        "animalInfo", "common", {_ref(name): name for name in SIZE_ORDER}
+    )
+    truth.add_text_task(
+        "animalInfo", "species", {_ref(name): SPECIES[name] for name in SIZE_ORDER}
+    )
+    return AnimalsDataset(
+        table=table, truth=truth, task_dsl=TASK_DSL, orders=orders
+    )

@@ -1,0 +1,222 @@
+"""The celebrity join dataset (§3.3.1).
+
+Two tables — ``celeb(name, img)`` with profile photos and
+``photos(id, img)`` with event photos — where photo i shows celebrity i.
+Joining N corresponding rows naively takes N² comparisons with selectivity
+1/N.
+
+Feature ground truth drives the §3.3.4 findings:
+
+* **gender** is stable and easy (κ ≈ 0.9);
+* **hairColor** is genuinely ambiguous (blond vs white confusions, κ ≈
+  0.3–0.45) *and* unstable across the two photos of the same person (dyed
+  hair / lighting), so hair is responsible for essentially all feature-
+  filtering errors;
+* **skinColor** is judged much more reliably in the combined interface
+  than in isolation (workers "may feel uncomfortable answering questions
+  about skin color in isolation").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crowd.truth import FeatureTruth, GroundTruth
+from repro.relational.expressions import UNKNOWN
+from repro.relational.schema import Schema
+from repro.relational.table import Table
+from repro.util.rng import RandomSource
+
+JOIN_TASK = "samePerson"
+FEATURE_TASKS = ("gender", "hairColor", "skinColor")
+
+GENDERS = ("Male", "Female")
+HAIR_COLORS = ("black", "brown", "blond", "white")
+SKIN_COLORS = ("light", "medium", "dark")
+
+# Oscar-arrivals demographics: even gender split, brown hair and light skin
+# dominant — which is what keeps hair/skin selectivity mild (§3.3.4).
+GENDER_WEIGHTS = (0.5, 0.5)
+HAIR_WEIGHTS = (0.08, 0.74, 0.13, 0.05)
+SKIN_WEIGHTS = (0.85, 0.11, 0.04)
+
+TASK_DSL = """
+TASK samePerson(f1, f2) TYPE EquiJoin:
+    SingularName: "celebrity"
+    PluralName: "celebrities"
+    LeftPreview: "<img src='%s' class=smImg>", tuple1[f1]
+    LeftNormal: "<img src='%s' class=lgImg>", tuple1[f1]
+    RightPreview: "<img src='%s' class=smImg>", tuple2[f2]
+    RightNormal: "<img src='%s' class=lgImg>", tuple2[f2]
+    Combiner: MajorityVote
+
+TASK gender(field) TYPE Generative:
+    Prompt: "<table><tr><td><img src='%s'></td>\\
+        <td>What is this person's gender?</td></tr></table>", tuple[field]
+    Response: Radio("Gender", ["Male", "Female", UNKNOWN])
+    Combiner: MajorityVote
+
+TASK hairColor(field) TYPE Generative:
+    Prompt: "<table><tr><td><img src='%s'></td>\\
+        <td>What is this person's hair color?</td></tr></table>", tuple[field]
+    Response: Radio("Hair color", ["black", "brown", "blond", "white", UNKNOWN])
+    Combiner: MajorityVote
+
+TASK skinColor(field) TYPE Generative:
+    Prompt: "<table><tr><td><img src='%s'></td>\\
+        <td>What is this person's skin color?</td></tr></table>", tuple[field]
+    Response: Radio("Skin color", ["light", "medium", "dark", UNKNOWN])
+    Combiner: MajorityVote
+"""
+
+
+def _gender_confusion() -> dict[object, dict[object, float]]:
+    table: dict[object, dict[object, float]] = {}
+    for value in GENDERS:
+        other = GENDERS[1 - GENDERS.index(value)]
+        table[value] = {value: 0.985, other: 0.01, UNKNOWN: 0.005}
+    return table
+
+
+def _hair_confusion(combined: bool) -> dict[object, dict[object, float]]:
+    """Hair is hard; the combined interface noticeably improves it
+    (workers treat it as "a simple demographic survey", §3.3.4)."""
+    if combined:
+        return {
+            "black": {"black": 0.90, "brown": 0.06, UNKNOWN: 0.04},
+            "brown": {"brown": 0.86, "black": 0.07, "blond": 0.03, UNKNOWN: 0.04},
+            "blond": {"blond": 0.76, "white": 0.17, UNKNOWN: 0.07},
+            "white": {"white": 0.70, "blond": 0.22, UNKNOWN: 0.08},
+        }
+    return {
+        "black": {"black": 0.82, "brown": 0.11, UNKNOWN: 0.07},
+        "brown": {"brown": 0.74, "black": 0.11, "blond": 0.07, UNKNOWN: 0.08},
+        "blond": {"blond": 0.56, "white": 0.28, "brown": 0.06, UNKNOWN: 0.10},
+        "white": {"white": 0.54, "blond": 0.33, UNKNOWN: 0.13},
+    }
+
+
+def _skin_confusion(combined: bool) -> dict[object, dict[object, float]]:
+    """Skin agreement is much higher in the combined interface."""
+    if combined:
+        return {
+            "light": {"light": 0.96, "medium": 0.02, UNKNOWN: 0.02},
+            "medium": {"medium": 0.90, "light": 0.05, "dark": 0.03, UNKNOWN: 0.02},
+            "dark": {"dark": 0.94, "medium": 0.04, UNKNOWN: 0.02},
+        }
+    return {
+        "light": {"light": 0.82, "medium": 0.08, UNKNOWN: 0.10},
+        "medium": {"medium": 0.68, "light": 0.14, "dark": 0.08, UNKNOWN: 0.10},
+        "dark": {"dark": 0.76, "medium": 0.12, UNKNOWN: 0.12},
+    }
+
+
+@dataclass
+class CelebrityDataset:
+    """Both tables + oracle + DSL + per-item attribute truth."""
+
+    celebs: Table
+    photos: Table
+    truth: GroundTruth
+    task_dsl: str
+    matches: list[tuple[str, str]]
+    """(celeb img ref, photo img ref) true pairs."""
+
+    attributes: dict[str, dict[str, object]]
+    """item ref → {gender, hairColor, skinColor} true values."""
+
+    @property
+    def celeb_refs(self) -> list[str]:
+        """Celebrity-table image refs, in row order."""
+        return [str(row["img"]) for row in self.celebs]
+
+    @property
+    def photo_refs(self) -> list[str]:
+        """Photo-table image refs, in row order."""
+        return [str(row["img"]) for row in self.photos]
+
+
+def celebrity_dataset(
+    n: int = 30, seed: int = 0, hair_instability: float = 0.12
+) -> CelebrityDataset:
+    """Build an N-celebrity join dataset.
+
+    ``hair_instability`` is the probability a celebrity's *true* hair color
+    differs between their profile photo and event photo (dye, lighting) —
+    the root cause of the paper's feature-filtering errors.
+    """
+    rng = RandomSource(seed).child("celebrities")
+    celebs = Table("celeb", Schema.of("name text", "img url"))
+    photos = Table("photos", Schema.of("id integer", "img url"))
+    truth = GroundTruth()
+
+    matches: list[tuple[str, str]] = []
+    attributes: dict[str, dict[str, object]] = {}
+    gender_values: dict[str, object] = {}
+    hair_values: dict[str, object] = {}
+    skin_values: dict[str, object] = {}
+
+    for i in range(n):
+        celeb_ref = f"img://celeb/{i}"
+        photo_ref = f"img://photo/{i}"
+        celebs.insert({"name": f"celebrity-{i}", "img": celeb_ref})
+        photos.insert({"id": i, "img": photo_ref})
+        matches.append((celeb_ref, photo_ref))
+
+        gender = GENDERS[rng.weighted_index(GENDER_WEIGHTS)]
+        hair = HAIR_COLORS[rng.weighted_index(HAIR_WEIGHTS)]
+        skin = SKIN_COLORS[rng.weighted_index(SKIN_WEIGHTS)]
+        photo_hair = hair
+        if rng.chance(hair_instability):
+            alternatives = [color for color in HAIR_COLORS if color != hair]
+            photo_hair = rng.choice(alternatives)
+
+        for ref, hair_value in ((celeb_ref, hair), (photo_ref, photo_hair)):
+            gender_values[ref] = gender
+            hair_values[ref] = hair_value
+            skin_values[ref] = skin
+            attributes[ref] = {
+                "gender": gender,
+                "hairColor": hair_value,
+                "skinColor": skin,
+            }
+
+    truth.add_join_task(JOIN_TASK, set(matches))
+    truth.add_feature_task(
+        "gender",
+        "value",
+        FeatureTruth(
+            values=gender_values,
+            options=(*GENDERS, UNKNOWN),
+            confusion=_gender_confusion(),
+            confusion_combined=_gender_confusion(),
+        ),
+    )
+    truth.add_feature_task(
+        "hairColor",
+        "value",
+        FeatureTruth(
+            values=hair_values,
+            options=(*HAIR_COLORS, UNKNOWN),
+            confusion=_hair_confusion(combined=False),
+            confusion_combined=_hair_confusion(combined=True),
+        ),
+    )
+    truth.add_feature_task(
+        "skinColor",
+        "value",
+        FeatureTruth(
+            values=skin_values,
+            options=(*SKIN_COLORS, UNKNOWN),
+            confusion=_skin_confusion(combined=False),
+            confusion_combined=_skin_confusion(combined=True),
+        ),
+    )
+    return CelebrityDataset(
+        celebs=celebs,
+        photos=photos,
+        truth=truth,
+        task_dsl=TASK_DSL,
+        matches=matches,
+        attributes=attributes,
+    )

@@ -1,0 +1,90 @@
+"""The squares dataset (§4.2.1).
+
+"Each square is n × n pixels, and the smallest is 20×20. A dataset of size
+N contains squares of sizes {(20+3i) × (20+3i) | i ∈ [0, N)}. This dataset
+is designed so that the sort metric (square area) is clearly defined, and we
+know the correct ordering."
+
+Side-by-side size comparison is crisp (low comparison ambiguity); absolute
+rating on a 7-point scale is much harder (higher rating ambiguity), which is
+what makes Rate land at τ ≈ 0.78 while Compare reaches 1.0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crowd.truth import GroundTruth
+from repro.relational.schema import Schema
+from repro.relational.table import Table
+
+SORT_TASK = "squareSorter"
+
+TASK_DSL = """
+TASK squareSorter(field) TYPE Rank:
+    SingularName: "square"
+    PluralName: "squares"
+    OrderDimensionName: "area"
+    LeastName: "smallest"
+    MostName: "largest"
+    Html: "<img src='%s' class=lgImg>", tuple[field]
+"""
+
+COMPARISON_AMBIGUITY = 0.22
+"""Relative size judgements on visible squares are nearly unambiguous."""
+
+RATING_AMBIGUITY = 1.05
+"""Absolute area ratings carry much more perceptual noise (no reference)."""
+
+
+@dataclass
+class SquaresDataset:
+    """Table + oracle + DSL + the known correct ordering."""
+
+    table: Table
+    truth: GroundTruth
+    task_dsl: str
+    true_order: list[str]
+    """Item refs, smallest → largest."""
+
+    sizes: dict[str, int]
+    """Item ref → side length in pixels."""
+
+    @property
+    def items(self) -> list[str]:
+        """All item refs (in true order)."""
+        return list(self.true_order)
+
+
+def squares_dataset(
+    n: int = 40, smallest: int = 20, step: int = 3, seed: int = 0
+) -> SquaresDataset:
+    """Build the synthetic squares dataset of size ``n``."""
+    if n < 2:
+        raise ValueError("need at least two squares")
+    schema = Schema.of("label text", "img url")
+    table = Table("squares", schema)
+    truth = GroundTruth()
+    sizes: dict[str, int] = {}
+    latents: dict[str, float] = {}
+    order: list[str] = []
+    for i in range(n):
+        side = smallest + step * i
+        ref = f"img://squares/{side}x{side}"
+        table.insert({"label": f"square-{side}", "img": ref})
+        sizes[ref] = side
+        latents[ref] = float(side * side)
+        order.append(ref)
+    truth.add_rank_task(
+        SORT_TASK,
+        latents,
+        comparison_ambiguity=COMPARISON_AMBIGUITY,
+        rating_ambiguity=RATING_AMBIGUITY,
+    )
+    return SquaresDataset(
+        table=table,
+        truth=truth,
+        task_dsl=TASK_DSL,
+        true_order=order,
+        sizes=sizes,
+    )

@@ -1,0 +1,73 @@
+"""Exception hierarchy for the repro package.
+
+All library-raised errors derive from :class:`QurkError` so callers can catch
+the package's failures with a single except clause while letting programming
+errors (TypeError etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class QurkError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class SchemaError(QurkError):
+    """A schema was malformed or a row did not conform to its schema."""
+
+
+class CatalogError(QurkError):
+    """A table or task was missing from, or duplicated in, the catalog."""
+
+
+class ParseError(QurkError):
+    """The query or TASK-DSL text could not be parsed.
+
+    Carries the offending line/column when known.
+    """
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        location = ""
+        if line is not None:
+            location = f" at line {line}"
+            if column is not None:
+                location += f", column {column}"
+        super().__init__(message + location)
+        self.line = line
+        self.column = column
+
+
+class PlanError(QurkError):
+    """The planner could not translate a parsed query into a plan."""
+
+
+class ExecutionError(QurkError):
+    """An operator failed while executing a plan."""
+
+
+class TaskError(QurkError):
+    """A task template was malformed or misused."""
+
+
+class MarketplaceError(QurkError):
+    """The crowd platform rejected or could not complete a request."""
+
+
+class HITUncompletedError(MarketplaceError):
+    """A posted HIT attracted no willing workers within the deadline.
+
+    The paper observes this with compare groups of size 20 (§4.2.2): the HITs
+    sat uncompleted for hours because the work/price ratio was unacceptable.
+    """
+
+    def __init__(self, message: str, hit_ids: list[str] | None = None):
+        super().__init__(message)
+        self.hit_ids = hit_ids or []
+
+
+class BudgetExceededError(QurkError):
+    """A query or operator would exceed its allocated budget."""
+
+
+class CombinerError(QurkError):
+    """Answer combination failed (e.g. no votes to combine)."""

@@ -1,0 +1,15 @@
+"""Experiment harness: one module per paper artifact (tables and figures).
+
+Each ``run_*`` function executes the corresponding experiment against the
+simulated marketplace and returns an :class:`~repro.experiments.harness.
+ExperimentTable` whose rows mirror the paper's table/figure series. The
+benchmarks under ``benchmarks/`` print these and assert the qualitative
+shape (who wins, by roughly what factor, where crossovers fall).
+
+See :mod:`repro.experiments.registry` for the artifact → function index.
+"""
+
+from repro.experiments.harness import ExperimentTable
+from repro.experiments.registry import EXPERIMENTS, describe_experiments
+
+__all__ = ["EXPERIMENTS", "ExperimentTable", "describe_experiments"]

@@ -1,0 +1,146 @@
+"""The paper's reported numbers, as structured constants.
+
+A single authoritative place for every value the paper reports in its
+evaluation, so documentation, benchmarks, and sanity tests compare against
+the same source instead of scattering magic numbers. Values are transcribed
+from the VLDB 2011 text (tables 1–5, figures 3–7, and inline statistics).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+# ---------------------------------------------------------------------------
+# Pricing (§3.3.2)
+# ---------------------------------------------------------------------------
+
+REWARD_PER_ASSIGNMENT = 0.01
+COMMISSION_PER_ASSIGNMENT = 0.005
+COST_PER_ASSIGNMENT = 0.015
+
+NAIVE_JOIN_900_PAIRS_10_VOTES = 135.00
+"""900 comparisons × 10 assignments × $0.015."""
+
+UNFILTERED_CELEBRITY_JOIN = 67.50
+"""900 comparisons × 5 assignments × $0.015 (§3.3.4)."""
+
+FILTERED_CELEBRITY_JOIN = 27.00
+"""'feature filtering reduces the join cost from $67.50 to $27.00' (§3.4)."""
+
+FILTERED_AND_BATCHED_CELEBRITY_JOIN = 2.70
+"""'yielding a final cost for celebrity join of $2.70' (§3.4)."""
+
+
+# ---------------------------------------------------------------------------
+# Table 1 — baseline join accuracy (20 celebrities)
+# ---------------------------------------------------------------------------
+
+TABLE1_IDEAL = {"true_pos": 20, "true_neg": 380}
+TABLE1 = {
+    "Simple": {"tp_mv": 19, "tp_qa": 20, "tn_mv": 379, "tn_qa": 376},
+    "Naive": {"tp_mv": 19, "tp_qa": 19, "tn_mv": 380, "tn_qa": 379},
+    "Smart": {"tp_mv": 20, "tp_qa": 20, "tn_mv": 380, "tn_qa": 379},
+}
+
+# ---------------------------------------------------------------------------
+# §3.3.2 inline statistics (30-celebrity trials)
+# ---------------------------------------------------------------------------
+
+SINGLE_WORKER_TP_SIMPLE = 235 / 300  # ≈ 0.78
+SINGLE_WORKER_TP_SMART_3X3 = 158 / 300  # ≈ 0.53
+MV_TP_SIMPLE = 0.93
+
+# §3.3.3 regression
+REGRESSION_R_SQUARED = 0.028
+REGRESSION_P_BELOW = 0.05
+
+# ---------------------------------------------------------------------------
+# Table 2 — feature filtering effectiveness (trial, combined, errors,
+# saved comparisons, join cost)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    """One trial of Table 2."""
+
+    trial: int
+    combined: bool
+    errors: int
+    saved_comparisons: int
+    join_cost: float
+
+
+TABLE2 = [
+    Table2Row(1, True, 1, 592, 27.52),
+    Table2Row(2, True, 3, 623, 25.05),
+    Table2Row(1, False, 5, 633, 33.15),
+    Table2Row(2, False, 5, 646, 32.18),
+]
+
+# Table 3 — leave-one-out (first combined trial)
+TABLE3 = {
+    "gender": {"errors": 1, "saved": 356, "cost": 45.30},
+    "hairColor": {"errors": 0, "saved": 502, "cost": 34.35},
+    "skinColor": {"errors": 1, "saved": 542, "cost": 31.28},
+}
+
+# Table 4 — full-data Fleiss kappa per (trial, combined) per feature
+TABLE4_FULL = {
+    (1, True): {"gender": 0.93, "hair": 0.29, "skin": 0.73},
+    (2, True): {"gender": 0.89, "hair": 0.42, "skin": 0.95},
+    (1, False): {"gender": 0.85, "hair": 0.43, "skin": 0.45},
+    (2, False): {"gender": 0.94, "hair": 0.40, "skin": 0.47},
+}
+
+# ---------------------------------------------------------------------------
+# §4.2.2 — square sort microbenchmarks
+# ---------------------------------------------------------------------------
+
+COMPARE_TAU_AT_GROUP_5 = 1.0
+COMPARE_TAU_AT_GROUP_10 = 1.0
+COMPARE_GROUP_5_HOURS = 0.3
+COMPARE_GROUP_10_HOURS = 1.0
+COMPARE_GROUP_20_COMPLETED = False
+
+RATE_BATCHING_TAU_MEAN = 0.78
+RATE_BATCHING_TAU_STD = 0.058
+RATE_GRANULARITY_TAU_MEAN = 0.798
+RATE_GRANULARITY_TAU_STD = 0.042
+
+# Figure 7 — hybrid sort on 40 squares, S = 5
+FIG7_COMPARE_HITS = 78
+FIG7_COMPARE_TAU = 1.0
+FIG7_RATE_HITS = 8
+FIG7_RATE_TAU = 0.78
+FIG7_WINDOW6_TAU_BY_30_HITS = 0.95
+ANIMAL_HYBRID_TAU_START = 0.76
+ANIMAL_HYBRID_TAU_AT_20 = 0.90
+
+# ---------------------------------------------------------------------------
+# Table 5 — end-to-end HIT counts
+# ---------------------------------------------------------------------------
+
+TABLE5 = {
+    ("Join", "Filter"): 43,
+    ("Join", "Filter + Simple"): 628,
+    ("Join", "Filter + Naive"): 160,
+    ("Join", "Filter + Smart 3x3"): 108,
+    ("Join", "Filter + Smart 5x5"): 66,
+    ("Join", "No Filter + Simple"): 1055,
+    ("Join", "No Filter + Naive"): 211,
+    ("Join", "No Filter + Smart 5x5"): 43,
+    ("Order By", "Compare"): 61,
+    ("Order By", "Rate"): 11,
+    ("Total", "unoptimized"): 1116,
+    ("Total", "optimized"): 77,
+}
+
+END_TO_END_REDUCTION = 14.5
+NUM_IN_SCENE_SELECTIVITY = 0.55
+MOVIE_SCENES = 211
+
+
+def table5_reduction() -> float:
+    """The paper's unoptimized/optimized HIT ratio."""
+    return TABLE5[("Total", "unoptimized")] / TABLE5[("Total", "optimized")]

@@ -1,0 +1,57 @@
+"""Task cache (§2.6): completed HIT results keyed by payload content.
+
+Qurk "first checks to see if the HIT is cached and if not generates HTML for
+the HIT and dispatches it to the crowd". This mirrors TurKit's crash-and-
+rerun caching [10]: re-running a workflow does not re-pay for answers the
+crowd already gave.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hits.hit import HIT, Assignment, Payload
+
+
+def payload_cache_key(payloads: tuple[Payload, ...], assignments: int) -> str:
+    """A deterministic key for a HIT's content.
+
+    Payload dataclasses are frozen; their ``repr`` includes every question
+    and item reference, so two HITs asking exactly the same questions with
+    the same replication collide (which is the point).
+    """
+    body = ";".join(sorted(repr(payload) for payload in payloads))
+    return f"a={assignments}|{body}"
+
+
+@dataclass
+class TaskCache:
+    """In-memory HIT-result cache with hit/miss accounting."""
+
+    _store: dict[str, list[Assignment]] = field(default_factory=dict)
+    hits: int = 0
+    misses: int = 0
+
+    def lookup(self, hit: HIT) -> list[Assignment] | None:
+        """Cached assignments for an identical HIT, or None."""
+        key = payload_cache_key(hit.payloads, hit.assignments_requested)
+        cached = self._store.get(key)
+        if cached is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return list(cached)
+
+    def store(self, hit: HIT, assignments: list[Assignment]) -> None:
+        """Record completed assignments for future identical HITs."""
+        key = payload_cache_key(hit.payloads, hit.assignments_requested)
+        self._store[key] = list(assignments)
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def clear(self) -> None:
+        """Drop all cached results (e.g. between experiment trials)."""
+        self._store.clear()
+        self.hits = 0
+        self.misses = 0

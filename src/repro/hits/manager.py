@@ -1,0 +1,227 @@
+"""The Task Manager (§2.6): batching, grouping, dispatch, and accounting.
+
+Operators hand the manager *units* of work — per-tuple (or per-pair,
+per-group) payload bundles. The manager:
+
+1. applies **merging** (one task, many tuples per HIT) by slicing units into
+   batches of ``batch_size``;
+2. applies **combining** (many tasks, one tuple per HIT) when a unit carries
+   payloads from several tasks;
+3. compiles HTML and effort via the HIT compiler;
+4. posts the HITs to the platform as one HIT group (Turkers gravitate to
+   large groups, which the latency model exploits);
+5. consults the task cache when one is configured;
+6. records HIT/assignment counts in the cost ledger;
+7. returns per-question vote lists ready for a combiner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol, Sequence
+
+from repro.errors import HITUncompletedError, TaskError
+from repro.hits.cache import TaskCache
+from repro.hits.compiler import HITCompiler, merge_payloads
+from repro.hits.hit import HIT, Assignment, Payload, Vote
+from repro.hits.pricing import CostLedger
+
+
+class CrowdPlatform(Protocol):
+    """What the manager needs from a crowd platform (simulated or real)."""
+
+    def post_hit_group(
+        self, hits: Sequence[HIT], group_id: str | None = None
+    ) -> list[Assignment]:
+        """Post HITs as one group; block until completed (or deadline)."""
+        ...  # pragma: no cover
+
+    @property
+    def clock_seconds(self) -> float:
+        """The platform's current (virtual) time in seconds."""
+        ...  # pragma: no cover
+
+
+@dataclass
+class BatchOutcome:
+    """Everything an operator needs from one round of posted HITs."""
+
+    hits: list[HIT] = field(default_factory=list)
+    assignments: list[Assignment] = field(default_factory=list)
+    votes: dict[str, list[Vote]] = field(default_factory=dict)
+    post_time: float = 0.0
+    finish_time: float = 0.0
+    uncompleted_hit_ids: list[str] = field(default_factory=list)
+
+    @property
+    def hit_count(self) -> int:
+        """HITs posted in this round (assignment multiplier excluded)."""
+        return len(self.hits)
+
+    @property
+    def assignment_count(self) -> int:
+        """Assignments completed in this round."""
+        return len(self.assignments)
+
+    @property
+    def elapsed_seconds(self) -> float:
+        """Wall-clock (virtual) seconds from posting to the last submission."""
+        return max(0.0, self.finish_time - self.post_time)
+
+    def assignment_latencies(self) -> list[float]:
+        """Per-assignment completion latency relative to posting time."""
+        return [a.submit_time - self.post_time for a in self.assignments]
+
+    def merge(self, other: "BatchOutcome") -> None:
+        """Fold another round's results into this one (serial phases)."""
+        self.hits.extend(other.hits)
+        self.assignments.extend(other.assignments)
+        for qid, votes in other.votes.items():
+            self.votes.setdefault(qid, []).extend(votes)
+        if not self.hits or other.post_time < self.post_time:
+            self.post_time = min(self.post_time, other.post_time)
+        self.finish_time = max(self.finish_time, other.finish_time)
+        self.uncompleted_hit_ids.extend(other.uncompleted_hit_ids)
+
+
+class TaskManager:
+    """Applies batching/grouping and dispatches HITs to a platform."""
+
+    def __init__(
+        self,
+        platform: CrowdPlatform,
+        ledger: CostLedger | None = None,
+        compiler: HITCompiler | None = None,
+        cache: TaskCache | None = None,
+        reward: float = 0.01,
+    ) -> None:
+        self.platform = platform
+        self.ledger = ledger or CostLedger()
+        self.compiler = compiler or HITCompiler()
+        self.cache = cache
+        self.reward = reward
+        self._hit_counter = 0
+        self._group_counter = 0
+
+    def _next_hit_id(self, label: str) -> str:
+        self._hit_counter += 1
+        return f"hit-{label}-{self._hit_counter}"
+
+    def _next_group_id(self, label: str) -> str:
+        self._group_counter += 1
+        return f"group-{label}-{self._group_counter}"
+
+    def build_hits(
+        self,
+        units: Sequence[Sequence[Payload]],
+        batch_size: int,
+        assignments: int,
+        label: str,
+    ) -> list[HIT]:
+        """Slice units into batched, compiled HITs without posting them.
+
+        Each unit is the payload bundle for one tuple/pair/group; a unit with
+        several payloads represents *combining* (several tasks on the same
+        tuple). Units are merged ``batch_size`` at a time; payloads of the
+        same task merge into one batched payload inside the HIT.
+        """
+        if batch_size < 1:
+            raise TaskError(f"batch_size must be >= 1, got {batch_size}")
+        if not units:
+            return []
+        hits: list[HIT] = []
+        for start in range(0, len(units), batch_size):
+            chunk = units[start : start + batch_size]
+            by_task: dict[tuple[str, str], list[Payload]] = {}
+            order: list[tuple[str, str]] = []
+            for unit in chunk:
+                if not unit:
+                    raise TaskError("encountered an empty work unit")
+                for payload in unit:
+                    key = (type(payload).__name__, payload.task_name)
+                    if key not in by_task:
+                        by_task[key] = []
+                        order.append(key)
+                    by_task[key].append(payload)
+            merged = tuple(merge_payloads(by_task[key]) for key in order)
+            hit = HIT(
+                hit_id=self._next_hit_id(label),
+                payloads=merged,
+                assignments_requested=assignments,
+                reward=self.reward,
+            )
+            self.compiler.compile(hit)
+            hits.append(hit)
+        return hits
+
+    def run_units(
+        self,
+        units: Sequence[Sequence[Payload]],
+        batch_size: int = 1,
+        assignments: int = 5,
+        label: str = "task",
+        strict: bool = True,
+    ) -> BatchOutcome:
+        """Batch, post, and collect one round of work.
+
+        With ``strict=True`` (default) a HIT left uncompleted by the crowd
+        raises :class:`HITUncompletedError`; experiments measuring refusal
+        behaviour pass ``strict=False`` and inspect
+        ``BatchOutcome.uncompleted_hit_ids``.
+        """
+        hits = self.build_hits(units, batch_size, assignments, label)
+        return self.post_hits(hits, label=label, strict=strict)
+
+    def post_hits(self, hits: list[HIT], label: str = "task", strict: bool = True) -> BatchOutcome:
+        """Post already-built HITs as one group and collect assignments."""
+        outcome = BatchOutcome(post_time=self.platform.clock_seconds)
+        if not hits:
+            outcome.finish_time = outcome.post_time
+            return outcome
+
+        to_post: list[HIT] = []
+        for hit in hits:
+            cached = self.cache.lookup(hit) if self.cache is not None else None
+            if cached is not None:
+                outcome.hits.append(hit)
+                outcome.assignments.extend(cached)
+            else:
+                to_post.append(hit)
+
+        if to_post:
+            group_id = self._next_group_id(label)
+            for hit in to_post:
+                hit.group_id = group_id
+            completed = self.platform.post_hit_group(to_post, group_id=group_id)
+            by_hit: dict[str, list[Assignment]] = {}
+            for assignment in completed:
+                by_hit.setdefault(assignment.hit_id, []).append(assignment)
+            for hit in to_post:
+                hit_assignments = by_hit.get(hit.hit_id, [])
+                outcome.hits.append(hit)
+                outcome.assignments.extend(hit_assignments)
+                if not hit_assignments:
+                    outcome.uncompleted_hit_ids.append(hit.hit_id)
+                elif self.cache is not None:
+                    self.cache.store(hit, hit_assignments)
+            # Only pay for work actually completed.
+            self.ledger.record(
+                label,
+                hits=len(to_post) - len(outcome.uncompleted_hit_ids),
+                assignments=len(completed),
+            )
+
+        outcome.finish_time = self.platform.clock_seconds
+        for assignment in outcome.assignments:
+            for qid, value in assignment.answers.items():
+                outcome.votes.setdefault(qid, []).append(
+                    Vote(worker_id=assignment.worker_id, value=value)
+                )
+        if strict and outcome.uncompleted_hit_ids:
+            raise HITUncompletedError(
+                f"{len(outcome.uncompleted_hit_ids)} HIT(s) in group {label!r} "
+                "were not completed by the crowd (workers likely refused the "
+                "batch size at this price)",
+                hit_ids=list(outcome.uncompleted_hit_ids),
+            )
+        return outcome

@@ -1,0 +1,91 @@
+"""Pricing and cost accounting.
+
+The paper pays a fixed $0.01 reward per HIT assignment, plus Amazon's
+$0.005 commission, i.e. $0.015 per assignment (§3.3.2). Qurk's objective
+function is to minimise the number of HITs subject to answers actually being
+produced (§2.6); the ledger therefore tracks HITs and assignments separately
+— HIT counts are what Table 5 reports, assignment counts drive dollars.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class PricingModel:
+    """Per-assignment pricing constants."""
+
+    reward: float = 0.01
+    commission: float = 0.005
+
+    @property
+    def per_assignment(self) -> float:
+        """Total cost of one assignment (reward + platform commission)."""
+        return self.reward + self.commission
+
+    def cost(self, assignments: int) -> float:
+        """Dollar cost of a number of assignments."""
+        return assignments * self.per_assignment
+
+
+@dataclass
+class LedgerEntry:
+    """Accumulated counts for one label (usually one operator or phase)."""
+
+    hits: int = 0
+    assignments: int = 0
+
+    def add(self, hits: int, assignments: int) -> None:
+        """Accumulate counts."""
+        self.hits += hits
+        self.assignments += assignments
+
+
+@dataclass
+class CostLedger:
+    """Tracks HITs/assignments/dollars, broken down by label."""
+
+    pricing: PricingModel = field(default_factory=PricingModel)
+    entries: dict[str, LedgerEntry] = field(default_factory=dict)
+
+    def record(self, label: str, hits: int, assignments: int) -> None:
+        """Record that ``hits`` HITs totalling ``assignments`` assignments
+        were posted under ``label``."""
+        if hits < 0 or assignments < 0:
+            raise ValueError("counts must be non-negative")
+        self.entries.setdefault(label, LedgerEntry()).add(hits, assignments)
+
+    @property
+    def total_hits(self) -> int:
+        """Total HITs posted (assignment multiplier excluded, as in Table 5)."""
+        return sum(entry.hits for entry in self.entries.values())
+
+    @property
+    def total_assignments(self) -> int:
+        """Total assignments completed."""
+        return sum(entry.assignments for entry in self.entries.values())
+
+    @property
+    def total_cost(self) -> float:
+        """Total dollars = assignments × (reward + commission)."""
+        return self.pricing.cost(self.total_assignments)
+
+    def hits_for(self, label: str) -> int:
+        """HITs recorded under one label."""
+        return self.entries.get(label, LedgerEntry()).hits
+
+    def assignments_for(self, label: str) -> int:
+        """Assignments recorded under one label."""
+        return self.entries.get(label, LedgerEntry()).assignments
+
+    def cost_for(self, label: str) -> float:
+        """Dollar cost of one label."""
+        return self.pricing.cost(self.assignments_for(label))
+
+    def breakdown(self) -> dict[str, tuple[int, int, float]]:
+        """Label → (hits, assignments, dollars)."""
+        return {
+            label: (entry.hits, entry.assignments, self.pricing.cost(entry.assignments))
+            for label, entry in self.entries.items()
+        }

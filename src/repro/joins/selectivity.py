@@ -1,0 +1,62 @@
+"""Selectivity algebra for POSSIBLY feature filters (§3.2).
+
+With feature i taking value j with probability ρ_ij in each table, the
+probability two random tuples agree on feature i is
+
+    σᵢ = Σ_j ρ^S_ij × ρ^R_ij
+
+and, assuming independent features, the POSSIBLY clauses pass a fraction
+
+    Sel = Π σᵢ
+
+of the cross product. Feature filtering replaces |R||S| join HITs with
+Sel·|R||S| plus one batched linear pass per feature.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Mapping, Sequence
+
+from repro.errors import QurkError
+from repro.relational.expressions import UNKNOWN
+
+
+def value_distribution(values: Sequence[object]) -> dict[object, float]:
+    """Empirical value distribution, ignoring UNKNOWNs (they never prune)."""
+    concrete = [value for value in values if value is not UNKNOWN]
+    if not concrete:
+        raise QurkError("no concrete feature values to build a distribution")
+    counts = Counter(concrete)
+    total = sum(counts.values())
+    return {value: count / total for value, count in counts.items()}
+
+
+def feature_selectivity(
+    left_distribution: Mapping[object, float],
+    right_distribution: Mapping[object, float],
+) -> float:
+    """σᵢ: probability a random cross-product pair agrees on the feature."""
+    return sum(
+        probability * right_distribution.get(value, 0.0)
+        for value, probability in left_distribution.items()
+    )
+
+
+def combined_selectivity(selectivities: Sequence[float]) -> float:
+    """Sel = Π σᵢ under the independence assumption."""
+    product = 1.0
+    for sigma in selectivities:
+        if not 0.0 <= sigma <= 1.0:
+            raise QurkError(f"selectivity {sigma} outside [0, 1]")
+        product *= sigma
+    return product
+
+
+def estimate_selectivity(
+    left_values: Sequence[object], right_values: Sequence[object]
+) -> float:
+    """σᵢ estimated from observed (sampled) feature values of both tables."""
+    return feature_selectivity(
+        value_distribution(left_values), value_distribution(right_values)
+    )

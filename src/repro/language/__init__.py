@@ -1,0 +1,45 @@
+"""The Qurk query language (§2.1): SQL-style queries plus the TASK DSL.
+
+This subpackage provides a lexer, an AST, and a recursive-descent parser for
+both statement kinds the paper uses:
+
+* ``SELECT ... FROM ... JOIN ... ON udf(...) AND POSSIBLY ... WHERE ...
+  ORDER BY udf(...) LIMIT k`` queries, and
+* ``TASK name(params) TYPE Filter|Generative|Rank|EquiJoin: ...`` template
+  definitions with prompt templates (``"...%s...", tuple[field]``), response
+  specs (``Text(...)``, ``Radio(...)``), combiners, and normalizers.
+"""
+
+from repro.language.ast import (
+    JoinSpec,
+    OrderItem,
+    ResponseSpec,
+    SelectItem,
+    SelectQuery,
+    Statement,
+    TableRef,
+    TaskDefinition,
+)
+from repro.language.lexer import Token, TokenType, tokenize
+from repro.language.parser import parse_expression, parse_query, parse_statements, parse_task
+from repro.language.templates import PromptTemplate, TemplateArg
+
+__all__ = [
+    "JoinSpec",
+    "OrderItem",
+    "PromptTemplate",
+    "ResponseSpec",
+    "SelectItem",
+    "SelectQuery",
+    "Statement",
+    "TableRef",
+    "TaskDefinition",
+    "TemplateArg",
+    "Token",
+    "TokenType",
+    "parse_expression",
+    "parse_query",
+    "parse_statements",
+    "parse_task",
+    "tokenize",
+]

@@ -1,0 +1,175 @@
+"""AST node types produced by the parser.
+
+Two statement kinds exist: :class:`SelectQuery` (a query over registered
+tables) and :class:`TaskDefinition` (a crowd task template). Expressions
+inside queries reuse :mod:`repro.relational.expressions`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+from repro.language.templates import PromptTemplate
+from repro.relational.expressions import Expression, UDFCall
+
+
+@dataclass(frozen=True)
+class TableRef:
+    """A ``FROM``-clause table reference with an optional alias."""
+
+    name: str
+    alias: str | None = None
+
+    @property
+    def binding(self) -> str:
+        """The name rows from this table are qualified with."""
+        return self.alias or self.name
+
+    def __str__(self) -> str:
+        return f"{self.name} AS {self.alias}" if self.alias else self.name
+
+
+@dataclass(frozen=True)
+class JoinSpec:
+    """One ``JOIN t ON udf(...) [AND POSSIBLY expr]*`` clause.
+
+    ``on`` is the crowd equijoin predicate; ``possibly`` holds the optional
+    feature-filter expressions the optimizer may or may not apply (§2.4).
+    """
+
+    right: TableRef
+    on: Expression
+    possibly: tuple[Expression, ...] = ()
+
+    def __str__(self) -> str:
+        clause = f"JOIN {self.right} ON {self.on}"
+        for expr in self.possibly:
+            clause += f" AND POSSIBLY {expr}"
+        return clause
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    """One select-list entry with an optional output alias."""
+
+    expr: Expression
+    alias: str | None = None
+
+    @property
+    def output_name(self) -> str:
+        """The column name this item produces in the result."""
+        return self.alias or str(self.expr)
+
+    def __str__(self) -> str:
+        return f"{self.expr} AS {self.alias}" if self.alias else str(self.expr)
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    """One ``ORDER BY`` entry; crowd sorts use a Rank UDF here (§2.3)."""
+
+    expr: Expression
+    ascending: bool = True
+
+    def __str__(self) -> str:
+        return f"{self.expr} {'ASC' if self.ascending else 'DESC'}"
+
+
+@dataclass(frozen=True)
+class SelectQuery:
+    """A parsed SELECT statement."""
+
+    select: tuple[SelectItem, ...]
+    base: TableRef
+    joins: tuple[JoinSpec, ...] = ()
+    where: Expression | None = None
+    order_by: tuple[OrderItem, ...] = ()
+    limit: int | None = None
+    select_star: bool = False
+
+    def __str__(self) -> str:
+        select_list = "*" if self.select_star else ", ".join(str(s) for s in self.select)
+        parts = [f"SELECT {select_list}", f"FROM {self.base}"]
+        parts.extend(str(join) for join in self.joins)
+        if self.where is not None:
+            parts.append(f"WHERE {self.where}")
+        if self.order_by:
+            parts.append("ORDER BY " + ", ".join(str(o) for o in self.order_by))
+        if self.limit is not None:
+            parts.append(f"LIMIT {self.limit}")
+        return " ".join(parts)
+
+    def udf_calls(self) -> list[UDFCall]:
+        """Every UDF call in the query, in clause order."""
+        calls: list[UDFCall] = []
+        for item in self.select:
+            calls.extend(item.expr.udf_calls())
+        for join in self.joins:
+            calls.extend(join.on.udf_calls())
+            for expr in join.possibly:
+                calls.extend(expr.udf_calls())
+        if self.where is not None:
+            calls.extend(self.where.udf_calls())
+        for item in self.order_by:
+            calls.extend(item.expr.udf_calls())
+        return calls
+
+
+@dataclass(frozen=True)
+class ResponseSpec:
+    """A response-widget spec in a TASK body: ``Text("label")`` or
+    ``Radio("label", ["a", "b", UNKNOWN])``."""
+
+    kind: str
+    label: str
+    options: tuple[object, ...] = ()
+
+    def __str__(self) -> str:
+        if self.kind.lower() == "radio":
+            return f"Radio({self.label!r}, {list(self.options)!r})"
+        return f"{self.kind}({self.label!r})"
+
+
+PropertyValue = Union[
+    PromptTemplate,
+    ResponseSpec,
+    str,
+    int,
+    float,
+    tuple,
+    dict,
+]
+"""The value types a TASK-body property can hold. Nested ``Fields`` blocks
+are dicts of property name → :data:`PropertyValue`."""
+
+
+@dataclass(frozen=True)
+class TaskDefinition:
+    """A parsed ``TASK name(params) TYPE Kind: ...`` statement.
+
+    ``properties`` preserves the body's key/value pairs; the
+    :mod:`repro.tasks` package interprets them per task type.
+    """
+
+    name: str
+    params: tuple[str, ...]
+    task_type: str
+    properties: dict[str, PropertyValue] = field(default_factory=dict)
+
+    def require(self, key: str) -> PropertyValue:
+        """Fetch a required property; raises ``KeyError`` with context."""
+        if key not in self.properties:
+            raise KeyError(
+                f"task {self.name!r} ({self.task_type}) is missing "
+                f"required property {key!r}"
+            )
+        return self.properties[key]
+
+    def __str__(self) -> str:
+        params = ", ".join(self.params)
+        return f"TASK {self.name}({params}) TYPE {self.task_type}"
+
+
+Statement = Union[SelectQuery, TaskDefinition]
+"""Any parseable top-level statement."""

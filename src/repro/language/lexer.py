@@ -1,0 +1,176 @@
+"""Tokenizer for the Qurk query language and TASK DSL.
+
+Produces a flat token stream with line/column positions for error reporting.
+Keywords are case-insensitive; identifiers preserve case (task and column
+names are case-sensitive). ``#`` and ``--`` introduce comments to end of
+line. Adjacent string literals concatenate at parse time (C-style), which is
+how multi-line prompt templates are written.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ParseError
+
+KEYWORDS = {
+    "SELECT", "FROM", "WHERE", "JOIN", "ON", "AND", "OR", "NOT", "POSSIBLY",
+    "ORDER", "BY", "LIMIT", "AS", "ASC", "DESC", "TASK", "TYPE", "UNKNOWN",
+    "TRUE", "FALSE", "NULL",
+}
+
+_SYMBOLS = [
+    "!=", "<=", ">=",  # two-character symbols first
+    "(", ")", "[", "]", "{", "}", ",", ".", ":", ";",
+    "=", "<", ">", "+", "-", "*", "/", "%",
+]
+
+
+class TokenType(enum.Enum):
+    """Lexical categories."""
+
+    KEYWORD = "keyword"
+    IDENT = "ident"
+    NUMBER = "number"
+    STRING = "string"
+    SYMBOL = "symbol"
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position (1-based)."""
+
+    type: TokenType
+    value: str
+    line: int
+    column: int
+
+    def is_keyword(self, word: str) -> bool:
+        """Whether this token is the given keyword (case-insensitive)."""
+        return self.type is TokenType.KEYWORD and self.value == word.upper()
+
+    def is_symbol(self, symbol: str) -> bool:
+        """Whether this token is the given symbol."""
+        return self.type is TokenType.SYMBOL and self.value == symbol
+
+    def __str__(self) -> str:
+        if self.type is TokenType.EOF:
+            return "<end of input>"
+        return f"{self.value!r}"
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize source text; raises :class:`ParseError` on bad input."""
+    tokens: list[Token] = []
+    line = 1
+    column = 1
+    index = 0
+    length = len(text)
+
+    def advance(count: int) -> None:
+        nonlocal index, line, column
+        for _ in range(count):
+            if index < length and text[index] == "\n":
+                line += 1
+                column = 1
+            else:
+                column += 1
+            index += 1
+
+    while index < length:
+        char = text[index]
+
+        # Whitespace (including escaped newlines used for template continuations).
+        if char in " \t\r\n":
+            advance(1)
+            continue
+        if char == "\\" and index + 1 < length and text[index + 1] == "\n":
+            advance(2)
+            continue
+
+        # Comments.
+        if char == "#" or text.startswith("--", index):
+            while index < length and text[index] != "\n":
+                advance(1)
+            continue
+
+        start_line, start_column = line, column
+
+        # Strings (single or double quoted, with backslash escapes).
+        if char in "\"'":
+            quote = char
+            advance(1)
+            parts: list[str] = []
+            closed = False
+            while index < length:
+                current = text[index]
+                if current == "\\":
+                    if index + 1 >= length:
+                        raise ParseError("dangling escape in string", line, column)
+                    escape = text[index + 1]
+                    if escape == "\n":
+                        advance(2)  # escaped newline: template continuation
+                        continue
+                    mapping = {"n": "\n", "t": "\t", "\\": "\\", quote: quote}
+                    parts.append(mapping.get(escape, escape))
+                    advance(2)
+                    continue
+                if current == quote:
+                    advance(1)
+                    closed = True
+                    break
+                if current == "\n":
+                    raise ParseError(
+                        "unterminated string (use \\ before newline to continue)",
+                        start_line,
+                        start_column,
+                    )
+                parts.append(current)
+                advance(1)
+            if not closed:
+                raise ParseError("unterminated string", start_line, start_column)
+            tokens.append(Token(TokenType.STRING, "".join(parts), start_line, start_column))
+            continue
+
+        # Numbers (integers and decimals).
+        if char.isdigit():
+            end = index
+            seen_dot = False
+            while end < length and (text[end].isdigit() or (text[end] == "." and not seen_dot)):
+                if text[end] == ".":
+                    # Don't absorb a trailing '.' that isn't followed by digits.
+                    if end + 1 >= length or not text[end + 1].isdigit():
+                        break
+                    seen_dot = True
+                end += 1
+            value = text[index:end]
+            advance(end - index)
+            tokens.append(Token(TokenType.NUMBER, value, start_line, start_column))
+            continue
+
+        # Identifiers / keywords.
+        if char.isalpha() or char == "_":
+            end = index
+            while end < length and (text[end].isalnum() or text[end] == "_"):
+                end += 1
+            word = text[index:end]
+            advance(end - index)
+            if word.upper() in KEYWORDS:
+                tokens.append(Token(TokenType.KEYWORD, word.upper(), start_line, start_column))
+            else:
+                tokens.append(Token(TokenType.IDENT, word, start_line, start_column))
+            continue
+
+        # Symbols (longest match first).
+        for symbol in _SYMBOLS:
+            if text.startswith(symbol, index):
+                advance(len(symbol))
+                tokens.append(Token(TokenType.SYMBOL, symbol, start_line, start_column))
+                break
+        else:
+            raise ParseError(f"unexpected character {char!r}", line, column)
+
+    tokens.append(Token(TokenType.EOF, "", line, column))
+    return tokens

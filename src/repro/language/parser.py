@@ -1,0 +1,481 @@
+"""Recursive-descent parser for Qurk queries and TASK definitions.
+
+Entry points:
+
+* :func:`parse_query` — one SELECT statement.
+* :func:`parse_task` — one TASK definition.
+* :func:`parse_statements` — a script containing any mix of both, separated
+  by optional semicolons.
+* :func:`parse_expression` — a bare expression (useful in tests and for
+  programmatic predicate construction).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParseError
+from repro.language.ast import (
+    JoinSpec,
+    OrderItem,
+    ResponseSpec,
+    SelectItem,
+    SelectQuery,
+    Statement,
+    TableRef,
+    TaskDefinition,
+)
+from repro.language.lexer import Token, TokenType, tokenize
+from repro.language.templates import TUPLE_SOURCES, PromptTemplate, TemplateArg
+from repro.relational.expressions import (
+    UNKNOWN,
+    And,
+    BinaryOp,
+    ColumnRef,
+    Comparison,
+    Expression,
+    Literal,
+    Not,
+    Or,
+    UDFCall,
+)
+
+_COMPARISON_OPS = ("=", "!=", "<=", ">=", "<", ">")
+
+
+class _Parser:
+    """Token-stream cursor with the grammar's productions as methods."""
+
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- cursor helpers ---------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self._pos + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _next(self) -> Token:
+        token = self._peek()
+        if token.type is not TokenType.EOF:
+            self._pos += 1
+        return token
+
+    def _error(self, message: str, token: Token | None = None) -> ParseError:
+        token = token or self._peek()
+        return ParseError(f"{message}, found {token}", token.line, token.column)
+
+    def _expect_keyword(self, word: str) -> Token:
+        token = self._next()
+        if not token.is_keyword(word):
+            raise self._error(f"expected {word}", token)
+        return token
+
+    def _expect_symbol(self, symbol: str) -> Token:
+        token = self._next()
+        if not token.is_symbol(symbol):
+            raise self._error(f"expected {symbol!r}", token)
+        return token
+
+    def _expect_ident(self, what: str = "identifier") -> Token:
+        token = self._next()
+        if token.type is not TokenType.IDENT:
+            raise self._error(f"expected {what}", token)
+        return token
+
+    def _accept_keyword(self, word: str) -> bool:
+        if self._peek().is_keyword(word):
+            self._next()
+            return True
+        return False
+
+    def _accept_symbol(self, symbol: str) -> bool:
+        if self._peek().is_symbol(symbol):
+            self._next()
+            return True
+        return False
+
+    def at_end(self) -> bool:
+        """Whether all input has been consumed."""
+        return self._peek().type is TokenType.EOF
+
+    # -- statements ---------------------------------------------------------
+
+    def parse_statement(self) -> Statement:
+        """Parse one SELECT or TASK statement."""
+        token = self._peek()
+        if token.is_keyword("SELECT"):
+            return self.parse_select()
+        if token.is_keyword("TASK"):
+            return self.parse_task_definition()
+        raise self._error("expected SELECT or TASK", token)
+
+    # -- SELECT ---------------------------------------------------------
+
+    def parse_select(self) -> SelectQuery:
+        """``SELECT list FROM base [JOIN ...]* [WHERE] [ORDER BY] [LIMIT]``"""
+        self._expect_keyword("SELECT")
+        select_star = False
+        items: list[SelectItem] = []
+        if self._accept_symbol("*"):
+            select_star = True
+        else:
+            items.append(self._parse_select_item())
+            while self._accept_symbol(","):
+                items.append(self._parse_select_item())
+
+        self._expect_keyword("FROM")
+        base = self._parse_table_ref()
+        joins: list[JoinSpec] = []
+        while self._peek().is_keyword("JOIN"):
+            joins.append(self._parse_join(base_alias=base.binding))
+        # Comma-separated FROM lists are rejected explicitly: the paper's
+        # joins are always expressed with JOIN ... ON.
+        if self._peek().is_symbol(","):
+            raise self._error("comma joins are not supported; use JOIN ... ON")
+
+        where = None
+        if self._accept_keyword("WHERE"):
+            where = self._parse_expression()
+
+        order_by: list[OrderItem] = []
+        if self._accept_keyword("ORDER"):
+            self._expect_keyword("BY")
+            order_by.append(self._parse_order_item())
+            while self._accept_symbol(","):
+                order_by.append(self._parse_order_item())
+
+        limit = None
+        if self._accept_keyword("LIMIT"):
+            token = self._next()
+            if token.type is not TokenType.NUMBER or "." in token.value:
+                raise self._error("LIMIT expects an integer", token)
+            limit = int(token.value)
+
+        self._accept_symbol(";")
+        return SelectQuery(
+            select=tuple(items),
+            base=base,
+            joins=tuple(joins),
+            where=where,
+            order_by=tuple(order_by),
+            limit=limit,
+            select_star=select_star,
+        )
+
+    def _parse_select_item(self) -> SelectItem:
+        expr = self._parse_expression()
+        alias = None
+        if self._accept_keyword("AS"):
+            alias = self._expect_ident("alias").value
+        return SelectItem(expr=expr, alias=alias)
+
+    def _parse_table_ref(self) -> TableRef:
+        name = self._expect_ident("table name").value
+        alias = None
+        if self._accept_keyword("AS"):
+            alias = self._expect_ident("alias").value
+        elif self._peek().type is TokenType.IDENT:
+            alias = self._next().value
+        return TableRef(name=name, alias=alias)
+
+    def _parse_join(self, base_alias: str) -> JoinSpec:
+        self._expect_keyword("JOIN")
+        right = self._parse_table_ref()
+        self._expect_keyword("ON")
+        on = self._parse_not()
+        possibly: list[Expression] = []
+        extra_on: list[Expression] = []
+        while self._peek().is_keyword("AND"):
+            self._next()
+            if self._accept_keyword("POSSIBLY"):
+                possibly.append(self._parse_not())
+            else:
+                extra_on.append(self._parse_not())
+        if extra_on:
+            on = And(operands=(on, *extra_on))
+        return JoinSpec(right=right, on=on, possibly=tuple(possibly))
+
+    def _parse_order_item(self) -> OrderItem:
+        expr = self._parse_expression()
+        ascending = True
+        if self._accept_keyword("ASC"):
+            ascending = True
+        elif self._accept_keyword("DESC"):
+            ascending = False
+        return OrderItem(expr=expr, ascending=ascending)
+
+    # -- expressions ------------------------------------------------------
+
+    def _parse_expression(self) -> Expression:
+        return self._parse_or()
+
+    def _parse_or(self) -> Expression:
+        operands = [self._parse_and()]
+        while self._accept_keyword("OR"):
+            operands.append(self._parse_and())
+        if len(operands) == 1:
+            return operands[0]
+        return Or(operands=tuple(operands))
+
+    def _parse_and(self) -> Expression:
+        operands = [self._parse_not()]
+        while self._accept_keyword("AND"):
+            operands.append(self._parse_not())
+        if len(operands) == 1:
+            return operands[0]
+        return And(operands=tuple(operands))
+
+    def _parse_not(self) -> Expression:
+        if self._accept_keyword("NOT"):
+            return Not(operand=self._parse_not())
+        return self._parse_comparison()
+
+    def _parse_comparison(self) -> Expression:
+        left = self._parse_additive()
+        token = self._peek()
+        if token.type is TokenType.SYMBOL and token.value in _COMPARISON_OPS:
+            op = self._next().value
+            right = self._parse_additive()
+            return Comparison(op=op, left=left, right=right)
+        return left
+
+    def _parse_additive(self) -> Expression:
+        expr = self._parse_multiplicative()
+        while self._peek().type is TokenType.SYMBOL and self._peek().value in ("+", "-"):
+            op = self._next().value
+            expr = BinaryOp(op=op, left=expr, right=self._parse_multiplicative())
+        return expr
+
+    def _parse_multiplicative(self) -> Expression:
+        expr = self._parse_primary()
+        while self._peek().type is TokenType.SYMBOL and self._peek().value in ("*", "/"):
+            op = self._next().value
+            expr = BinaryOp(op=op, left=expr, right=self._parse_primary())
+        return expr
+
+    def _parse_primary(self) -> Expression:
+        token = self._peek()
+        if token.is_symbol("("):
+            self._next()
+            expr = self._parse_expression()
+            self._expect_symbol(")")
+            return expr
+        if token.type is TokenType.NUMBER:
+            self._next()
+            value: object = float(token.value) if "." in token.value else int(token.value)
+            return Literal(value)
+        if token.type is TokenType.STRING:
+            self._next()
+            return Literal(token.value)
+        if token.is_keyword("TRUE"):
+            self._next()
+            return Literal(True)
+        if token.is_keyword("FALSE"):
+            self._next()
+            return Literal(False)
+        if token.is_keyword("NULL"):
+            self._next()
+            return Literal(None)
+        if token.is_keyword("UNKNOWN"):
+            self._next()
+            return Literal(UNKNOWN)
+        if token.type is TokenType.IDENT:
+            return self._parse_name_or_call()
+        raise self._error("expected an expression")
+
+    def _parse_name_or_call(self) -> Expression:
+        first = self._expect_ident().value
+        # UDF call: name(args)[.field]
+        if self._peek().is_symbol("("):
+            self._next()
+            args: list[Expression] = []
+            if not self._peek().is_symbol(")"):
+                args.append(self._parse_expression())
+                while self._accept_symbol(","):
+                    args.append(self._parse_expression())
+            self._expect_symbol(")")
+            field = None
+            if self._accept_symbol("."):
+                field = self._expect_ident("field name").value
+            return UDFCall(name=first, args=tuple(args), field=field)
+        # Qualified column: alias.column
+        if self._accept_symbol("."):
+            column = self._expect_ident("column name").value
+            return ColumnRef(name=column, qualifier=first)
+        return ColumnRef(name=first)
+
+    # -- TASK definitions ----------------------------------------------------
+
+    def parse_task_definition(self) -> TaskDefinition:
+        """``TASK name(param, ...) TYPE Kind: body``"""
+        self._expect_keyword("TASK")
+        name = self._expect_ident("task name").value
+        self._expect_symbol("(")
+        params: list[str] = []
+        if not self._peek().is_symbol(")"):
+            params.append(self._expect_ident("parameter name").value)
+            while self._accept_symbol(","):
+                params.append(self._expect_ident("parameter name").value)
+        self._expect_symbol(")")
+        self._expect_keyword("TYPE")
+        task_type = self._expect_ident("task type").value
+        self._expect_symbol(":")
+        properties = self._parse_task_body(params)
+        self._accept_symbol(";")
+        return TaskDefinition(
+            name=name,
+            params=tuple(params),
+            task_type=task_type,
+            properties=properties,
+        )
+
+    def _at_property_start(self) -> bool:
+        """A property begins at ``Ident :`` (with Response/Combiner etc.)."""
+        return (
+            self._peek().type is TokenType.IDENT
+            and self._peek(1).is_symbol(":")
+        )
+
+    def _parse_task_body(self, params: list[str]) -> dict[str, object]:
+        properties: dict[str, object] = {}
+        while self._at_property_start():
+            key = self._expect_ident("property name").value
+            self._expect_symbol(":")
+            properties[key] = self._parse_property_value(params)
+            if key in properties and list(properties).count(key) > 1:  # pragma: no cover
+                raise self._error(f"duplicate property {key!r}")
+            self._accept_symbol(",")
+        return properties
+
+    def _parse_property_value(self, params: list[str]) -> object:
+        token = self._peek()
+        if token.type is TokenType.STRING:
+            return self._parse_template(params)
+        if token.is_symbol("{"):
+            return self._parse_fields_block(params)
+        if token.is_symbol("["):
+            return self._parse_literal_list()
+        if token.type is TokenType.NUMBER:
+            self._next()
+            return float(token.value) if "." in token.value else int(token.value)
+        if token.is_keyword("TRUE"):
+            self._next()
+            return True
+        if token.is_keyword("FALSE"):
+            self._next()
+            return False
+        if token.type is TokenType.IDENT:
+            name = self._next().value
+            if self._peek().is_symbol("("):
+                return self._parse_response_spec(name)
+            return name
+        raise self._error("expected a property value")
+
+    def _parse_template(self, params: list[str]) -> PromptTemplate:
+        parts: list[str] = []
+        token = self._next()
+        parts.append(token.value)
+        # Adjacent strings concatenate.
+        while self._peek().type is TokenType.STRING:
+            parts.append(self._next().value)
+        args: list[TemplateArg] = []
+        # Trailing ", tuple[param]" arguments; a comma followed by a tuple
+        # source keyword continues the template, anything else ends it.
+        while (
+            self._peek().is_symbol(",")
+            and self._peek(1).type is TokenType.IDENT
+            and self._peek(1).value in TUPLE_SOURCES
+            and self._peek(2).is_symbol("[")
+        ):
+            self._next()  # comma
+            source = self._next().value
+            self._expect_symbol("[")
+            param = self._expect_ident("task parameter").value
+            self._expect_symbol("]")
+            if param not in params:
+                raise self._error(
+                    f"template references unknown task parameter {param!r} "
+                    f"(declared: {params})"
+                )
+            args.append(TemplateArg(source=source, param=param))
+        return PromptTemplate(text="".join(parts), args=tuple(args))
+
+    def _parse_fields_block(self, params: list[str]) -> dict[str, object]:
+        self._expect_symbol("{")
+        block: dict[str, object] = {}
+        while not self._peek().is_symbol("}"):
+            key = self._expect_ident("field name").value
+            self._expect_symbol(":")
+            if self._peek().is_symbol("{"):
+                block[key] = self._parse_fields_block(params)
+            else:
+                block[key] = self._parse_property_value(params)
+            self._accept_symbol(",")
+        self._expect_symbol("}")
+        return block
+
+    def _parse_literal_list(self) -> tuple[object, ...]:
+        self._expect_symbol("[")
+        values: list[object] = []
+        while not self._peek().is_symbol("]"):
+            token = self._next()
+            if token.type is TokenType.STRING:
+                values.append(token.value)
+            elif token.type is TokenType.NUMBER:
+                values.append(float(token.value) if "." in token.value else int(token.value))
+            elif token.is_keyword("UNKNOWN"):
+                values.append(UNKNOWN)
+            elif token.type is TokenType.IDENT:
+                values.append(token.value)
+            else:
+                raise self._error("expected a list element", token)
+            self._accept_symbol(",")
+        self._expect_symbol("]")
+        return tuple(values)
+
+    def _parse_response_spec(self, kind: str) -> ResponseSpec:
+        self._expect_symbol("(")
+        label_token = self._next()
+        if label_token.type is not TokenType.STRING:
+            raise self._error("response spec expects a string label", label_token)
+        options: tuple[object, ...] = ()
+        if self._accept_symbol(","):
+            options = self._parse_literal_list()
+        self._expect_symbol(")")
+        return ResponseSpec(kind=kind, label=label_token.value, options=options)
+
+
+def parse_query(text: str) -> SelectQuery:
+    """Parse a single SELECT statement; raises :class:`ParseError`."""
+    parser = _Parser(tokenize(text))
+    query = parser.parse_select()
+    if not parser.at_end():
+        raise parser._error("unexpected trailing input")
+    return query
+
+
+def parse_task(text: str) -> TaskDefinition:
+    """Parse a single TASK definition; raises :class:`ParseError`."""
+    parser = _Parser(tokenize(text))
+    task = parser.parse_task_definition()
+    if not parser.at_end():
+        raise parser._error("unexpected trailing input")
+    return task
+
+
+def parse_statements(text: str) -> list[Statement]:
+    """Parse a script of SELECT and TASK statements."""
+    parser = _Parser(tokenize(text))
+    statements: list[Statement] = []
+    while not parser.at_end():
+        statements.append(parser.parse_statement())
+    return statements
+
+
+def parse_expression(text: str) -> Expression:
+    """Parse a bare expression; raises :class:`ParseError`."""
+    parser = _Parser(tokenize(text))
+    expr = parser._parse_expression()
+    if not parser.at_end():
+        raise parser._error("unexpected trailing input")
+    return expr

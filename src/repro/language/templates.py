@@ -1,0 +1,88 @@
+"""Prompt templates: HTML strings with ``%s`` holes filled from tuples.
+
+The TASK DSL writes prompts as a format string followed by tuple-field
+arguments, e.g.::
+
+    Prompt: "<img src='%s'>", tuple[field]
+    LeftPreview: "<img src='%s' class=smImg>", tuple1[f1]
+
+``tuple`` refers to the single input tuple of a filter/generative/rank task;
+``tuple1``/``tuple2`` refer to the left and right tuples of a join task. The
+bracketed name is the *formal parameter* of the task, which the query binds
+to a concrete column (``isFemale(c)`` binds ``field`` to ``c``'s row;
+``gender(c.img)`` binds it to the ``img`` column of alias ``c``).
+"""
+
+from __future__ import annotations
+
+import html as _html
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.errors import TaskError
+
+TUPLE_SOURCES = ("tuple", "tuple1", "tuple2")
+
+
+@dataclass(frozen=True)
+class TemplateArg:
+    """One substitution argument: a task parameter read from a tuple source.
+
+    ``source`` is ``tuple``, ``tuple1`` or ``tuple2``; ``param`` is the name
+    of the task's formal parameter whose bound column supplies the value.
+    """
+
+    source: str
+    param: str
+
+    def __post_init__(self) -> None:
+        if self.source not in TUPLE_SOURCES:
+            raise TaskError(
+                f"template argument source must be one of {TUPLE_SOURCES}, "
+                f"got {self.source!r}"
+            )
+
+    def __str__(self) -> str:
+        return f"{self.source}[{self.param}]"
+
+
+@dataclass(frozen=True)
+class PromptTemplate:
+    """A ``%s`` format string plus its tuple-field arguments."""
+
+    text: str
+    args: tuple[TemplateArg, ...] = ()
+
+    def __post_init__(self) -> None:
+        holes = self.text.count("%s")
+        if holes != len(self.args):
+            raise TaskError(
+                f"template has {holes} %s holes but {len(self.args)} arguments: "
+                f"{self.text!r}"
+            )
+
+    def render(self, bindings: Mapping[tuple[str, str], object], escape: bool = False) -> str:
+        """Fill the holes from ``bindings``.
+
+        ``bindings`` maps ``(source, param)`` to the concrete value. With
+        ``escape=True`` values are HTML-escaped (used when values are data
+        rather than markup).
+        """
+        values = []
+        for arg in self.args:
+            key = (arg.source, arg.param)
+            if key not in bindings:
+                raise TaskError(f"no binding for template argument {arg}")
+            value = str(bindings[key])
+            values.append(_html.escape(value) if escape else value)
+        return self.text % tuple(values)
+
+    def required_params(self) -> set[tuple[str, str]]:
+        """The (source, param) pairs this template needs bound."""
+        return {(arg.source, arg.param) for arg in self.args}
+
+    def __str__(self) -> str:
+        if not self.args:
+            return repr(self.text)
+        rendered_args = ", ".join(str(arg) for arg in self.args)
+        return f"{self.text!r}, {rendered_args}"

@@ -1,0 +1,85 @@
+"""Fleiss' κ (1971) and the paper's modified variant.
+
+Standard Fleiss' κ measures agreement among raters assigning categorical
+labels, compensating for chance agreement using *empirical* category
+frequencies. The paper uses it to detect ambiguous join features (Table 4).
+
+For sort-comparison data, the paper found the empirical-prior compensation
+misbehaves "due to correlation between comparator values" and "removed the
+compensating factor" (§4.2.3 footnote). We interpret the modification as
+replacing the empirical category prior with a uniform prior over the
+categories: expected agreement becomes P̄ₑ = 1/k, so
+
+    κ_mod = (P̄ − 1/k) / (1 − 1/k).
+
+For binary comparison votes this is 2·P̄ − 1: 0 for coin-flip answers, 1 for
+unanimity — exactly the behaviour Figure 6 needs (random query Q5 ≈ 0).
+
+Both functions accept per-item label-count mappings and tolerate unequal
+rater counts per item (each item's pairwise agreement uses its own count).
+Items with fewer than two ratings are skipped.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.errors import QurkError
+
+
+def _pairwise_agreement(counts: Mapping[object, int]) -> tuple[float, int] | None:
+    """(P_i, n_i) for one item, or None if fewer than two ratings."""
+    n = sum(counts.values())
+    if n < 2:
+        return None
+    agree = sum(count * (count - 1) for count in counts.values())
+    return agree / (n * (n - 1)), n
+
+
+def fleiss_kappa(rows: Sequence[Mapping[object, int]]) -> float:
+    """Standard Fleiss' κ over items × category-count rows."""
+    usable: list[tuple[float, Mapping[object, int], int]] = []
+    for counts in rows:
+        pair = _pairwise_agreement(counts)
+        if pair is not None:
+            usable.append((pair[0], counts, pair[1]))
+    if not usable:
+        raise QurkError("no item has two or more ratings; kappa undefined")
+    mean_agreement = sum(p for p, _, _ in usable) / len(usable)
+    # Empirical category shares pooled over all ratings.
+    totals: dict[object, int] = {}
+    grand_total = 0
+    for _, counts, n in usable:
+        for label, count in counts.items():
+            totals[label] = totals.get(label, 0) + count
+        grand_total += n
+    expected = sum((count / grand_total) ** 2 for count in totals.values())
+    if expected >= 1.0:
+        # Every rating was the same single category: perfect but degenerate.
+        return 1.0
+    return (mean_agreement - expected) / (1.0 - expected)
+
+
+def modified_kappa(
+    rows: Sequence[Mapping[object, int]], categories: int | None = None
+) -> float:
+    """The paper's prior-free κ: uniform-chance-corrected mean agreement.
+
+    ``categories`` fixes k explicitly (e.g. 2 for pairwise-comparison
+    votes); otherwise k is the number of distinct labels observed.
+    """
+    usable: list[tuple[float, Mapping[object, int]]] = []
+    labels: set[object] = set()
+    for counts in rows:
+        pair = _pairwise_agreement(counts)
+        if pair is not None:
+            usable.append((pair[0], counts))
+            labels.update(label for label, count in counts.items() if count > 0)
+    if not usable:
+        raise QurkError("no item has two or more ratings; kappa undefined")
+    k = categories if categories is not None else max(2, len(labels))
+    if k < 2:
+        raise QurkError("need at least two categories")
+    mean_agreement = sum(p for p, _ in usable) / len(usable)
+    chance = 1.0 / k
+    return (mean_agreement - chance) / (1.0 - chance)

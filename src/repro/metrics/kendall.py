@@ -1,0 +1,74 @@
+"""Kendall's τ-b rank correlation (Kendall 1938), tie-aware.
+
+The paper compares sorted lists with the τ-b variant "which allows two items
+to have the same rank order" (§4.2): -1 is inverse correlation, 0 none, 1
+perfect. Implemented from first principles (O(n²), fine at the paper's
+dataset sizes) and cross-validated against scipy in the test suite.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+from repro.errors import QurkError
+
+
+def kendall_tau_b(x: Sequence[float], y: Sequence[float]) -> float:
+    """τ-b between two paired score vectors.
+
+    τ-b = (P − Q) / sqrt((P + Q + Tx)(P + Q + Ty)) where P/Q count
+    concordant/discordant pairs and Tx/Ty count pairs tied only in x / only
+    in y. Pairs tied in both vectors are excluded from every term.
+    """
+    if len(x) != len(y):
+        raise QurkError(f"paired vectors differ in length: {len(x)} vs {len(y)}")
+    n = len(x)
+    if n < 2:
+        raise QurkError("need at least two observations for tau")
+    concordant = 0
+    discordant = 0
+    ties_x_only = 0
+    ties_y_only = 0
+    for i in range(n):
+        for j in range(i + 1, n):
+            dx = x[i] - x[j]
+            dy = y[i] - y[j]
+            if dx == 0 and dy == 0:
+                continue
+            if dx == 0:
+                ties_x_only += 1
+            elif dy == 0:
+                ties_y_only += 1
+            elif (dx > 0) == (dy > 0):
+                concordant += 1
+            else:
+                discordant += 1
+    denom_x = concordant + discordant + ties_x_only
+    denom_y = concordant + discordant + ties_y_only
+    if denom_x == 0 or denom_y == 0:
+        raise QurkError("tau undefined: one vector is entirely tied")
+    return (concordant - discordant) / math.sqrt(denom_x * denom_y)
+
+
+def kendall_tau_from_orders(
+    order_a: Sequence[object],
+    order_b: Sequence[object],
+    scores_a: Mapping[object, float] | None = None,
+    scores_b: Mapping[object, float] | None = None,
+) -> float:
+    """τ-b between two orderings of the same item set.
+
+    Orderings are lists from least to greatest. When score mappings are
+    given they are used directly (preserving ties, e.g. equal mean ratings);
+    otherwise list positions serve as scores. Items must coincide.
+    """
+    if set(order_a) != set(order_b):
+        missing = set(order_a) ^ set(order_b)
+        raise QurkError(f"orderings cover different items, e.g. {sorted(map(str, missing))[:3]}")
+    items = list(order_a)
+    rank_a = scores_a or {item: position for position, item in enumerate(order_a)}
+    rank_b = scores_b or {item: position for position, item in enumerate(order_b)}
+    x = [float(rank_a[item]) for item in items]
+    y = [float(rank_b[item]) for item in items]
+    return kendall_tau_b(x, y)

@@ -1,0 +1,98 @@
+"""Immutable rows bound to a schema."""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping
+
+from repro.errors import SchemaError
+from repro.relational.schema import Schema
+
+
+class Row(Mapping[str, object]):
+    """An immutable, schema-validated tuple of named values.
+
+    Rows behave like read-only mappings from column name to value. They are
+    hashable (so operators can use them in sets/dicts for deduplication and
+    caching) as long as their values are hashable.
+    """
+
+    __slots__ = ("_schema", "_values")
+
+    def __init__(self, schema: Schema, values: Mapping[str, object]) -> None:
+        schema.validate(dict(values))
+        self._schema = schema
+        self._values = tuple(values[name] for name in schema.names)
+
+    @property
+    def schema(self) -> Schema:
+        """The schema this row conforms to."""
+        return self._schema
+
+    def __getitem__(self, name: str) -> object:
+        return self._values[self._schema.index_of(name)]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._schema.names)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __hash__(self) -> int:
+        return hash((self._schema.names, self._values))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Row):
+            return NotImplemented
+        return (
+            self._schema.names == other._schema.names
+            and self._values == other._values
+        )
+
+    def __repr__(self) -> str:
+        pairs = ", ".join(
+            f"{name}={value!r}" for name, value in zip(self._schema.names, self._values)
+        )
+        return f"Row({pairs})"
+
+    def get(self, name: str, default: object = None) -> object:
+        """Value of ``name``, or ``default`` if the column does not exist."""
+        if name not in self._schema:
+            return default
+        return self[name]
+
+    def as_dict(self) -> dict[str, object]:
+        """A plain mutable dict copy of the row."""
+        return dict(zip(self._schema.names, self._values))
+
+    def project(self, names: list[str]) -> "Row":
+        """Row restricted to the given columns (new schema)."""
+        schema = self._schema.project(names)
+        return Row(schema, {name: self[name] for name in names})
+
+    def prefixed(self, prefix: str) -> "Row":
+        """Row with columns renamed to ``prefix.name`` (alias binding)."""
+        schema = self._schema.prefixed(prefix)
+        values = {
+            f"{prefix}.{name}": value
+            for name, value in zip(self._schema.names, self._values)
+        }
+        return Row(schema, values)
+
+    def merged(self, other: "Row") -> "Row":
+        """Row with this row's columns followed by ``other``'s (join output)."""
+        overlap = set(self._schema.names) & set(other.schema.names)
+        if overlap:
+            raise SchemaError(f"cannot merge rows sharing columns {sorted(overlap)}")
+        schema = self._schema.concat(other.schema)
+        values = self.as_dict()
+        values.update(other.as_dict())
+        return Row(schema, values)
+
+    def extended(self, name: str, value: object) -> "Row":
+        """Row with one extra ``any``-typed column appended."""
+        from repro.relational.schema import Column, ColumnType
+
+        schema = self._schema.extended(Column(name, ColumnType.ANY))
+        values = self.as_dict()
+        values[name] = value
+        return Row(schema, values)

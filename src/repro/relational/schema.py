@@ -1,0 +1,171 @@
+"""Typed schemas for in-memory tables.
+
+A :class:`Schema` is an ordered collection of named, typed columns. Schemas
+validate rows on insert (catching simulator bugs early) and support the
+derivations the planner needs: projection, renaming with an alias prefix, and
+concatenation for join outputs.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.errors import SchemaError
+
+
+class ColumnType(enum.Enum):
+    """The column types Qurk queries manipulate.
+
+    ``ANY`` admits any value and is used for UDF-computed columns whose type
+    is not declared (e.g. generative task outputs).
+    """
+
+    TEXT = "text"
+    INTEGER = "integer"
+    FLOAT = "float"
+    BOOLEAN = "boolean"
+    URL = "url"
+    ANY = "any"
+
+    def accepts(self, value: object) -> bool:
+        """Whether ``value`` conforms to this column type (None is allowed)."""
+        if value is None or self is ColumnType.ANY:
+            return True
+        if self is ColumnType.TEXT or self is ColumnType.URL:
+            return isinstance(value, str)
+        if self is ColumnType.INTEGER:
+            return isinstance(value, int) and not isinstance(value, bool)
+        if self is ColumnType.FLOAT:
+            return isinstance(value, (int, float)) and not isinstance(value, bool)
+        if self is ColumnType.BOOLEAN:
+            return isinstance(value, bool)
+        raise AssertionError(f"unhandled column type {self}")
+
+
+@dataclass(frozen=True)
+class Column:
+    """A named, typed column."""
+
+    name: str
+    type: ColumnType = ColumnType.ANY
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("column name must be non-empty")
+
+    def renamed(self, name: str) -> "Column":
+        """A copy of this column with a different name."""
+        return Column(name=name, type=self.type)
+
+
+class Schema:
+    """An ordered, duplicate-free collection of columns."""
+
+    def __init__(self, columns: Iterable[Column]) -> None:
+        self.columns: tuple[Column, ...] = tuple(columns)
+        names = [column.name for column in self.columns]
+        duplicates = {name for name in names if names.count(name) > 1}
+        if duplicates:
+            raise SchemaError(f"duplicate column names: {sorted(duplicates)}")
+        self._index = {column.name: i for i, column in enumerate(self.columns)}
+
+    @classmethod
+    def of(cls, *specs: str) -> "Schema":
+        """Build a schema from ``"name type"`` strings, e.g. ``"img url"``.
+
+        The type defaults to ``any`` when omitted, mirroring the paper's
+        schema notation like ``celeb(name text, img url)``.
+        """
+        columns = []
+        for spec in specs:
+            parts = spec.split()
+            if len(parts) == 1:
+                columns.append(Column(parts[0]))
+            elif len(parts) == 2:
+                try:
+                    column_type = ColumnType(parts[1].lower())
+                except ValueError as exc:
+                    raise SchemaError(f"unknown column type in {spec!r}") from exc
+                columns.append(Column(parts[0], column_type))
+            else:
+                raise SchemaError(f"bad column spec {spec!r}; want 'name [type]'")
+        return cls(columns)
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """Column names in declaration order."""
+        return tuple(column.name for column in self.columns)
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def __iter__(self) -> Iterator[Column]:
+        return iter(self.columns)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._index
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Schema) and self.columns == other.columns
+
+    def __hash__(self) -> int:
+        return hash(self.columns)
+
+    def __repr__(self) -> str:
+        cols = ", ".join(f"{c.name} {c.type.value}" for c in self.columns)
+        return f"Schema({cols})"
+
+    def column(self, name: str) -> Column:
+        """The column with the given name; raises :class:`SchemaError`."""
+        try:
+            return self.columns[self._index[name]]
+        except KeyError as exc:
+            raise SchemaError(
+                f"no column {name!r}; have {list(self.names)}"
+            ) from exc
+
+    def index_of(self, name: str) -> int:
+        """Position of the named column."""
+        self.column(name)
+        return self._index[name]
+
+    def project(self, names: Iterable[str]) -> "Schema":
+        """Schema containing only the given columns, in the given order."""
+        return Schema([self.column(name) for name in names])
+
+    def prefixed(self, prefix: str) -> "Schema":
+        """Schema with every column renamed to ``prefix.name``.
+
+        Used when binding a table under an alias so join outputs keep both
+        sides' columns addressable (``c.img``, ``p.img``).
+        """
+        return Schema(
+            [column.renamed(f"{prefix}.{column.name}") for column in self.columns]
+        )
+
+    def concat(self, other: "Schema") -> "Schema":
+        """Schema with this schema's columns followed by ``other``'s."""
+        return Schema([*self.columns, *other.columns])
+
+    def extended(self, column: Column) -> "Schema":
+        """Schema with one extra column appended."""
+        return Schema([*self.columns, column])
+
+    def validate(self, values: dict[str, object]) -> None:
+        """Check that ``values`` binds exactly this schema's columns with
+        type-conforming values; raises :class:`SchemaError` otherwise."""
+        missing = [name for name in self.names if name not in values]
+        if missing:
+            raise SchemaError(f"row missing columns {missing}")
+        extra = [name for name in values if name not in self._index]
+        if extra:
+            raise SchemaError(f"row has unknown columns {sorted(extra)}")
+        for column in self.columns:
+            value = values[column.name]
+            if not column.type.accepts(value):
+                raise SchemaError(
+                    f"column {column.name!r} expects {column.type.value}, "
+                    f"got {value!r} ({type(value).__name__})"
+                )

@@ -1,0 +1,55 @@
+"""Sort algorithms over crowd answers (§4).
+
+The crowd provides *information* — pairwise comparisons or per-item ratings
+— and these modules turn it into orders:
+
+* :mod:`repro.sorting.groups` — covering designs: groups of S items whose
+  internal rankings jointly cover every pair.
+* :mod:`repro.sorting.head_to_head` — the paper's "head-to-head" ordering
+  by number of pairwise wins.
+* :mod:`repro.sorting.graph` — the alternative: comparison digraph, cycle
+  breaking, topological sort.
+* :mod:`repro.sorting.rating` — mean/σ rating summaries and rating order.
+* :mod:`repro.sorting.hybrid` — iterative refinement of a rating order
+  using comparison windows (random / confidence / sliding selection).
+* :mod:`repro.sorting.topk` — top-K and MAX/MIN aggregates.
+"""
+
+from repro.sorting.graph import (
+    ComparisonGraph,
+    break_cycles,
+    strongly_connected_components,
+    topological_order,
+)
+from repro.sorting.groups import covering_groups, pairs_covered
+from repro.sorting.head_to_head import head_to_head_order, pair_winners_from_votes
+from repro.sorting.hybrid import (
+    ConfidenceStrategy,
+    HybridSorter,
+    RandomStrategy,
+    SlidingWindowStrategy,
+    WindowStrategy,
+)
+from repro.sorting.rating import RatingSummary, order_by_rating, summarize_ratings
+from repro.sorting.topk import pick_extreme_order, top_k
+
+__all__ = [
+    "ComparisonGraph",
+    "ConfidenceStrategy",
+    "HybridSorter",
+    "RandomStrategy",
+    "RatingSummary",
+    "SlidingWindowStrategy",
+    "WindowStrategy",
+    "break_cycles",
+    "covering_groups",
+    "head_to_head_order",
+    "order_by_rating",
+    "pair_winners_from_votes",
+    "pairs_covered",
+    "pick_extreme_order",
+    "strongly_connected_components",
+    "summarize_ratings",
+    "top_k",
+    "topological_order",
+]

@@ -1,0 +1,188 @@
+"""Comparison digraphs: the paper's alternative ordering strategy (§4.1.1).
+
+"One way to resolve such ambiguities is to build a directed graph of items,
+where there is an edge from item i to item j if i > j. We can run a
+cycle-breaking algorithm on the graph, and perform a topological sort to
+compute an approximate order."
+
+Cycle breaking deletes, within each strongly connected component, the edge
+with the weakest support (vote margin) until the graph is acyclic. SCCs are
+found with Tarjan's algorithm, implemented from scratch (iteratively, to
+dodge recursion limits).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Mapping, Sequence
+
+from repro.errors import QurkError
+from repro.hits.hit import Vote
+
+
+class ComparisonGraph:
+    """A weighted digraph: edge u → v means "u beats v" with a vote margin."""
+
+    def __init__(self, items: Sequence[str]) -> None:
+        self.items = list(dict.fromkeys(items))
+        self._edges: dict[tuple[str, str], float] = {}
+
+    @classmethod
+    def from_votes(
+        cls, items: Sequence[str], corpus: Mapping[str, Sequence[Vote]]
+    ) -> "ComparisonGraph":
+        """Build from comparison votes: one edge per pair, winner → loser,
+        weighted by the winning margin (ties produce no edge)."""
+        graph = cls(items)
+        for qid, votes in corpus.items():
+            parts = qid.rsplit(":cmp:", 1)
+            if len(parts) != 2:
+                raise QurkError(f"malformed comparison qid {qid!r}")
+            a, b = parts[1].split("|", 1)
+            counts = Counter(str(vote.value) for vote in votes)
+            wins_a, wins_b = counts.get(a, 0), counts.get(b, 0)
+            if wins_a > wins_b:
+                graph.add_edge(a, b, wins_a - wins_b)
+            elif wins_b > wins_a:
+                graph.add_edge(b, a, wins_b - wins_a)
+        return graph
+
+    def add_edge(self, winner: str, loser: str, weight: float = 1.0) -> None:
+        """Record that ``winner`` beats ``loser`` with the given margin."""
+        if winner == loser:
+            raise QurkError("self-comparison edge")
+        for node in (winner, loser):
+            if node not in self.items:
+                self.items.append(node)
+        self._edges[(winner, loser)] = self._edges.get((winner, loser), 0.0) + weight
+
+    @property
+    def edges(self) -> dict[tuple[str, str], float]:
+        """Edge map (winner, loser) → margin."""
+        return dict(self._edges)
+
+    def successors(self, node: str) -> list[str]:
+        """Nodes this node beats."""
+        return [loser for (winner, loser) in self._edges if winner == node]
+
+    def remove_edge(self, winner: str, loser: str) -> None:
+        """Delete one edge."""
+        del self._edges[(winner, loser)]
+
+
+def strongly_connected_components(graph: ComparisonGraph) -> list[list[str]]:
+    """Tarjan's SCC algorithm (iterative)."""
+    index_counter = 0
+    indices: dict[str, int] = {}
+    lowlinks: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    components: list[list[str]] = []
+
+    adjacency: dict[str, list[str]] = {node: [] for node in graph.items}
+    for winner, loser in graph.edges:
+        adjacency[winner].append(loser)
+
+    for root in graph.items:
+        if root in indices:
+            continue
+        work = [(root, iter(adjacency[root]))]
+        indices[root] = lowlinks[root] = index_counter
+        index_counter += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, successors = work[-1]
+            advanced = False
+            for succ in successors:
+                if succ not in indices:
+                    indices[succ] = lowlinks[succ] = index_counter
+                    index_counter += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append((succ, iter(adjacency[succ])))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    lowlinks[node] = min(lowlinks[node], indices[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlinks[parent] = min(lowlinks[parent], lowlinks[node])
+            if lowlinks[node] == indices[node]:
+                component = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                components.append(component)
+    return components
+
+
+def break_cycles(graph: ComparisonGraph) -> list[tuple[str, str]]:
+    """Delete minimum-margin edges inside SCCs until the graph is acyclic.
+
+    Returns the removed edges. Low-margin edges are the least trustworthy
+    comparisons, so sacrificing them first preserves the most crowd signal.
+    """
+    removed: list[tuple[str, str]] = []
+    while True:
+        cyclic = [
+            component
+            for component in strongly_connected_components(graph)
+            if len(component) > 1
+        ]
+        if not cyclic:
+            return removed
+        for component in cyclic:
+            members = set(component)
+            internal = [
+                (edge, weight)
+                for edge, weight in graph.edges.items()
+                if edge[0] in members and edge[1] in members
+            ]
+            victim = min(internal, key=lambda pair: (pair[1], pair[0]))[0]
+            graph.remove_edge(*victim)
+            removed.append(victim)
+
+
+def topological_order(graph: ComparisonGraph) -> list[str]:
+    """Kahn topological sort, least → most.
+
+    An edge winner → loser means the winner is *greater*, so nodes with no
+    incoming edges are maxima; we compute the standard order and reverse it.
+    Raises :class:`QurkError` if the graph still has cycles.
+    """
+    in_degree: dict[str, int] = {node: 0 for node in graph.items}
+    for _, loser in graph.edges:
+        in_degree[loser] += 1
+    ready = sorted(node for node, degree in in_degree.items() if degree == 0)
+    order: list[str] = []
+    adjacency: dict[str, list[str]] = {node: [] for node in graph.items}
+    for winner, loser in graph.edges:
+        adjacency[winner].append(loser)
+    while ready:
+        node = ready.pop(0)
+        order.append(node)
+        for succ in sorted(adjacency[node]):
+            in_degree[succ] -= 1
+            if in_degree[succ] == 0:
+                ready.append(succ)
+        ready.sort()
+    if len(order) != len(graph.items):
+        raise QurkError("graph has cycles; run break_cycles first")
+    order.reverse()
+    return order
+
+
+def graph_order(
+    items: Sequence[str], corpus: Mapping[str, Sequence[Vote]]
+) -> list[str]:
+    """Convenience: votes → cycle-broken topological order (least → most)."""
+    graph = ComparisonGraph.from_votes(items, corpus)
+    break_cycles(graph)
+    return topological_order(graph)

@@ -1,0 +1,93 @@
+"""Group generation for comparison sorts (§4.1.1).
+
+The comparison interface shows S items per group and yields C(S, 2)
+pairwise comparisons per group, so covering all C(N, 2) pairs needs at
+least N(N−1)/(S(S−1)) groups. The greedy generator below may emit
+overlapping groups — as the paper notes, "our batch-generation algorithm
+may generate overlapping groups, so some pairs may be shown more than 5
+times" — but always covers every pair.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import QurkError
+from repro.util.rng import RandomSource
+
+
+def pairs_covered(groups: Sequence[Sequence[str]]) -> set[tuple[str, str]]:
+    """The set of (sorted) item pairs appearing together in some group."""
+    covered: set[tuple[str, str]] = set()
+    for group in groups:
+        for i in range(len(group)):
+            for j in range(i + 1, len(group)):
+                a, b = sorted((group[i], group[j]))
+                covered.add((a, b))
+    return covered
+
+
+def minimum_group_count(n_items: int, group_size: int) -> float:
+    """The paper's lower bound N(N−1)/(S(S−1)) on group count."""
+    return (n_items * (n_items - 1)) / (group_size * (group_size - 1))
+
+
+def covering_groups(
+    items: Sequence[str], group_size: int, seed: int = 0
+) -> list[tuple[str, ...]]:
+    """Greedy covering design: groups of ``group_size`` covering all pairs.
+
+    Strategy: repeatedly build a group seeded with the item participating in
+    the most uncovered pairs, then grow it with the item covering the most
+    new pairs against the current members. Ties break randomly (seeded) so
+    repeated trials explore different designs.
+    """
+    unique = list(dict.fromkeys(items))
+    if len(unique) != len(items):
+        raise QurkError("items must be distinct")
+    if group_size < 2:
+        raise QurkError("group size must be at least 2")
+    if group_size > len(unique):
+        raise QurkError(
+            f"group size {group_size} exceeds item count {len(unique)}"
+        )
+    rng = RandomSource(seed).child("covering-groups")
+    uncovered: set[tuple[str, str]] = set()
+    for i in range(len(unique)):
+        for j in range(i + 1, len(unique)):
+            uncovered.add(tuple(sorted((unique[i], unique[j]))))  # type: ignore[arg-type]
+
+    degree: dict[str, int] = {item: len(unique) - 1 for item in unique}
+
+    def uncovered_with(item: str, members: list[str]) -> int:
+        return sum(
+            1 for member in members if tuple(sorted((item, member))) in uncovered
+        )
+
+    groups: list[tuple[str, ...]] = []
+    while uncovered:
+        max_degree = max(degree.values())
+        seeds = [item for item, d in degree.items() if d == max_degree]
+        group = [rng.choice(seeds)]
+        while len(group) < group_size:
+            best_gain = -1
+            candidates: list[str] = []
+            for item in unique:
+                if item in group:
+                    continue
+                gain = uncovered_with(item, group)
+                if gain > best_gain:
+                    best_gain = gain
+                    candidates = [item]
+                elif gain == best_gain:
+                    candidates.append(item)
+            group.append(rng.choice(candidates))
+        for i in range(len(group)):
+            for j in range(i + 1, len(group)):
+                pair = tuple(sorted((group[i], group[j])))
+                if pair in uncovered:
+                    uncovered.discard(pair)  # type: ignore[arg-type]
+                    degree[pair[0]] -= 1
+                    degree[pair[1]] -= 1
+        groups.append(tuple(group))
+    return groups

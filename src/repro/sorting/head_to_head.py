@@ -1,0 +1,94 @@
+"""Head-to-head ordering (§4.1.1).
+
+"We can compute the number of HITs in which each item was ranked higher
+than other items. This approach, which we call 'head-to-head', provides an
+intuitively correct ordering on the data, which is identical to the true
+ordering when there are no cycles."
+
+Items are scored by pairwise wins (after per-pair majority voting) and
+sorted ascending by score, so the returned order runs least → most — the
+same direction as the latent values.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Mapping, Sequence
+
+from repro.errors import QurkError
+from repro.hits.hit import Vote
+
+
+def pair_winners_from_votes(
+    corpus: Mapping[str, Sequence[Vote]]
+) -> dict[tuple[str, str], str]:
+    """Majority winner per comparison question.
+
+    Question ids follow the ``task:cmp:a|b`` convention; the vote values are
+    winning item references. Ties break toward the lexicographically smaller
+    item for determinism.
+    """
+    winners: dict[tuple[str, str], str] = {}
+    for qid, votes in corpus.items():
+        if not votes:
+            continue
+        try:
+            pair_part = qid.rsplit(":cmp:", 1)[1]
+            a, b = pair_part.split("|", 1)
+        except (IndexError, ValueError) as exc:
+            raise QurkError(f"malformed comparison qid {qid!r}") from exc
+        counts = Counter(vote.value for vote in votes)
+        top = max(counts.values())
+        leaders = sorted(
+            [value for value, count in counts.items() if count == top], key=str
+        )
+        winners[(a, b)] = str(leaders[0])
+    return winners
+
+
+def head_to_head_order(
+    items: Sequence[str],
+    winners: Mapping[tuple[str, str], str],
+) -> list[str]:
+    """Order items ascending by number of pairwise wins.
+
+    ``winners`` maps (a, b) pairs (any orientation) to the winning item.
+    Items never appearing in a pair score zero. Win-count ties break by item
+    reference for determinism.
+    """
+    wins: dict[str, int] = {item: 0 for item in items}
+    for (a, b), winner in winners.items():
+        if winner not in (a, b):
+            raise QurkError(
+                f"winner {winner!r} is neither side of the pair ({a!r}, {b!r})"
+            )
+        if winner in wins:
+            wins[winner] += 1
+    return sorted(items, key=lambda item: (wins[item], item))
+
+
+def win_fractions(
+    items: Sequence[str], corpus: Mapping[str, Sequence[Vote]]
+) -> dict[str, float]:
+    """Raw vote-level win share per item (no per-pair majority first).
+
+    A smoother score than whole-pair wins; used by EXPLAIN output and the
+    hybrid sorter's diagnostics.
+    """
+    wins: dict[str, int] = {item: 0 for item in items}
+    appearances: dict[str, int] = {item: 0 for item in items}
+    for qid, votes in corpus.items():
+        pair_part = qid.rsplit(":cmp:", 1)
+        if len(pair_part) != 2:
+            raise QurkError(f"malformed comparison qid {qid!r}")
+        a, b = pair_part[1].split("|", 1)
+        for vote in votes:
+            for side in (a, b):
+                if side in appearances:
+                    appearances[side] += 1
+            if vote.value in wins:
+                wins[str(vote.value)] += 1
+    return {
+        item: (wins[item] / appearances[item]) if appearances[item] else 0.0
+        for item in items
+    }

@@ -1,0 +1,58 @@
+"""Top-K and MAX/MIN aggregates over crowd orderings (§2.3).
+
+"For top-K, we simply perform a complete sort and extract the top-K items.
+For MAX/MIN, we use an interface that extracts the best element from a
+batch at a time."
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.errors import QurkError
+
+
+def top_k(order: Sequence[str], k: int, most: bool = True) -> list[str]:
+    """The top (or bottom) k items of a least→most ordering."""
+    if k < 1:
+        raise QurkError("k must be positive")
+    if k > len(order):
+        raise QurkError(f"k={k} exceeds item count {len(order)}")
+    return list(reversed(order[-k:])) if most else list(order[:k])
+
+
+PickFunction = Callable[[Sequence[str]], str]
+"""Runs one best-of-batch HIT; returns the chosen item."""
+
+
+def pick_extreme_order(
+    items: Sequence[str],
+    pick: PickFunction,
+    batch_size: int = 5,
+) -> tuple[str, int]:
+    """Tournament MAX/MIN: repeatedly pick the best of each batch.
+
+    Returns (winner, number of HITs spent). The HIT count is
+    ≈ ceil(N/b) + ceil(N/b²) + … ≈ N/(b−1), linear in N — far cheaper than
+    a full sort when only the extreme is needed.
+    """
+    if not items:
+        raise QurkError("cannot pick from an empty item set")
+    if batch_size < 2:
+        raise QurkError("batch size must be at least 2")
+    remaining = list(items)
+    hits = 0
+    while len(remaining) > 1:
+        next_round: list[str] = []
+        for start in range(0, len(remaining), batch_size):
+            batch = remaining[start : start + batch_size]
+            if len(batch) == 1:
+                next_round.append(batch[0])
+                continue
+            winner = pick(batch)
+            if winner not in batch:
+                raise QurkError(f"picked item {winner!r} not in batch {batch}")
+            hits += 1
+            next_round.append(winner)
+        remaining = next_round
+    return remaining[0], hits

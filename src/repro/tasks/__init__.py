@@ -1,0 +1,30 @@
+"""Crowd task templates (§2.1–2.4).
+
+A :class:`~repro.tasks.base.Task` describes *how to ask the crowd* about
+tuples: the prompt HTML, the response widgets, and how multiple worker
+responses combine. Four pre-defined template types mirror the paper:
+
+* :class:`~repro.tasks.filter.FilterTask` — yes/no questions per tuple.
+* :class:`~repro.tasks.generative.GenerativeTask` — free-text or categorical
+  data generation, with normalizers, possibly multi-field.
+* :class:`~repro.tasks.rank.RankTask` — ordering via comparisons or ratings.
+* :class:`~repro.tasks.equijoin.EquiJoinTask` — pairwise match questions.
+"""
+
+from repro.tasks.base import Task, TaskType, resolve_item_ref, task_from_definition
+from repro.tasks.equijoin import EquiJoinTask
+from repro.tasks.filter import FilterTask
+from repro.tasks.generative import GenerativeField, GenerativeTask
+from repro.tasks.rank import RankTask
+
+__all__ = [
+    "EquiJoinTask",
+    "FilterTask",
+    "GenerativeField",
+    "GenerativeTask",
+    "RankTask",
+    "Task",
+    "TaskType",
+    "resolve_item_ref",
+    "task_from_definition",
+]

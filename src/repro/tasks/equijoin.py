@@ -1,0 +1,102 @@
+"""EquiJoin tasks: pairwise match questions for crowd joins (§2.4)."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import TaskError
+from repro.language.templates import PromptTemplate
+from repro.tasks.base import Task, TaskType, _string_property, _template_property
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.language.ast import TaskDefinition
+
+
+class EquiJoinTask(Task):
+    """A pairwise "are these the same entity?" question.
+
+    The four templates render the left/right tuples at preview (small) and
+    normal (large) size; SmartBatch grids use previews with hover-to-enlarge
+    (§3.1.3), the other interfaces use normal-size images.
+    """
+
+    task_type = TaskType.EQUIJOIN
+
+    def __init__(
+        self,
+        name: str,
+        params: tuple[str, ...],
+        left_normal: PromptTemplate,
+        right_normal: PromptTemplate,
+        left_preview: PromptTemplate | None = None,
+        right_preview: PromptTemplate | None = None,
+        singular_name: str = "item",
+        plural_name: str = "items",
+        combiner: str = "MajorityVote",
+    ) -> None:
+        super().__init__(name, params, combiner)
+        if len(params) != 2:
+            raise TaskError(
+                f"equijoin task {name!r} must declare exactly two parameters "
+                f"(left field, right field), got {list(params)}"
+            )
+        self.left_normal = left_normal
+        self.right_normal = right_normal
+        self.left_preview = left_preview or left_normal
+        self.right_preview = right_preview or right_normal
+        self.singular_name = singular_name
+        self.plural_name = plural_name
+
+    @property
+    def left_param(self) -> str:
+        """The formal parameter bound to the left relation's column."""
+        return self.params[0]
+
+    @property
+    def right_param(self) -> str:
+        """The formal parameter bound to the right relation's column."""
+        return self.params[1]
+
+    @classmethod
+    def from_definition(cls, defn: "TaskDefinition") -> "EquiJoinTask":
+        """Build from a parsed ``TASK ... TYPE EquiJoin`` definition.
+
+        Accepts the paper's occasional misspelling ``SingluarName``.
+        """
+        singular = "item"
+        for key in ("SingularName", "SingluarName"):
+            if key in defn.properties:
+                singular = _string_property(defn, key)
+                break
+        return cls(
+            name=defn.name,
+            params=defn.params,
+            left_normal=_require_template(defn, "LeftNormal"),
+            right_normal=_require_template(defn, "RightNormal"),
+            left_preview=_template_property(defn, "LeftPreview", required=False),
+            right_preview=_template_property(defn, "RightPreview", required=False),
+            singular_name=singular,
+            plural_name=_string_property(defn, "PluralName", "items"),
+            combiner=_string_property(defn, "Combiner", "MajorityVote"),
+        )
+
+    def pair_question(self) -> str:
+        """The instruction line shown with each candidate pair."""
+        return f"Are these two images the same {self.singular_name}?"
+
+    def grid_question(self) -> str:
+        """The instruction line for a SmartBatch grid."""
+        return (
+            f"Click on pairs of {self.plural_name} (one from each column) "
+            f"that show the same {self.singular_name}."
+        )
+
+    def unit_effort_seconds(self) -> float:
+        # One pair comparison.
+        return 3.0
+
+
+def _require_template(defn: "TaskDefinition", key: str) -> PromptTemplate:
+    template = _template_property(defn, key)
+    assert template is not None
+    return template

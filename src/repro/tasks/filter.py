@@ -1,0 +1,52 @@
+"""Filter tasks: per-tuple yes/no questions (§2.1)."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.language.templates import PromptTemplate
+from repro.tasks.base import Task, TaskType, _string_property, _template_property
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.language.ast import TaskDefinition
+
+
+class FilterTask(Task):
+    """A yes/no question applied to each input tuple.
+
+    Tuples for which the combined crowd answer is "yes" pass the filter. The
+    query compiler may batch several tuples' prompts into one HIT (merging).
+    """
+
+    task_type = TaskType.FILTER
+
+    def __init__(
+        self,
+        name: str,
+        params: tuple[str, ...],
+        prompt: PromptTemplate,
+        yes_text: str = "Yes",
+        no_text: str = "No",
+        combiner: str = "MajorityVote",
+    ) -> None:
+        super().__init__(name, params, combiner)
+        self.prompt = prompt
+        self.yes_text = yes_text
+        self.no_text = no_text
+
+    @classmethod
+    def from_definition(cls, defn: "TaskDefinition") -> "FilterTask":
+        """Build from a parsed ``TASK ... TYPE Filter`` definition."""
+        prompt = _template_property(defn, "Prompt")
+        assert prompt is not None
+        return cls(
+            name=defn.name,
+            params=defn.params,
+            prompt=prompt,
+            yes_text=_string_property(defn, "YesText", "Yes"),
+            no_text=_string_property(defn, "NoText", "No"),
+            combiner=_string_property(defn, "Combiner", "MajorityVote"),
+        )
+
+    def unit_effort_seconds(self) -> float:
+        return 2.0

@@ -1,0 +1,88 @@
+"""Rank tasks: the ORDER BY UDF template (§2.3).
+
+One Rank task definition drives both sort interfaces: the comparison
+interface ("order these squares from smallest to largest") and the rating
+interface ("rate this square's area on a 7-point scale"), as well as the
+MAX/MIN best-of-batch interface. The engine chooses the interface; the task
+supplies the vocabulary (singular/plural names, dimension, least/most labels)
+and per-item HTML.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.language.templates import PromptTemplate
+from repro.tasks.base import Task, TaskType, _string_property, _template_property
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.language.ast import TaskDefinition
+
+LIKERT_POINTS = 7
+"""The paper's rating interface uses a seven-point Likert scale (§4.1.2)."""
+
+
+class RankTask(Task):
+    """Vocabulary + item HTML for crowd-powered ordering."""
+
+    task_type = TaskType.RANK
+
+    def __init__(
+        self,
+        name: str,
+        params: tuple[str, ...],
+        html: PromptTemplate,
+        singular_name: str = "item",
+        plural_name: str = "items",
+        order_dimension_name: str = "value",
+        least_name: str = "least",
+        most_name: str = "most",
+        combiner: str = "MajorityVote",
+        scale_points: int = LIKERT_POINTS,
+    ) -> None:
+        super().__init__(name, params, combiner)
+        self.html = html
+        self.singular_name = singular_name
+        self.plural_name = plural_name
+        self.order_dimension_name = order_dimension_name
+        self.least_name = least_name
+        self.most_name = most_name
+        self.scale_points = scale_points
+
+    @classmethod
+    def from_definition(cls, defn: "TaskDefinition") -> "RankTask":
+        """Build from a parsed ``TASK ... TYPE Rank`` definition."""
+        html = _template_property(defn, "Html")
+        assert html is not None
+        return cls(
+            name=defn.name,
+            params=defn.params,
+            html=html,
+            singular_name=_string_property(defn, "SingularName", "item"),
+            plural_name=_string_property(defn, "PluralName", "items"),
+            order_dimension_name=_string_property(defn, "OrderDimensionName", "value"),
+            least_name=_string_property(defn, "LeastName", "least"),
+            most_name=_string_property(defn, "MostName", "most"),
+            combiner=_string_property(defn, "Combiner", "MajorityVote"),
+        )
+
+    def compare_question(self, group_size: int) -> str:
+        """The instruction line for a comparison-group HIT."""
+        return (
+            f"Order these {group_size} {self.plural_name} by "
+            f"{self.order_dimension_name}, from {self.least_name} "
+            f"to {self.most_name}."
+        )
+
+    def rate_question(self) -> str:
+        """The instruction line for a rating HIT."""
+        return (
+            f"Rate this {self.singular_name} by {self.order_dimension_name} "
+            f"on a {self.scale_points}-point scale "
+            f"(1 = {self.least_name}, {self.scale_points} = {self.most_name})."
+        )
+
+    def unit_effort_seconds(self) -> float:
+        # One rating; comparison-group effort scales with group size and is
+        # computed by the HIT compiler.
+        return 3.0

@@ -1,0 +1,95 @@
+"""Plain-text line charts for figure-shaped results.
+
+The paper's figures plot series (τ vs HITs, accuracy vs scheme); the
+benchmark harness prints them as ASCII charts so the reproduced *curves* —
+not just their endpoints — are visible in terminal output and in
+EXPERIMENTS.md without a plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+_MARKERS = "ox+*#@%&"
+
+
+def ascii_chart(
+    series: Mapping[str, Sequence[float]],
+    height: int = 12,
+    width: int = 60,
+    y_label: str = "",
+    x_label: str = "",
+    y_min: float | None = None,
+    y_max: float | None = None,
+) -> str:
+    """Render one or more numeric series as an ASCII line chart.
+
+    Each series is resampled onto ``width`` columns; values share one y
+    axis, scaled to [y_min, y_max] (inferred from the data when omitted).
+    A legend maps each series name to its marker; later series overwrite
+    earlier ones where they collide.
+    """
+    if not series:
+        raise ValueError("ascii_chart needs at least one series")
+    if height < 2 or width < 8:
+        raise ValueError("chart too small to be legible")
+    values = [v for points in series.values() for v in points if v == v]
+    if not values:
+        raise ValueError("series contain no plottable values")
+    low = y_min if y_min is not None else min(values)
+    high = y_max if y_max is not None else max(values)
+    if high == low:
+        high = low + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    legend: list[str] = []
+    for index, (name, points) in enumerate(series.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        legend.append(f"{marker}={name}")
+        points = list(points)
+        if not points:
+            continue
+        for column in range(width):
+            if len(points) == 1:
+                value = points[0]
+            else:
+                position = column * (len(points) - 1) / (width - 1)
+                lower = int(position)
+                upper = min(lower + 1, len(points) - 1)
+                fraction = position - lower
+                value = points[lower] * (1 - fraction) + points[upper] * fraction
+            scaled = (value - low) / (high - low)
+            row = height - 1 - round(scaled * (height - 1))
+            row = min(max(row, 0), height - 1)
+            grid[row][column] = marker
+
+    lines = []
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            axis = f"{high:8.2f} |"
+        elif row_index == height - 1:
+            axis = f"{low:8.2f} |"
+        else:
+            axis = " " * 8 + " |"
+        lines.append(axis + "".join(row))
+    lines.append(" " * 9 + "+" + "-" * width)
+    footer = " " * 10 + (x_label or "")
+    if y_label:
+        lines.insert(0, f"{y_label}")
+    lines.append(footer.rstrip())
+    lines.append(" " * 10 + "  ".join(legend))
+    return "\n".join(line.rstrip() for line in lines if line.strip() or line == "")
+
+
+def sparkline(points: Sequence[float]) -> str:
+    """A one-line unicode sparkline (▁▂▃▄▅▆▇█) of a series."""
+    if not points:
+        raise ValueError("sparkline needs at least one point")
+    blocks = "▁▂▃▄▅▆▇█"
+    low = min(points)
+    high = max(points)
+    span = (high - low) or 1.0
+    return "".join(
+        blocks[min(len(blocks) - 1, int((value - low) / span * (len(blocks) - 1)))]
+        for value in points
+    )

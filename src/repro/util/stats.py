@@ -1,0 +1,82 @@
+"""Small descriptive-statistics helpers used across metrics and experiments.
+
+These are deliberately dependency-light (no numpy) because they are used in
+hot paths of the simulator and for tiny samples where numpy overhead and
+dtype coercion add noise rather than value.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+
+def mean(values: Iterable[float]) -> float:
+    """Arithmetic mean; raises ``ValueError`` on an empty input."""
+    data = list(values)
+    if not data:
+        raise ValueError("mean() of empty sequence")
+    return sum(data) / len(data)
+
+
+def stddev(values: Iterable[float]) -> float:
+    """Population standard deviation; 0.0 for singleton input."""
+    data = list(values)
+    if not data:
+        raise ValueError("stddev() of empty sequence")
+    if len(data) == 1:
+        return 0.0
+    mu = mean(data)
+    return math.sqrt(sum((value - mu) ** 2 for value in data) / len(data))
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile ``q`` in [0, 100] of ``values``."""
+    if not values:
+        raise ValueError("percentile() of empty sequence")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile q must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    position = (q / 100.0) * (len(ordered) - 1)
+    lower = math.floor(position)
+    upper = math.ceil(position)
+    if lower == upper:
+        return float(ordered[lower])
+    fraction = position - lower
+    interpolated = ordered[lower] * (1 - fraction) + ordered[upper] * fraction
+    # Clamp: rounding in the interpolation must not escape the data range.
+    return float(min(max(interpolated, ordered[lower]), ordered[upper]))
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-style summary of a sample."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+
+    def __str__(self) -> str:
+        return (
+            f"n={self.count} mean={self.mean:.4f} std={self.std:.4f} "
+            f"min={self.minimum:.4f} max={self.maximum:.4f}"
+        )
+
+
+def summarize(values: Iterable[float]) -> Summary:
+    """Build a :class:`Summary` of the sample."""
+    data = [float(v) for v in values]
+    if not data:
+        raise ValueError("summarize() of empty sequence")
+    return Summary(
+        count=len(data),
+        mean=mean(data),
+        std=stddev(data),
+        minimum=min(data),
+        maximum=max(data),
+    )

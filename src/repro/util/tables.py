@@ -1,0 +1,50 @@
+"""Plain-text table rendering for experiment/benchmark output.
+
+The benchmark harness prints the same rows the paper's tables report; this
+module renders them with aligned columns so the output is directly comparable
+to the paper's tables in a terminal.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}".rstrip("0").rstrip(".") if value == value else "nan"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render rows as an aligned ASCII table.
+
+    ``headers`` labels the columns, each row must have the same arity, and an
+    optional ``title`` is printed above the table.
+    """
+    rendered_rows = [[_cell(value) for value in row] for row in rows]
+    for index, row in enumerate(rendered_rows):
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row {index} has {len(row)} cells, expected {len(headers)}"
+            )
+    widths = [len(header) for header in headers]
+    for row in rendered_rows:
+        for col, cell in enumerate(row):
+            widths[col] = max(widths[col], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    separator = "-+-".join("-" * width for width in widths)
+    parts: list[str] = []
+    if title:
+        parts.append(title)
+    parts.append(line(list(headers)))
+    parts.append(separator)
+    parts.extend(line(row) for row in rendered_rows)
+    return "\n".join(parts)

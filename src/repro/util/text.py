@@ -1,0 +1,24 @@
+"""Text helpers shared by normalizers, dataset builders, and the harness."""
+
+from __future__ import annotations
+
+import re
+
+_WHITESPACE = re.compile(r"\s+")
+_NON_SLUG = re.compile(r"[^a-z0-9]+")
+
+
+def lowercase_single_space(text: str) -> str:
+    """Lower-case and collapse all whitespace runs to single spaces.
+
+    This is the paper's ``LowercaseSingleSpace`` normalizer (§2.2), applied to
+    free-text worker responses before combination so that superficially
+    different spellings of the same answer aggregate together.
+    """
+    return _WHITESPACE.sub(" ", text.strip().lower())
+
+
+def slugify(text: str) -> str:
+    """Reduce text to a stable ``[a-z0-9-]`` identifier (for item ids/URLs)."""
+    collapsed = _NON_SLUG.sub("-", text.strip().lower())
+    return collapsed.strip("-")

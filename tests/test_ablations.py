@@ -1,0 +1,37 @@
+"""Tests for the §6 extension ablations."""
+
+from repro.experiments.ablations import (
+    run_ablation_table,
+    run_adaptive_ablation,
+    run_ban_ablation,
+    run_cache_ablation,
+)
+
+
+def test_adaptive_saves_assignments_at_equal_accuracy():
+    result = run_adaptive_ablation(seed=0, n_celebs=10)
+    assert result.savings_fraction > 0.15
+    assert result.adaptive_correct >= result.fixed_correct - 2
+
+
+def test_ban_ablation_precision():
+    result = run_ban_ablation(seed=0)
+    # Banning must not be a bloodbath: few accusations, and join recall
+    # stays within one match of the pre-ban run.
+    assert len(result.identified) <= 8
+    assert result.accuracy_after >= result.accuracy_before - 0.1
+
+
+def test_cache_rerun_is_free_and_identical():
+    result = run_cache_ablation(seed=0)
+    assert result.first_cost > 0
+    assert result.rerun_extra_cost == 0.0
+    assert result.rerun_matches_first
+
+
+def test_ablation_table_renders():
+    table = run_ablation_table(seed=0)
+    text = table.format()
+    assert "Adaptive votes" in text
+    assert "Task cache rerun" in text
+    assert len(table.rows) == 5

@@ -1,0 +1,146 @@
+"""Tests for the budget allocator and the adaptive batch tuner (§6)."""
+
+import pytest
+
+from repro.core.batch_tuner import BatchTuner, ProbeResult
+from repro.core.budget import OperatorEstimate, allocate_budget
+from repro.errors import BudgetExceededError
+from repro.hits.pricing import PricingModel
+
+
+def estimates():
+    return [
+        OperatorEstimate("filter", units=100, requested_assignments=5),
+        OperatorEstimate("join", units=400, requested_assignments=5),
+    ]
+
+
+def test_full_funding_when_budget_ample():
+    # Full cost = 500 units × 5 × $0.015 = $37.50.
+    plan = allocate_budget(estimates(), budget=50.0)
+    assert plan.for_operator("filter").assignments == 5
+    assert plan.for_operator("join").assignments == 5
+    assert plan.total_cost == pytest.approx(37.5)
+
+
+def test_partial_funding_reduces_replication():
+    plan = allocate_budget(estimates(), budget=20.0)
+    assert plan.total_cost <= 20.0
+    # Minimum one assignment everywhere.
+    assert all(a.assignments >= 1 for a in plan.allocations)
+    # Cheaper operator gets topped up first.
+    assert plan.for_operator("filter").assignments >= plan.for_operator("join").assignments
+
+
+def test_data_trimming_when_minimum_unaffordable():
+    # Minimum (1 assignment) costs $7.50; give less.
+    plan = allocate_budget(estimates(), budget=5.0)
+    assert plan.total_cost <= 5.0
+    assert any(a.data_fraction < 1.0 for a in plan.allocations)
+    # The bigger operator is trimmed first.
+    assert plan.for_operator("join").data_fraction <= plan.for_operator("filter").data_fraction
+
+
+def test_hopeless_budget_raises():
+    with pytest.raises(BudgetExceededError):
+        allocate_budget(estimates(), budget=0.10)
+
+
+def test_empty_estimates():
+    assert allocate_budget([], budget=1.0).total_cost == 0.0
+
+
+def test_allocation_cost_accounts_fraction():
+    from repro.core.budget import Allocation
+
+    allocation = Allocation("x", units=100, assignments=2, data_fraction=0.5)
+    assert allocation.cost(PricingModel()) == pytest.approx(50 * 2 * 0.015)
+
+
+def test_unknown_operator_lookup():
+    plan = allocate_budget(estimates(), budget=50.0)
+    with pytest.raises(KeyError):
+        plan.for_operator("nope")
+
+
+# ---------------------------------------------------------------------------
+# Batch tuner
+# ---------------------------------------------------------------------------
+
+
+def refusal_wall_probe(wall: int):
+    def probe(batch: int) -> ProbeResult:
+        return ProbeResult(
+            batch_size=batch,
+            completed=batch < wall,
+            accuracy=1.0 - 0.01 * batch,
+            latency_seconds=60.0 * batch,
+        )
+
+    return probe
+
+
+def test_tuner_finds_largest_acceptable_batch():
+    tuner = BatchTuner(min_batch=1, max_batch=32)
+    best = tuner.tune(refusal_wall_probe(wall=11))
+    assert best == 10
+    assert tuner.refusal_wall() >= 11
+
+
+def test_tuner_respects_accuracy_floor():
+    def probe(batch: int) -> ProbeResult:
+        return ProbeResult(batch, completed=True, accuracy=1.0 - 0.05 * batch)
+
+    tuner = BatchTuner(min_batch=1, max_batch=32, accuracy_floor=0.8)
+    assert tuner.tune(probe) <= 4
+
+
+def test_tuner_respects_latency_ceiling():
+    def probe(batch: int) -> ProbeResult:
+        return ProbeResult(batch, completed=True, latency_seconds=batch * 1000.0)
+
+    tuner = BatchTuner(min_batch=1, max_batch=32, latency_ceiling_seconds=5000.0)
+    assert tuner.tune(probe) <= 5
+
+
+def test_tuner_everything_fails_returns_minimum():
+    tuner = BatchTuner(min_batch=1, max_batch=8)
+    assert tuner.tune(refusal_wall_probe(wall=0)) == 1
+
+
+def test_tuner_history_recorded():
+    tuner = BatchTuner(min_batch=1, max_batch=16)
+    tuner.tune(refusal_wall_probe(wall=9))
+    assert len(tuner.history) >= 3
+
+
+def test_tuner_invalid_bounds():
+    with pytest.raises(ValueError):
+        BatchTuner(min_batch=5, max_batch=2).tune(refusal_wall_probe(3))
+
+
+def test_tuner_against_simulated_marketplace(simple_rank_truth):
+    """End-to-end: the tuner discovers the compare-group refusal wall."""
+    from repro.crowd import SimulatedMarketplace
+    from repro.hits import TaskManager
+    from repro.hits.hit import CompareGroup, ComparePayload
+
+    truth = simple_rank_truth
+
+    def probe(group_size: int) -> ProbeResult:
+        market = SimulatedMarketplace(truth, seed=group_size)
+        manager = TaskManager(market)
+        items = tuple(f"img://item/{i}" for i in range(min(group_size, 10)))
+        if len(items) < 2:
+            return ProbeResult(group_size, completed=True)
+        payload = ComparePayload("sizeRank", (CompareGroup(items),))
+        outcome = manager.run_units([[payload]], assignments=3, label="probe", strict=False)
+        return ProbeResult(
+            group_size,
+            completed=not outcome.uncompleted_hit_ids,
+            latency_seconds=outcome.elapsed_seconds,
+        )
+
+    tuner = BatchTuner(min_batch=2, max_batch=10, latency_ceiling_seconds=1e9)
+    best = tuner.tune(probe)
+    assert 2 <= best <= 10

@@ -1,0 +1,62 @@
+"""Tests for the task cache."""
+
+from repro.hits.cache import TaskCache, payload_cache_key
+from repro.hits.hit import HIT, Assignment, FilterPayload, FilterQuestion
+
+
+def make_hit(item: str = "a", assignments: int = 5) -> HIT:
+    return HIT(
+        hit_id=f"h-{item}",
+        payloads=(FilterPayload("t", (FilterQuestion(item),)),),
+        assignments_requested=assignments,
+    )
+
+
+def make_assignment(hit: HIT) -> Assignment:
+    return Assignment(
+        assignment_id="a1", hit_id=hit.hit_id, worker_id="w", answers={"q": True}
+    )
+
+
+def test_cache_miss_then_hit():
+    cache = TaskCache()
+    hit = make_hit()
+    assert cache.lookup(hit) is None
+    cache.store(hit, [make_assignment(hit)])
+    cached = cache.lookup(hit)
+    assert cached is not None and len(cached) == 1
+    assert cache.hits == 1 and cache.misses == 1
+
+
+def test_cache_key_ignores_hit_id():
+    # Two HITs asking the same question share a cache entry.
+    first = make_hit()
+    second = make_hit()
+    assert payload_cache_key(first.payloads, 5) == payload_cache_key(second.payloads, 5)
+
+
+def test_cache_key_sensitive_to_content_and_replication():
+    a = make_hit("a")
+    b = make_hit("b")
+    assert payload_cache_key(a.payloads, 5) != payload_cache_key(b.payloads, 5)
+    assert payload_cache_key(a.payloads, 5) != payload_cache_key(a.payloads, 10)
+
+
+def test_lookup_returns_copy():
+    cache = TaskCache()
+    hit = make_hit()
+    cache.store(hit, [make_assignment(hit)])
+    first = cache.lookup(hit)
+    assert first is not None
+    first.clear()
+    second = cache.lookup(hit)
+    assert second is not None and len(second) == 1
+
+
+def test_clear():
+    cache = TaskCache()
+    hit = make_hit()
+    cache.store(hit, [make_assignment(hit)])
+    cache.clear()
+    assert len(cache) == 0
+    assert cache.lookup(hit) is None

@@ -1,0 +1,66 @@
+"""Tests for the catalog."""
+
+import pytest
+
+from repro.errors import CatalogError
+from repro.language.parser import parse_task
+from repro.relational.catalog import Catalog
+from repro.relational.schema import Schema
+from repro.relational.table import Table
+from repro.tasks import task_from_definition
+
+TASK = task_from_definition(
+    parse_task(
+        'TASK isCat(field) TYPE Filter:\n'
+        'Prompt: "<img src=\'%s\'>", tuple[field]\n'
+    )
+)
+
+
+def test_table_registration_and_lookup():
+    catalog = Catalog()
+    table = Table("t", Schema.of("a"))
+    catalog.register_table(table)
+    assert catalog.table("t") is table
+    assert catalog.has_table("t")
+    assert list(catalog.tables()) == [table]
+
+
+def test_table_duplicate_and_replace():
+    catalog = Catalog()
+    catalog.register_table(Table("t", Schema.of("a")))
+    with pytest.raises(CatalogError):
+        catalog.register_table(Table("t", Schema.of("b")))
+    replacement = Table("t", Schema.of("b"))
+    catalog.register_table(replacement, replace=True)
+    assert catalog.table("t") is replacement
+
+
+def test_unknown_table():
+    with pytest.raises(CatalogError):
+        Catalog().table("missing")
+
+
+def test_task_registration():
+    catalog = Catalog()
+    catalog.register_task(TASK)
+    assert catalog.task("isCat") is TASK
+    assert catalog.has_task("isCat")
+    with pytest.raises(CatalogError):
+        catalog.register_task(TASK)
+    with pytest.raises(CatalogError):
+        catalog.task("missing")
+
+
+def test_function_registration():
+    catalog = Catalog()
+    catalog.register_function("inc", lambda x: x + 1)
+    assert catalog.function("inc")(1) == 2
+    assert catalog.has_function("inc")
+    assert not catalog.has_function("dec")
+    with pytest.raises(CatalogError):
+        catalog.register_function("inc", lambda x: x)
+    env = catalog.functions()
+    assert env["inc"](5) == 6
+    with pytest.raises(CatalogError):
+        catalog.function("missing")

@@ -1,0 +1,48 @@
+"""Tests for ASCII chart rendering."""
+
+import pytest
+
+from repro.util.charts import ascii_chart, sparkline
+
+
+def test_chart_renders_series_markers():
+    chart = ascii_chart({"a": [0, 1, 2, 3], "b": [3, 2, 1, 0]}, height=6, width=20)
+    assert "o" in chart and "x" in chart
+    assert "o=a" in chart and "x=b" in chart
+
+
+def test_chart_axis_labels():
+    chart = ascii_chart({"s": [1.0, 2.0]}, height=4, width=10, y_label="tau")
+    assert chart.splitlines()[0] == "tau"
+    assert "2.00" in chart and "1.00" in chart
+
+
+def test_chart_fixed_y_range():
+    chart = ascii_chart({"s": [0.5]}, height=4, width=10, y_min=0.0, y_max=1.0)
+    assert "1.00" in chart and "0.00" in chart
+
+
+def test_chart_flat_series_does_not_crash():
+    chart = ascii_chart({"s": [2.0, 2.0, 2.0]}, height=4, width=12)
+    assert "o" in chart
+
+
+def test_chart_validation():
+    with pytest.raises(ValueError):
+        ascii_chart({})
+    with pytest.raises(ValueError):
+        ascii_chart({"s": [1.0]}, height=1)
+    with pytest.raises(ValueError):
+        ascii_chart({"s": []})
+
+
+def test_sparkline_shape():
+    line = sparkline([0, 1, 2, 3, 2, 1, 0])
+    assert len(line) == 7
+    assert line[0] == "▁" and line[3] == "█"
+    with pytest.raises(ValueError):
+        sparkline([])
+
+
+def test_sparkline_flat():
+    assert sparkline([5, 5, 5]) == "▁▁▁"

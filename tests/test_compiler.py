@@ -1,0 +1,141 @@
+"""Tests for the HTML HIT compiler and effort model."""
+
+import pytest
+
+from repro.errors import TaskError
+from repro.hits.compiler import EffortModel, HITCompiler, merge_payloads
+from repro.hits.hit import (
+    HIT,
+    CompareGroup,
+    ComparePayload,
+    FilterPayload,
+    FilterQuestion,
+    GenerativeFieldSpec,
+    GenerativePayload,
+    GenerativeQuestion,
+    JoinGridPayload,
+    JoinPair,
+    JoinPairsPayload,
+    PickBestPayload,
+    RatePayload,
+    RateQuestion,
+)
+
+
+@pytest.fixture
+def compiler() -> HITCompiler:
+    return HITCompiler()
+
+
+def compile_one(compiler, payload):
+    hit = HIT(hit_id="h", payloads=(payload,))
+    return compiler.compile(hit)
+
+
+def test_filter_html(compiler):
+    payload = FilterPayload(
+        "t", (FilterQuestion("img://a"),), yes_text="Yep", no_text="Nope"
+    )
+    hit = compile_one(compiler, payload)
+    assert "Yep" in hit.html and "Nope" in hit.html
+    assert "radio" in hit.html
+    assert "img://a" in hit.html
+    assert hit.effort_seconds == EffortModel.FILTER_SECONDS
+
+
+def test_rate_html_shows_anchors_and_scale(compiler):
+    payload = RatePayload(
+        "t",
+        (RateQuestion("img://x"),),
+        anchors=("img://1", "img://2"),
+        scale_points=7,
+    )
+    hit = compile_one(compiler, payload)
+    assert hit.html.count("anchors") == 1
+    assert "value='7'" in hit.html
+
+
+def test_join_pairs_html(compiler):
+    payload = JoinPairsPayload("t", (JoinPair("img://l", "img://r"),))
+    hit = compile_one(compiler, payload)
+    assert "img://l" in hit.html and "img://r" in hit.html
+
+
+def test_grid_html_has_no_match_checkbox(compiler):
+    payload = JoinGridPayload("t", ("a", "b"), ("x", "y"))
+    hit = compile_one(compiler, payload)
+    assert "no-matches" in hit.html
+    # Smart batch effort grows with r + s, not r × s.
+    assert hit.effort_seconds == EffortModel.GRID_ITEM_SECONDS * 4
+
+
+def test_compare_html_lists_items(compiler):
+    payload = ComparePayload(
+        "t", (CompareGroup(("a", "b", "c")),), question="Order these"
+    )
+    hit = compile_one(compiler, payload)
+    assert "Order these" in hit.html
+    assert hit.html.count("sortable-item") == 3
+
+
+def test_pick_best_html(compiler):
+    payload = PickBestPayload("t", ("a", "b"), question="Pick the best")
+    hit = compile_one(compiler, payload)
+    assert "Pick the best" in hit.html
+
+
+def test_generative_effort_radio_cheaper_than_text(compiler):
+    radio = GenerativePayload(
+        "t",
+        (GenerativeQuestion("a"),),
+        (GenerativeFieldSpec("f", kind="Radio", options=("x", "y")),),
+    )
+    text = GenerativePayload(
+        "t", (GenerativeQuestion("a"),), (GenerativeFieldSpec("f", kind="Text"),)
+    )
+    assert compiler.effort_model.effort(radio) < compiler.effort_model.effort(text)
+
+
+def test_html_escapes_attributes(compiler):
+    payload = FilterPayload("t", (FilterQuestion("a'><script>"),))
+    hit = compile_one(compiler, payload)
+    assert "<script>" not in hit.html
+
+
+def test_merge_payloads_filters():
+    a = FilterPayload("t", (FilterQuestion("1"),))
+    b = FilterPayload("t", (FilterQuestion("2"),))
+    merged = merge_payloads([a, b])
+    assert isinstance(merged, FilterPayload)
+    assert len(merged.questions) == 2
+
+
+def test_merge_payloads_compare_groups():
+    a = ComparePayload("t", (CompareGroup(("a", "b")),), item_html={"a": "<x>"})
+    b = ComparePayload("t", (CompareGroup(("c", "d")),), item_html={"c": "<y>"})
+    merged = merge_payloads([a, b])
+    assert len(merged.groups) == 2
+    assert merged.item_html == {"a": "<x>", "c": "<y>"}
+
+
+def test_merge_rejects_mixed_tasks():
+    a = FilterPayload("t1", (FilterQuestion("1"),))
+    b = FilterPayload("t2", (FilterQuestion("2"),))
+    with pytest.raises(TaskError):
+        merge_payloads([a, b])
+
+
+def test_merge_rejects_empty():
+    with pytest.raises(TaskError):
+        merge_payloads([])
+
+
+def test_merge_single_passthrough():
+    payload = FilterPayload("t", (FilterQuestion("1"),))
+    assert merge_payloads([payload]) is payload
+
+
+def test_grid_does_not_merge():
+    grid = JoinGridPayload("t", ("a",), ("b",))
+    with pytest.raises(TaskError):
+        merge_payloads([grid, grid])

@@ -1,0 +1,156 @@
+"""Tests for the four paper datasets."""
+
+import pytest
+
+from repro.datasets import (
+    ANIMAL_QUERIES,
+    animals_dataset,
+    celebrity_dataset,
+    movie_dataset,
+    squares_dataset,
+)
+from repro.datasets.movie import (
+    ACTOR_COUNT,
+    MATCHES_PER_ACTOR,
+    SCENE_COUNT,
+    SINGLE_PERSON_SCENES,
+)
+
+
+def test_squares_sizes_follow_formula():
+    data = squares_dataset(n=10)
+    sizes = sorted(data.sizes.values())
+    assert sizes == [20 + 3 * i for i in range(10)]
+    assert len(data.table) == 10
+
+
+def test_squares_true_order_matches_latents():
+    data = squares_dataset(n=5)
+    latents = [data.truth.latent_value("squareSorter", ref) for ref in data.true_order]
+    assert latents == sorted(latents)
+    assert latents[0] == 0.0 and latents[-1] == 1.0  # normalised
+
+
+def test_squares_validation():
+    with pytest.raises(ValueError):
+        squares_dataset(n=1)
+
+
+def test_animals_27_items():
+    data = animals_dataset()
+    assert len(data.table) == 27
+    assert len(data.items) == 27
+    refs = {str(row["img"]) for row in data.table}
+    assert "img://animals/rock" in refs
+    assert "img://animals/flower" in refs
+
+
+def test_animals_orders_are_permutations():
+    data = animals_dataset()
+    base = set(data.orders["sizeSort"])
+    for task in ("dangerSort", "saturnSort"):
+        assert set(data.orders[task]) == base
+
+
+def test_animals_ambiguity_increases_with_query():
+    data = animals_dataset()
+    size = data.truth.rank_truth("sizeSort")
+    danger = data.truth.rank_truth("dangerSort")
+    saturn = data.truth.rank_truth("saturnSort")
+    assert size.comparison_ambiguity < danger.comparison_ambiguity < saturn.comparison_ambiguity
+    assert data.truth.rank_truth("randomSort").random_answers
+
+
+def test_animal_queries_mapping():
+    assert ANIMAL_QUERIES["Q5"] == "randomSort"
+    assert len(ANIMAL_QUERIES) == 5
+
+
+def test_animals_text_truth():
+    data = animals_dataset()
+    assert data.truth.text_answer("animalInfo", "common", "img://animals/whale") == "whale"
+    species = data.truth.text_answer("animalInfo", "species", "img://animals/dog")
+    assert species == "canis familiaris"
+
+
+def test_celebrity_matches_are_diagonal():
+    data = celebrity_dataset(n=10, seed=0)
+    assert len(data.matches) == 10
+    for i, (celeb, photo) in enumerate(data.matches):
+        assert celeb == f"img://celeb/{i}"
+        assert photo == f"img://photo/{i}"
+        assert data.truth.join_match("samePerson", celeb, photo)
+    assert not data.truth.join_match("samePerson", data.matches[0][0], data.matches[1][1])
+
+
+def test_celebrity_attributes_complete():
+    data = celebrity_dataset(n=8, seed=1)
+    for ref in data.celeb_refs + data.photo_refs:
+        attributes = data.attributes[ref]
+        assert attributes["gender"] in ("Male", "Female")
+        assert attributes["hairColor"] in ("black", "brown", "blond", "white")
+        assert attributes["skinColor"] in ("light", "medium", "dark")
+
+
+def test_celebrity_hair_instability_rate():
+    changed = 0
+    total = 0
+    for seed in range(8):
+        data = celebrity_dataset(n=30, seed=seed, hair_instability=0.12)
+        for celeb, photo in data.matches:
+            total += 1
+            if data.attributes[celeb]["hairColor"] != data.attributes[photo]["hairColor"]:
+                changed += 1
+    assert 0.05 < changed / total < 0.20
+
+
+def test_celebrity_gender_and_skin_stable_across_tables():
+    data = celebrity_dataset(n=20, seed=2)
+    for celeb, photo in data.matches:
+        assert data.attributes[celeb]["gender"] == data.attributes[photo]["gender"]
+        assert data.attributes[celeb]["skinColor"] == data.attributes[photo]["skinColor"]
+
+
+def test_celebrity_deterministic():
+    a = celebrity_dataset(n=10, seed=5)
+    b = celebrity_dataset(n=10, seed=5)
+    assert a.attributes == b.attributes
+
+
+def test_movie_cardinalities_match_table5():
+    data = movie_dataset(seed=0)
+    assert len(data.scenes) == SCENE_COUNT == 211
+    assert len(data.actors) == ACTOR_COUNT == 5
+    assert len(data.single_person_scenes) == SINGLE_PERSON_SCENES == 117
+    assert len(data.matches) == sum(MATCHES_PER_ACTOR) == 55
+
+
+def test_movie_selectivity_is_55_percent():
+    data = movie_dataset(seed=1)
+    assert len(data.single_person_scenes) / len(data.scenes) == pytest.approx(
+        0.5545, abs=0.001
+    )
+
+
+def test_movie_matches_are_single_person_scenes():
+    data = movie_dataset(seed=2)
+    singles = set(data.single_person_scenes)
+    for _, scene in data.matches:
+        assert scene in singles
+
+
+def test_movie_match_skew():
+    data = movie_dataset(seed=3)
+    per_actor: dict[str, int] = {}
+    for actor, _ in data.matches:
+        per_actor[actor] = per_actor.get(actor, 0) + 1
+    assert sorted(per_actor.values(), reverse=True) == sorted(
+        MATCHES_PER_ACTOR, reverse=True
+    )
+
+
+def test_movie_quality_truth_registered():
+    data = movie_dataset(seed=4)
+    truth = data.truth.rank_truth("quality")
+    assert truth.comparison_ambiguity > 3.0  # highly subjective
+    assert len(truth.latents) == 211

@@ -1,0 +1,135 @@
+"""Tests for the plan executor's non-join, non-sort operators."""
+
+import pytest
+
+from repro.core.context import ExecutionConfig
+from repro.core.executor import run_plan
+from repro.core.optimizer import optimize
+from repro.core.planner import build_plan
+from repro.datasets import animals_dataset, celebrity_dataset
+from repro.errors import ExecutionError
+from repro.language.parser import parse_query
+
+from tests.conftest import make_context
+
+
+def animals_context(seed=3, **config):
+    data = animals_dataset()
+    ctx = make_context(
+        data.truth, data.task_dsl, seed=seed, config=ExecutionConfig(**config)
+    )
+    ctx.catalog.register_table(data.table)
+    return data, ctx
+
+
+def run_query(ctx, text):
+    plan = optimize(build_plan(parse_query(text), ctx.catalog))
+    return run_plan(plan, ctx), plan
+
+
+def test_scan_prefixes_alias():
+    data, ctx = animals_context()
+    rows, _ = run_query(ctx, "SELECT * FROM animals AS a")
+    assert "a.name" in rows[0].schema
+    assert len(rows) == 27
+
+
+def test_project_star_passthrough():
+    data, ctx = animals_context()
+    rows, plan = run_query(ctx, "SELECT * FROM animals AS a")
+    stats = ctx.node_stats[id(plan)]
+    assert stats.rows_in == stats.rows_out == 27
+
+
+def test_project_plain_columns():
+    data, ctx = animals_context()
+    rows, _ = run_query(ctx, "SELECT a.name FROM animals AS a")
+    assert list(rows[0].schema.names) == ["a.name"]
+
+
+def test_project_alias_output():
+    data, ctx = animals_context()
+    rows, _ = run_query(ctx, "SELECT a.name AS who FROM animals AS a LIMIT 2")
+    assert list(rows[0].schema.names) == ["who"]
+    assert len(rows) == 2
+
+
+def test_project_generative_fields():
+    data, ctx = animals_context()
+    rows, _ = run_query(
+        ctx,
+        "SELECT a.name, animalInfo(a.img).common AS common, "
+        "animalInfo(a.img).species AS species FROM animals AS a LIMIT 5",
+    )
+    assert len(rows) == 5
+    # Normalised majority answers recover the names for most rows.
+    matches = sum(1 for row in rows if row["common"] == row["a.name"])
+    assert matches >= 4
+    assert all(isinstance(row["species"], str) for row in rows)
+
+
+def test_computed_filter_via_registered_function():
+    data, ctx = animals_context()
+    ctx.catalog.register_function("startsWith", lambda s, p: str(s).startswith(p))
+    rows, _ = run_query(
+        ctx, "SELECT a.name FROM animals AS a WHERE startsWith(a.name, 'w')"
+    )
+    assert {str(row["a.name"]) for row in rows} == {"whale", "wolf"}
+    assert ctx.manager.ledger.total_hits == 0  # no crowd work needed
+
+
+def test_computed_comparison_filter():
+    data, ctx = animals_context()
+    rows, _ = run_query(
+        ctx, "SELECT a.name FROM animals AS a WHERE a.name = 'hippo'"
+    )
+    assert len(rows) == 1
+
+
+def test_limit_zero_rows():
+    data, ctx = animals_context()
+    rows, _ = run_query(ctx, "SELECT a.name FROM animals AS a LIMIT 0")
+    assert rows == []
+
+
+def test_crowd_predicate_skips_empty_input():
+    data, ctx = celebrity_context_for_filter()
+    rows, _ = run_query(
+        ctx,
+        "SELECT c.name FROM celeb c WHERE c.name = 'nobody' AND isFemale(c)",
+    )
+    assert rows == []
+    assert ctx.manager.ledger.total_hits == 0
+
+
+def celebrity_context_for_filter():
+    data = celebrity_dataset(n=6, seed=1)
+    data.truth.add_filter_task(
+        "isFemale",
+        {ref: data.attributes[ref]["gender"] == "Female" for ref in data.celeb_refs},
+    )
+    ctx = make_context(data.truth, data.task_dsl, seed=1)
+    from repro.language.parser import parse_task
+    from repro.tasks import task_from_definition
+
+    ctx.catalog.register_task(
+        task_from_definition(
+            parse_task(
+                'TASK isFemale(field) TYPE Filter:\n'
+                'Prompt: "<img src=\'%s\'>", tuple[field]\n'
+            )
+        )
+    )
+    ctx.catalog.register_table(data.celebs)
+    return data, ctx
+
+
+def test_unknown_plan_node_rejected():
+    from repro.core.plan import PlanNode
+
+    class Mystery(PlanNode):
+        pass
+
+    data, ctx = animals_context()
+    with pytest.raises(ExecutionError):
+        run_plan(Mystery(), ctx)

@@ -1,0 +1,66 @@
+"""Tests for the EXPLAIN output (§6 iterative-debugging extension)."""
+
+from repro import ExecutionConfig, JoinInterface, Qurk, SimulatedMarketplace
+from repro.core.context import OperatorStats
+from repro.core.explain import render_explain
+from repro.core.plan import ProjectNode, ScanNode
+from repro.datasets import celebrity_dataset
+
+
+def test_render_includes_stats_and_signals():
+    scan = ScanNode(table_name="t", alias="t")
+    project = ProjectNode(star=True, inputs=(scan,))
+    stats = {
+        id(scan): OperatorStats(
+            label="Scan", rows_in=10, rows_out=10, hits=3, assignments=15,
+            signals={"gender.kappa": 0.9},
+        )
+    }
+    text = render_explain(project, stats)
+    assert "rows 10->10" in text
+    assert "hits=3" in text
+    assert "gender.kappa=0.900" in text
+
+
+def test_low_kappa_flagged():
+    scan = ScanNode(table_name="t", alias="t")
+    stats = {
+        id(scan): OperatorStats(
+            label="Scan", rows_in=1, rows_out=1,
+            signals={"hair.kappa": 0.10},
+        )
+    }
+    text = render_explain(scan, stats)
+    assert "[!]" in text and "ambiguous" in text
+
+
+def test_low_agreement_flagged():
+    scan = ScanNode(table_name="t", alias="t")
+    stats = {
+        id(scan): OperatorStats(
+            label="Scan", rows_in=1, rows_out=1,
+            signals={"mean_pair_agreement": 0.55},
+        )
+    }
+    assert "workers disagree" in render_explain(scan, stats)
+
+
+def test_end_to_end_explain_signals():
+    data = celebrity_dataset(n=10, seed=1)
+    market = SimulatedMarketplace(data.truth, seed=1)
+    engine = Qurk(
+        platform=market,
+        config=ExecutionConfig(join_interface=JoinInterface.NAIVE, naive_batch_size=5),
+    )
+    engine.register_table(data.celebs)
+    engine.register_table(data.photos)
+    engine.define(data.task_dsl)
+    result = engine.execute(
+        "SELECT c.name FROM celeb c JOIN photos p ON samePerson(c.img, p.img) "
+        "AND POSSIBLY gender(c.img) = gender(p.img)"
+    )
+    text = result.explain()
+    assert "CrowdJoin" in text
+    assert "gender.kappa" in text
+    assert "candidate_pairs" in text
+    assert "Scan(celeb AS c)" in text

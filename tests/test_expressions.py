@@ -1,0 +1,146 @@
+"""Tests for the expression AST, including UNKNOWN semantics."""
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.relational.expressions import (
+    UNKNOWN,
+    And,
+    BinaryOp,
+    ColumnRef,
+    Comparison,
+    Literal,
+    Not,
+    Or,
+    UDFCall,
+    conjuncts,
+    feature_equal,
+)
+from repro.relational.rows import Row
+from repro.relational.schema import Schema
+
+
+@pytest.fixture
+def row() -> Row:
+    return Row(
+        Schema.of("c.name text", "c.age integer", "c.img url"),
+        {"c.name": "ada", "c.age": 36, "c.img": "img://1"},
+    )
+
+
+def test_literal(row):
+    assert Literal(5).evaluate(row) == 5
+
+
+def test_column_ref_qualified(row):
+    assert ColumnRef("name", "c").evaluate(row) == "ada"
+
+
+def test_column_ref_suffix_resolution(row):
+    assert ColumnRef("age").evaluate(row) == 36
+
+
+def test_column_ref_ambiguous():
+    row = Row(Schema.of("a.x", "b.x"), {"a.x": 1, "b.x": 2})
+    with pytest.raises(ExecutionError):
+        ColumnRef("x").evaluate(row)
+
+
+def test_column_ref_missing(row):
+    with pytest.raises(ExecutionError):
+        ColumnRef("height", "c").evaluate(row)
+
+
+def test_comparison_operators(row):
+    age = ColumnRef("age", "c")
+    assert Comparison("=", age, Literal(36)).evaluate(row) is True
+    assert Comparison("!=", age, Literal(36)).evaluate(row) is False
+    assert Comparison("<", age, Literal(40)).evaluate(row) is True
+    assert Comparison(">=", age, Literal(36)).evaluate(row) is True
+
+
+def test_comparison_rejects_unknown_operator():
+    with pytest.raises(ExecutionError):
+        Comparison("~", Literal(1), Literal(2))
+
+
+def test_unknown_equality_wildcard():
+    assert feature_equal(UNKNOWN, "brown") is True
+    assert feature_equal("brown", UNKNOWN) is True
+    assert feature_equal("brown", "blond") is False
+    assert feature_equal("brown", "brown") is True
+
+
+def test_unknown_in_comparison(row):
+    eq = Comparison("=", Literal(UNKNOWN), Literal("blond"))
+    assert eq.evaluate(row) is True
+    ne = Comparison("!=", Literal(UNKNOWN), Literal("blond"))
+    assert ne.evaluate(row) is False
+    lt = Comparison("<", Literal(UNKNOWN), Literal(1))
+    assert lt.evaluate(row) is True  # ordered comparisons never prune UNKNOWN
+
+
+def test_unknown_is_singleton_and_falsy():
+    from repro.relational.expressions import _Unknown
+
+    assert _Unknown() is UNKNOWN
+    assert not UNKNOWN
+    assert repr(UNKNOWN) == "UNKNOWN"
+
+
+def test_and_or_not(row):
+    t = Literal(True)
+    f = Literal(False)
+    assert And(operands=(t, t)).evaluate(row) is True
+    assert And(operands=(t, f)).evaluate(row) is False
+    assert Or(operands=(f, t)).evaluate(row) is True
+    assert Or(operands=(f, f)).evaluate(row) is False
+    assert Not(f).evaluate(row) is True
+
+
+def test_binary_op(row):
+    expr = BinaryOp("+", ColumnRef("age", "c"), Literal(4))
+    assert expr.evaluate(row) == 40
+    with pytest.raises(ExecutionError):
+        BinaryOp("+", ColumnRef("name", "c"), Literal(4)).evaluate(row)
+
+
+def test_udf_call_with_env(row):
+    call = UDFCall("double", (ColumnRef("age", "c"),))
+    assert call.evaluate(row, {"double": lambda v: v * 2}) == 72
+
+
+def test_udf_call_field_access(row):
+    call = UDFCall("info", (ColumnRef("img", "c"),), field="species")
+    env = {"info": lambda v: {"species": "human"}}
+    assert call.evaluate(row, env) == "human"
+
+
+def test_udf_call_without_binding_raises(row):
+    with pytest.raises(ExecutionError):
+        UDFCall("crowdThing", (Literal(1),)).evaluate(row)
+
+
+def test_udf_calls_collection():
+    inner = UDFCall("g", (Literal(1),))
+    outer = UDFCall("f", (inner,))
+    expr = And(operands=(Comparison("=", outer, Literal(2)),))
+    names = [call.name for call in expr.udf_calls()]
+    assert names == ["f", "g"]
+
+
+def test_references():
+    expr = Comparison(
+        "=",
+        UDFCall("f", (ColumnRef("img", "c"),)),
+        ColumnRef("img", "p"),
+    )
+    assert expr.references() == {"c.img", "p.img"}
+
+
+def test_conjuncts_flattening():
+    a, b, c = Literal(1), Literal(2), Literal(3)
+    nested = And(operands=(a, And(operands=(b, c))))
+    assert conjuncts(nested) == [a, b, c]
+    assert conjuncts(None) == []
+    assert conjuncts(a) == [a]

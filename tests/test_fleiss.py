@@ -1,0 +1,95 @@
+"""Tests for Fleiss' κ and the modified (uniform-prior) κ."""
+
+import pytest
+
+from repro.errors import QurkError
+from repro.metrics.fleiss import fleiss_kappa, modified_kappa
+
+
+def test_fleiss_textbook_example():
+    """The classic 14-rater, 10-subject, 5-category worked example
+    (Wikipedia's Fleiss' kappa table): κ ≈ 0.210."""
+    table = [
+        {1: 0, 2: 0, 3: 0, 4: 0, 5: 14},
+        {1: 0, 2: 2, 3: 6, 4: 4, 5: 2},
+        {1: 0, 2: 0, 3: 3, 4: 5, 5: 6},
+        {1: 0, 2: 3, 3: 9, 4: 2, 5: 0},
+        {1: 2, 2: 2, 3: 8, 4: 1, 5: 1},
+        {1: 7, 2: 7, 3: 0, 4: 0, 5: 0},
+        {1: 3, 2: 2, 3: 6, 4: 3, 5: 0},
+        {1: 2, 2: 5, 3: 3, 4: 2, 5: 2},
+        {1: 6, 2: 5, 3: 2, 4: 1, 5: 0},
+        {1: 0, 2: 2, 3: 2, 4: 3, 5: 7},
+    ]
+    assert fleiss_kappa(table) == pytest.approx(0.210, abs=0.005)
+
+
+def test_perfect_agreement():
+    table = [{"a": 5}, {"b": 5}, {"a": 5}]
+    assert fleiss_kappa(table) == pytest.approx(1.0)
+
+
+def test_single_category_degenerate():
+    assert fleiss_kappa([{"a": 5}, {"a": 5}]) == 1.0
+
+
+def test_random_votes_near_zero():
+    from repro.util.rng import RandomSource
+
+    rng = RandomSource(1)
+    table = []
+    for _ in range(300):
+        yes = sum(1 for _ in range(6) if rng.chance(0.5))
+        table.append({True: yes, False: 6 - yes})
+    assert abs(fleiss_kappa(table)) < 0.05
+    assert abs(modified_kappa(table, categories=2)) < 0.05
+
+
+def test_modified_kappa_uniform_prior():
+    # All raters unanimous: both κs are 1.
+    table = [{"x": 4}, {"y": 4}]
+    assert modified_kappa(table) == pytest.approx(1.0)
+
+
+def test_modified_kappa_skewed_dataset():
+    """With one dominant category, empirical-prior κ punishes agreement the
+    modified κ keeps — the reason the paper dropped the compensation."""
+    table = [{"small": 5} for _ in range(19)] + [{"small": 3, "big": 2}]
+    standard = fleiss_kappa(table)
+    modified = modified_kappa(table, categories=2)
+    assert modified > standard
+
+
+def test_modified_kappa_explicit_categories():
+    table = [{"a": 3, "b": 2}]
+    two = modified_kappa(table, categories=2)
+    four = modified_kappa(table, categories=4)
+    assert four > two  # more categories → lower chance agreement
+
+
+def test_items_with_single_rating_skipped():
+    table = [{"a": 1}, {"a": 3, "b": 2}]
+    # Only the second row is usable.
+    assert fleiss_kappa(table) == fleiss_kappa([{"a": 3, "b": 2}])
+
+
+def test_no_usable_items():
+    with pytest.raises(QurkError):
+        fleiss_kappa([{"a": 1}])
+    with pytest.raises(QurkError):
+        modified_kappa([])
+
+
+def test_unequal_rater_counts_tolerated():
+    table = [{"a": 4, "b": 1}, {"a": 3, "b": 3}, {"b": 2}]
+    value = fleiss_kappa(table)
+    assert -1.0 <= value <= 1.0
+
+
+def test_kappa_orders_by_agreement():
+    """Gender-like (clean) beats hair-like (messy) — the Table 4 ordering."""
+    clean = [{"m": 5} for _ in range(15)] + [{"f": 5} for _ in range(15)]
+    messy = [{"blond": 3, "white": 2} for _ in range(15)] + [
+        {"brown": 2, "black": 2, "blond": 1} for _ in range(15)
+    ]
+    assert fleiss_kappa(clean) > fleiss_kappa(messy)

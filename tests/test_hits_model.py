@@ -1,0 +1,104 @@
+"""Tests for the HIT/payload data model."""
+
+import pytest
+
+from repro.errors import TaskError
+from repro.hits.hit import (
+    HIT,
+    CompareGroup,
+    ComparePayload,
+    FilterPayload,
+    FilterQuestion,
+    JoinGridPayload,
+    JoinPair,
+    JoinPairsPayload,
+    PickBestPayload,
+    RatePayload,
+    RateQuestion,
+    compare_qid,
+    filter_qid,
+    generative_qid,
+    join_qid,
+    rate_qid,
+)
+
+
+def test_compare_qid_is_canonical():
+    assert compare_qid("t", "b", "a") == compare_qid("t", "a", "b")
+    assert compare_qid("t", "a", "b") == "t:cmp:a|b"
+
+
+def test_join_qid_is_ordered():
+    assert join_qid("t", "l", "r") != join_qid("t", "r", "l")
+
+
+def test_other_qids():
+    assert filter_qid("t", "i") == "t:filter:i"
+    assert generative_qid("t", "i", "f") == "t:gen:i:f"
+    assert rate_qid("t", "i") == "t:rate:i"
+
+
+def test_compare_group_validation():
+    with pytest.raises(TaskError):
+        CompareGroup(("only",))
+    with pytest.raises(TaskError):
+        CompareGroup(("a", "a"))
+
+
+def test_compare_group_pair_qids():
+    group = CompareGroup(("a", "b", "c"))
+    assert len(group.pair_qids("t")) == 3
+
+
+def test_unit_counts():
+    filter_payload = FilterPayload("t", (FilterQuestion("a"), FilterQuestion("b")))
+    assert filter_payload.unit_count == 2
+    rate = RatePayload("t", (RateQuestion("a"),))
+    assert rate.unit_count == 1
+    pairs = JoinPairsPayload("t", (JoinPair("a", "b"), JoinPair("a", "c")))
+    assert pairs.unit_count == 2
+    grid = JoinGridPayload("t", ("a", "b"), ("x", "y", "z"))
+    assert grid.cell_count == 6
+    compare = ComparePayload("t", (CompareGroup(("a", "b", "c")),))
+    assert compare.unit_count == 3
+
+
+def test_grid_requires_both_columns():
+    with pytest.raises(TaskError):
+        JoinGridPayload("t", (), ("x",))
+
+
+def test_grid_pair_qids_cover_cells():
+    grid = JoinGridPayload("t", ("a", "b"), ("x", "y"))
+    assert len(grid.pair_qids()) == 4
+
+
+def test_pick_best_payload():
+    payload = PickBestPayload("t", ("a", "b"), pick_most=False)
+    assert "min" in payload.qid()
+    with pytest.raises(TaskError):
+        PickBestPayload("t", ("a",))
+
+
+def test_hit_validation():
+    payload = FilterPayload("t", (FilterQuestion("a"),))
+    hit = HIT(hit_id="h1", payloads=(payload,), assignments_requested=5)
+    assert hit.unit_count == 1
+    with pytest.raises(TaskError):
+        HIT(hit_id="h2", payloads=())
+    with pytest.raises(TaskError):
+        HIT(hit_id="h3", payloads=(payload,), assignments_requested=0)
+
+
+def test_assignment_duration():
+    from repro.hits.hit import Assignment
+
+    assignment = Assignment(
+        assignment_id="a",
+        hit_id="h",
+        worker_id="w",
+        answers={},
+        accept_time=10.0,
+        submit_time=25.0,
+    )
+    assert assignment.duration == 15.0

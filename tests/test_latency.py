@@ -1,0 +1,60 @@
+"""Tests for the latency model."""
+
+from repro.crowd.latency import LatencyConfig, LatencyModel, TimeOfDay
+from repro.crowd.worker import make_reliable
+from repro.util.rng import RandomSource
+
+
+def test_time_of_day_factors():
+    assert TimeOfDay.MORNING.rate_factor > TimeOfDay.EVENING.rate_factor
+
+
+def test_pickup_rate_grows_with_remaining_work():
+    model = LatencyModel()
+    small = model.pickup_rate(remaining=5, total=1000, time_of_day=TimeOfDay.MORNING)
+    large = model.pickup_rate(remaining=900, total=1000, time_of_day=TimeOfDay.MORNING)
+    assert large > small
+
+
+def test_straggler_regime_slows_rate():
+    model = LatencyModel()
+    # 40/1000 remaining is under the 5% straggler threshold.
+    straggler = model.pickup_rate(40, 1000, TimeOfDay.MORNING)
+    normal = model.pickup_rate(60, 1000, TimeOfDay.MORNING)
+    assert straggler < normal * 0.5
+
+
+def test_evening_slower_than_morning():
+    model = LatencyModel()
+    morning = model.pickup_rate(100, 100, TimeOfDay.MORNING)
+    evening = model.pickup_rate(100, 100, TimeOfDay.EVENING)
+    assert evening < morning
+
+
+def test_work_seconds_scale_with_effort():
+    model = LatencyModel(LatencyConfig(work_time_sigma=0.01))
+    worker = make_reliable("w", RandomSource(1))
+    rng = RandomSource(2)
+    quick = sum(model.work_seconds(worker, 3.0, rng) for _ in range(50)) / 50
+    slow = sum(model.work_seconds(worker, 30.0, rng) for _ in range(50)) / 50
+    assert slow > quick * 3
+
+
+def test_gap_sampling_positive():
+    model = LatencyModel()
+    rng = RandomSource(3)
+    for _ in range(100):
+        gap = model.next_consideration_gap(rng, 10, 100, TimeOfDay.MORNING)
+        assert gap > 0
+
+
+def test_trial_rate_factor_varies():
+    model = LatencyModel()
+    factors = {round(model.trial_rate_factor(RandomSource(s)), 6) for s in range(5)}
+    assert len(factors) > 1
+    assert all(f > 0 for f in factors)
+
+
+def test_deadline_seconds():
+    model = LatencyModel(LatencyConfig(deadline_hours=2.0))
+    assert model.deadline_seconds == 7200.0

@@ -1,0 +1,93 @@
+"""Tests for the tokenizer."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.language.lexer import TokenType, tokenize
+
+
+def kinds(text):
+    return [(t.type, t.value) for t in tokenize(text) if t.type is not TokenType.EOF]
+
+
+def test_keywords_case_insensitive():
+    tokens = kinds("select FROM WheRe")
+    assert tokens == [
+        (TokenType.KEYWORD, "SELECT"),
+        (TokenType.KEYWORD, "FROM"),
+        (TokenType.KEYWORD, "WHERE"),
+    ]
+
+
+def test_identifiers_preserve_case():
+    assert kinds("samePerson") == [(TokenType.IDENT, "samePerson")]
+
+
+def test_numbers():
+    assert kinds("42 3.14") == [
+        (TokenType.NUMBER, "42"),
+        (TokenType.NUMBER, "3.14"),
+    ]
+
+
+def test_number_followed_by_dot_ident():
+    # "1.x" must not absorb the dot.
+    tokens = kinds("1.x")
+    assert tokens[0] == (TokenType.NUMBER, "1")
+    assert tokens[1] == (TokenType.SYMBOL, ".")
+
+
+def test_strings_with_escapes():
+    tokens = kinds(r'"a\"b" ' + r"'c\nd'")
+    assert tokens[0] == (TokenType.STRING, 'a"b')
+    assert tokens[1] == (TokenType.STRING, "c\nd")
+
+
+def test_string_continuation_with_backslash_newline():
+    tokens = kinds('"hello \\\nworld"')
+    assert tokens == [(TokenType.STRING, "hello world")]
+
+
+def test_unterminated_string():
+    with pytest.raises(ParseError):
+        tokenize('"open')
+
+
+def test_unterminated_string_at_newline():
+    with pytest.raises(ParseError):
+        tokenize('"open\nmore"x')
+
+
+def test_comments_stripped():
+    tokens = kinds("a # comment here\nb -- another\nc")
+    assert [v for _, v in tokens] == ["a", "b", "c"]
+
+
+def test_two_char_symbols():
+    tokens = kinds("a != b <= c >= d")
+    symbols = [v for t, v in tokens if t is TokenType.SYMBOL]
+    assert symbols == ["!=", "<=", ">="]
+
+
+def test_positions_tracked():
+    tokens = tokenize("ab\n cd")
+    assert (tokens[0].line, tokens[0].column) == (1, 1)
+    assert (tokens[1].line, tokens[1].column) == (2, 2)
+
+
+def test_unknown_character():
+    with pytest.raises(ParseError):
+        tokenize("a @ b")
+
+
+def test_eof_token():
+    tokens = tokenize("")
+    assert len(tokens) == 1
+    assert tokens[0].type is TokenType.EOF
+
+
+def test_token_helpers():
+    token = tokenize("SELECT")[0]
+    assert token.is_keyword("select")
+    assert not token.is_symbol("(")
+    assert str(tokenize("")[0]) == "<end of input>"

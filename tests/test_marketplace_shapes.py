@@ -1,0 +1,98 @@
+"""Marketplace behaviour shapes: latency, attraction, straggler, banning."""
+
+from repro.crowd import GroundTruth, SimulatedMarketplace
+from repro.hits.compiler import HITCompiler
+from repro.hits.hit import HIT, FilterPayload, FilterQuestion
+from repro.util.stats import percentile
+
+
+def make_truth(n: int = 100) -> GroundTruth:
+    truth = GroundTruth()
+    truth.add_filter_task("flt", {f"item{i}": i % 2 == 0 for i in range(n)})
+    return truth
+
+
+def filter_hits(n_hits: int, per_hit: int = 1, assignments: int = 5) -> list[HIT]:
+    compiler = HITCompiler()
+    hits = []
+    for i in range(n_hits):
+        questions = tuple(
+            FilterQuestion(f"item{(i * per_hit + j) % 100}") for j in range(per_hit)
+        )
+        hit = HIT(
+            hit_id=f"h{i}",
+            payloads=(FilterPayload("flt", questions),),
+            assignments_requested=assignments,
+        )
+        compiler.compile(hit)
+        hits.append(hit)
+    return hits
+
+
+def test_bigger_groups_finish_proportionally_faster_per_assignment():
+    """HIT-group attraction: throughput per assignment improves with group
+    size (Turkers gravitate to big groups)."""
+    truth = make_truth()
+    small_market = SimulatedMarketplace(truth, seed=3)
+    small = small_market.post_hit_group(filter_hits(5), "small")
+    small_rate = small_market.clock_seconds / len(small)
+
+    big_market = SimulatedMarketplace(truth, seed=3)
+    big = big_market.post_hit_group(filter_hits(80), "big")
+    big_rate = big_market.clock_seconds / len(big)
+    assert big_rate < small_rate
+
+
+def test_straggler_tail_shape():
+    """The last few percent of assignments take a disproportionate share of
+    the wall clock (§3.3.2 / Figure 4)."""
+    truth = make_truth()
+    market = SimulatedMarketplace(truth, seed=5)
+    assignments = market.post_hit_group(filter_hits(60), "g")
+    times = sorted(a.submit_time for a in assignments)
+    p50 = percentile(times, 50)
+    p95 = percentile(times, 95)
+    p100 = percentile(times, 100)
+    # The 95→100 stretch is long relative to the 50→95 stretch per task.
+    per_task_mid = (p95 - p50) / (0.45 * len(times))
+    per_task_tail = (p100 - p95) / (0.05 * len(times))
+    assert per_task_tail > 2 * per_task_mid
+
+
+def test_evening_trials_run_slower():
+    truth = make_truth()
+    morning = SimulatedMarketplace(truth, seed=7, time_of_day="morning")
+    evening = SimulatedMarketplace(truth, seed=7, time_of_day="evening")
+    morning.post_hit_group(filter_hits(30), "g")
+    evening.post_hit_group(filter_hits(30), "g")
+    assert evening.clock_seconds > morning.clock_seconds
+
+
+def test_banned_workers_do_no_further_work():
+    truth = make_truth()
+    market = SimulatedMarketplace(truth, seed=9)
+    first = market.post_hit_group(filter_hits(20), "g1")
+    heavy = max(
+        market.stats.worker_assignment_counts,
+        key=market.stats.worker_assignment_counts.get,
+    )
+    market.pool.ban([heavy])
+    second = market.post_hit_group(filter_hits(20, assignments=5), "g2")
+    assert all(a.worker_id != heavy for a in second)
+
+
+def test_spam_share_rises_with_batch_size():
+    truth = make_truth()
+    market_small = SimulatedMarketplace(truth, seed=11)
+    small = market_small.post_hit_group(filter_hits(60, per_hit=1), "small")
+
+    market_big = SimulatedMarketplace(truth, seed=11)
+    big = market_big.post_hit_group(filter_hits(6, per_hit=10), "big")
+
+    def spam_share(market, assignments):
+        spam = sum(
+            1 for a in assignments if market.pool.by_id(a.worker_id).is_spammer
+        )
+        return spam / len(assignments)
+
+    assert spam_share(market_big, big) >= spam_share(market_small, small)

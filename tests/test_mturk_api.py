@@ -1,0 +1,59 @@
+"""Tests for the boto-style MTurk API shim."""
+
+import pytest
+
+from repro.crowd import GroundTruth, SimulatedMarketplace
+from repro.crowd.mturk_api import HITTypeParams, MTurkConnection
+from repro.errors import MarketplaceError
+from repro.hits.hit import FilterPayload, FilterQuestion
+
+
+@pytest.fixture
+def connection() -> MTurkConnection:
+    truth = GroundTruth()
+    truth.add_filter_task("flt", {"a": True, "b": False})
+    return MTurkConnection(SimulatedMarketplace(truth, seed=1))
+
+
+PARAMS = HITTypeParams(title="Filter things", reward=0.01, assignments=5)
+
+
+def payloads(item: str):
+    return (FilterPayload("flt", (FilterQuestion(item),)),)
+
+
+def test_create_and_review_cycle(connection):
+    hit_id = connection.create_hit(payloads("a"), PARAMS)
+    assert hit_id in connection.get_reviewable_hits()
+    assignments = connection.get_assignments(hit_id)
+    assert len(assignments) == 5
+    assert all("flt:filter:a" in a.answers for a in assignments)
+
+
+def test_approve_assignment(connection):
+    hit_id = connection.create_hit(payloads("a"), PARAMS)
+    assignment = connection.get_assignments(hit_id)[0]
+    connection.approve_assignment(hit_id, assignment.assignment_id)
+    with pytest.raises(MarketplaceError):
+        connection.approve_assignment(hit_id, "not-an-assignment")
+
+
+def test_approve_all(connection):
+    hit_id = connection.create_hit(payloads("b"), PARAMS)
+    assert connection.approve_all(hit_id) == 5
+
+
+def test_dispose(connection):
+    hit_id = connection.create_hit(payloads("a"), PARAMS)
+    connection.dispose_hit(hit_id)
+    assert hit_id not in connection.get_reviewable_hits()
+
+
+def test_hit_html_available(connection):
+    hit_id = connection.create_hit(payloads("a"), PARAMS)
+    assert "<form" in connection.hit_html(hit_id)
+
+
+def test_unknown_hit_id(connection):
+    with pytest.raises(MarketplaceError):
+        connection.get_assignments("nope")

@@ -1,0 +1,127 @@
+"""Internal consistency of the transcribed paper numbers, and cross-checks
+between the paper's arithmetic and our implementations."""
+
+import pytest
+
+from repro.experiments import paper_numbers as paper
+from repro.hits.pricing import PricingModel
+from repro.joins.batching import JoinInterface, hit_count_estimate
+from repro.sorting.groups import minimum_group_count
+
+
+def test_pricing_constants_consistent():
+    assert paper.COST_PER_ASSIGNMENT == pytest.approx(
+        paper.REWARD_PER_ASSIGNMENT + paper.COMMISSION_PER_ASSIGNMENT
+    )
+    pricing = PricingModel()
+    assert pricing.per_assignment == paper.COST_PER_ASSIGNMENT
+    assert pricing.cost(900 * 10) == pytest.approx(paper.NAIVE_JOIN_900_PAIRS_10_VOTES)
+    assert pricing.cost(900 * 5) == pytest.approx(paper.UNFILTERED_CELEBRITY_JOIN)
+
+
+def test_cost_reduction_narrative():
+    assert paper.FILTERED_CELEBRITY_JOIN < paper.UNFILTERED_CELEBRITY_JOIN / 2
+    assert paper.FILTERED_AND_BATCHED_CELEBRITY_JOIN == pytest.approx(
+        paper.FILTERED_CELEBRITY_JOIN / 10
+    )
+
+
+def test_table1_rows_bounded_by_ideal():
+    for counts in paper.TABLE1.values():
+        assert counts["tp_mv"] <= paper.TABLE1_IDEAL["true_pos"]
+        assert counts["tn_mv"] <= paper.TABLE1_IDEAL["true_neg"]
+
+
+def test_table2_saved_within_bounds():
+    for row in paper.TABLE2:
+        assert 0 <= row.saved_comparisons <= 870
+        assert row.join_cost < paper.UNFILTERED_CELEBRITY_JOIN
+
+
+def test_table2_combined_beats_isolated():
+    combined = [row for row in paper.TABLE2 if row.combined]
+    isolated = [row for row in paper.TABLE2 if not row.combined]
+    mean = lambda rows, attr: sum(getattr(r, attr) for r in rows) / len(rows)
+    assert mean(combined, "errors") < mean(isolated, "errors")
+    assert mean(combined, "join_cost") < mean(isolated, "join_cost")
+
+
+def test_table3_gender_most_effective():
+    assert paper.TABLE3["gender"]["cost"] > paper.TABLE3["hairColor"]["cost"]
+    assert paper.TABLE3["gender"]["cost"] > paper.TABLE3["skinColor"]["cost"]
+    assert paper.TABLE3["hairColor"]["errors"] == 0  # dropping hair fixes errors
+
+
+def test_table4_feature_ordering():
+    for kappas in paper.TABLE4_FULL.values():
+        assert kappas["gender"] > kappas["hair"]
+    combined_skin = [
+        kappas["skin"] for key, kappas in paper.TABLE4_FULL.items() if key[1]
+    ]
+    isolated_skin = [
+        kappas["skin"] for key, kappas in paper.TABLE4_FULL.items() if not key[1]
+    ]
+    assert min(combined_skin) > max(isolated_skin)
+
+
+def test_table5_matches_hit_arithmetic():
+    """The paper's Table 5 rows follow |R||S|/(b or r·s) with 211 scenes,
+    117 filter survivors, and 5 actors — validated against our estimator."""
+    assert paper.TABLE5[("Join", "No Filter + Simple")] == hit_count_estimate(
+        211, 5, JoinInterface.SIMPLE
+    )
+    assert paper.TABLE5[("Join", "No Filter + Naive")] == hit_count_estimate(
+        211, 5, JoinInterface.NAIVE, batch_size=5
+    )
+    assert paper.TABLE5[("Join", "No Filter + Smart 5x5")] == hit_count_estimate(
+        211, 5, JoinInterface.SMART, grid_rows=5, grid_cols=5
+    )
+    filter_hits = paper.TABLE5[("Join", "Filter")]
+    assert filter_hits == 43  # ceil(211 / 5) batched extraction
+    assert paper.TABLE5[("Join", "Filter + Simple")] == filter_hits + hit_count_estimate(
+        117, 5, JoinInterface.SIMPLE
+    )
+    assert paper.TABLE5[("Join", "Filter + Naive")] == filter_hits + hit_count_estimate(
+        117, 5, JoinInterface.NAIVE, batch_size=5
+    )
+    assert paper.TABLE5[("Join", "Filter + Smart 3x3")] == filter_hits + hit_count_estimate(
+        117, 5, JoinInterface.SMART, grid_rows=3, grid_cols=3
+    )
+    # Smart 5x5: the paper floors 585/25 = 23.4 → 23; our estimator ceils.
+    assert (
+        abs(
+            paper.TABLE5[("Join", "Filter + Smart 5x5")]
+            - (filter_hits + hit_count_estimate(117, 5, JoinInterface.SMART, grid_rows=5, grid_cols=5))
+        )
+        <= 1
+    )
+
+
+def test_table5_totals():
+    assert paper.TABLE5[("Total", "unoptimized")] == (
+        paper.TABLE5[("Join", "No Filter + Simple")]
+        + paper.TABLE5[("Order By", "Compare")]
+    )
+    assert paper.TABLE5[("Total", "optimized")] == (
+        paper.TABLE5[("Join", "Filter + Smart 5x5")]
+        + paper.TABLE5[("Order By", "Rate")]
+    )
+    assert paper.table5_reduction() == pytest.approx(
+        paper.END_TO_END_REDUCTION, abs=0.1
+    )
+
+
+def test_movie_selectivity_consistent():
+    assert 117 / paper.MOVIE_SCENES == pytest.approx(
+        paper.NUM_IN_SCENE_SELECTIVITY, abs=0.01
+    )
+
+
+def test_fig7_compare_bound_matches_covering_design():
+    assert minimum_group_count(40, 5) == pytest.approx(paper.FIG7_COMPARE_HITS)
+
+
+def test_single_worker_accuracies():
+    assert paper.SINGLE_WORKER_TP_SIMPLE == pytest.approx(0.783, abs=0.001)
+    assert paper.SINGLE_WORKER_TP_SMART_3X3 == pytest.approx(0.527, abs=0.001)
+    assert paper.MV_TP_SIMPLE > paper.SINGLE_WORKER_TP_SIMPLE

@@ -1,0 +1,170 @@
+"""Tests for SELECT parsing."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.language.parser import parse_expression, parse_query
+from repro.relational.expressions import (
+    UNKNOWN,
+    And,
+    ColumnRef,
+    Comparison,
+    Literal,
+    Or,
+    UDFCall,
+)
+
+
+def test_minimal_select():
+    q = parse_query("SELECT c.name FROM celeb AS c")
+    assert q.base.name == "celeb" and q.base.alias == "c"
+    assert len(q.select) == 1
+    assert q.select[0].expr == ColumnRef("name", "c")
+
+
+def test_select_star():
+    q = parse_query("SELECT * FROM t")
+    assert q.select_star and not q.select
+
+
+def test_implicit_alias():
+    q = parse_query("SELECT c.name FROM celeb c")
+    assert q.base.alias == "c"
+    assert q.base.binding == "c"
+
+
+def test_no_alias_binding_is_table_name():
+    q = parse_query("SELECT squares.label FROM squares")
+    assert q.base.binding == "squares"
+
+
+def test_where_filter_udf():
+    q = parse_query("SELECT c.name FROM celeb c WHERE isFemale(c)")
+    assert isinstance(q.where, UDFCall)
+    assert q.where.args == (ColumnRef("c"),)
+
+
+def test_join_with_possibly_clauses():
+    q = parse_query(
+        """
+        SELECT c.name
+        FROM celeb c JOIN photos p
+        ON samePerson(c.img, p.img)
+        AND POSSIBLY gender(c.img) = gender(p.img)
+        AND POSSIBLY hairColor(c.img) = hairColor(p.img)
+        """
+    )
+    assert len(q.joins) == 1
+    join = q.joins[0]
+    assert isinstance(join.on, UDFCall) and join.on.name == "samePerson"
+    assert len(join.possibly) == 2
+    assert isinstance(join.possibly[0], Comparison)
+
+
+def test_join_extra_on_conjunct_without_possibly():
+    q = parse_query(
+        "SELECT a.x FROM a JOIN b ON match(a.x, b.x) AND a.x != b.x"
+    )
+    assert isinstance(q.joins[0].on, And)
+    assert not q.joins[0].possibly
+
+
+def test_order_by_udf_and_direction():
+    q = parse_query(
+        "SELECT s.label FROM squares s ORDER BY name, squareSorter(img) DESC"
+    )
+    assert len(q.order_by) == 2
+    assert q.order_by[0].ascending is True
+    assert q.order_by[1].ascending is False
+    assert isinstance(q.order_by[1].expr, UDFCall)
+
+
+def test_limit():
+    q = parse_query("SELECT a.x FROM a LIMIT 5")
+    assert q.limit == 5
+
+
+def test_limit_requires_integer():
+    with pytest.raises(ParseError):
+        parse_query("SELECT a.x FROM a LIMIT 2.5")
+
+
+def test_generative_field_access():
+    q = parse_query("SELECT id, animalInfo(img).common FROM animals AS a")
+    call = q.select[1].expr
+    assert isinstance(call, UDFCall)
+    assert call.field == "common"
+
+
+def test_select_alias():
+    q = parse_query("SELECT c.name AS who FROM celeb c")
+    assert q.select[0].alias == "who"
+    assert q.select[0].output_name == "who"
+
+
+def test_comma_join_rejected():
+    with pytest.raises(ParseError):
+        parse_query("SELECT a.x FROM a, b")
+
+
+def test_trailing_garbage_rejected():
+    with pytest.raises(ParseError):
+        parse_query("SELECT a.x FROM a extra garbage ,,,")
+
+
+def test_missing_from():
+    with pytest.raises(ParseError):
+        parse_query("SELECT a.x")
+
+
+def test_expression_precedence():
+    expr = parse_expression("a = 1 OR b = 2 AND c = 3")
+    assert isinstance(expr, Or)
+    assert isinstance(expr.operands[1], And)
+
+
+def test_expression_not():
+    expr = parse_expression("NOT a = 1")
+    from repro.relational.expressions import Not
+
+    assert isinstance(expr, Not)
+
+
+def test_expression_arithmetic_precedence():
+    expr = parse_expression("1 + 2 * 3")
+    from repro.relational.expressions import BinaryOp
+
+    assert isinstance(expr, BinaryOp) and expr.op == "+"
+    assert isinstance(expr.right, BinaryOp) and expr.right.op == "*"
+
+
+def test_expression_literals():
+    assert parse_expression("TRUE") == Literal(True)
+    assert parse_expression("NULL") == Literal(None)
+    assert parse_expression("UNKNOWN") == Literal(UNKNOWN)
+    assert parse_expression("'text'") == Literal("text")
+    assert parse_expression("2.5") == Literal(2.5)
+
+
+def test_parenthesized_expression():
+    expr = parse_expression("(a = 1 OR b = 2) AND c = 3")
+    assert isinstance(expr, And)
+
+
+def test_query_str_roundtrip_parses():
+    q = parse_query(
+        "SELECT c.name FROM celeb c JOIN photos p ON samePerson(c.img, p.img) "
+        "AND POSSIBLY gender(c.img) = gender(p.img) "
+        "WHERE isFemale(c) ORDER BY quality(p.img) LIMIT 3"
+    )
+    again = parse_query(str(q))
+    assert str(again) == str(q)
+
+
+def test_udf_calls_enumeration():
+    q = parse_query(
+        "SELECT info(a.img).name FROM a JOIN b ON match(a.img, b.img) "
+        "AND POSSIBLY f(a.img) = f(b.img) WHERE g(a) ORDER BY h(a.img)"
+    )
+    names = [call.name for call in q.udf_calls()]
+    assert names == ["info", "match", "f", "f", "g", "h"]

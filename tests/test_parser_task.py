@@ -1,0 +1,145 @@
+"""Tests for TASK DSL parsing — using the paper's own definitions."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.language.ast import ResponseSpec, TaskDefinition
+from repro.language.parser import parse_statements, parse_task
+from repro.language.templates import PromptTemplate
+from repro.relational.expressions import UNKNOWN
+
+IS_FEMALE = """
+TASK isFemale(field) TYPE Filter:
+    Prompt: "<table><tr> \\
+        <td><img src='%s'></td> \\
+        <td>Is the person in the image a woman?</td> \\
+        </tr></table>", tuple[field]
+    YesText: "Yes"
+    NoText: "No"
+    Combiner: MajorityVote
+"""
+
+ANIMAL_INFO = """
+TASK animalInfo(field) TYPE Generative:
+    Prompt: "<img src='%s'>", tuple[field]
+    Fields: {
+        common: { Response: Text("Common name"),
+                  Combiner: MajorityVote,
+                  Normalizer: LowercaseSingleSpace },
+        species: { Response: Text("Species"),
+                   Combiner: MajorityVote,
+                   Normalizer: LowercaseSingleSpace }
+    }
+"""
+
+GENDER = """
+TASK gender(field) TYPE Generative:
+    Prompt: "<img src='%s'>", tuple[field]
+    Response: Radio("Gender", ["Male", "Female", UNKNOWN])
+    Combiner: MajorityVote
+"""
+
+SAME_PERSON = """
+TASK samePerson(f1, f2) TYPE EquiJoin:
+    SingluarName: "celebrity"
+    PluralName: "celebrities"
+    LeftPreview: "<img src='%s' class=smImg>", tuple1[f1]
+    LeftNormal: "<img src='%s' class=lgImg>", tuple1[f1]
+    RightPreview: "<img src='%s' class=smImg>", tuple2[f2]
+    RightNormal: "<img src='%s' class=lgImg>", tuple2[f2]
+    Combiner: MajorityVote
+"""
+
+SQUARE_SORTER = """
+TASK squareSorter(field) TYPE Rank:
+    SingularName: "square"
+    PluralName: "squares"
+    OrderDimensionName: "area"
+    LeastName: "smallest"
+    MostName: "largest"
+    Html: "<img src='%s' class=lgImg>", tuple[field]
+"""
+
+
+def test_filter_task_parses():
+    defn = parse_task(IS_FEMALE)
+    assert defn.name == "isFemale"
+    assert defn.params == ("field",)
+    assert defn.task_type == "Filter"
+    prompt = defn.properties["Prompt"]
+    assert isinstance(prompt, PromptTemplate)
+    assert prompt.text.count("%s") == 1
+    assert prompt.args[0].source == "tuple"
+    assert prompt.args[0].param == "field"
+    assert defn.properties["YesText"].text == "Yes"
+
+
+def test_generative_fields_block():
+    defn = parse_task(ANIMAL_INFO)
+    fields = defn.properties["Fields"]
+    assert set(fields) == {"common", "species"}
+    assert isinstance(fields["common"]["Response"], ResponseSpec)
+    assert fields["common"]["Normalizer"] == "LowercaseSingleSpace"
+
+
+def test_radio_response_with_unknown():
+    defn = parse_task(GENDER)
+    response = defn.properties["Response"]
+    assert response.kind == "Radio"
+    assert response.options == ("Male", "Female", UNKNOWN)
+
+
+def test_equijoin_two_tuple_sources():
+    defn = parse_task(SAME_PERSON)
+    assert defn.params == ("f1", "f2")
+    left = defn.properties["LeftNormal"]
+    right = defn.properties["RightNormal"]
+    assert left.args[0].source == "tuple1"
+    assert right.args[0].source == "tuple2"
+
+
+def test_rank_task_labels():
+    defn = parse_task(SQUARE_SORTER)
+    assert defn.properties["OrderDimensionName"].text == "area"
+    assert defn.properties["LeastName"].text == "smallest"
+
+
+def test_template_unknown_parameter_rejected():
+    bad = 'TASK t(a) TYPE Filter:\nPrompt: "%s", tuple[missing]\n'
+    with pytest.raises(ParseError):
+        parse_task(bad)
+
+
+def test_multiple_statements():
+    statements = parse_statements(IS_FEMALE + "\n" + GENDER)
+    assert [s.name for s in statements if isinstance(s, TaskDefinition)] == [
+        "isFemale",
+        "gender",
+    ]
+
+
+def test_mixed_script_with_query():
+    script = GENDER + "\nSELECT c.name FROM celeb c WHERE isFemale(c)"
+    statements = parse_statements(script)
+    assert len(statements) == 2
+
+
+def test_require_missing_property():
+    defn = parse_task(GENDER)
+    with pytest.raises(KeyError):
+        defn.require("Nope")
+    assert defn.require("Combiner") == "MajorityVote"
+
+
+def test_task_numeric_property():
+    defn = parse_task('TASK t(a) TYPE Rank:\nHtml: "%s", tuple[a]\nBatch: 5\n')
+    assert defn.properties["Batch"] == 5
+
+
+def test_adjacent_strings_concatenate():
+    defn = parse_task('TASK t(a) TYPE Filter:\nPrompt: "one " "two %s", tuple[a]\n')
+    assert defn.properties["Prompt"].text == "one two %s"
+
+
+def test_task_str():
+    assert str(parse_task(GENDER)) == "TASK gender(field) TYPE Generative"

@@ -1,0 +1,202 @@
+"""Tests for plan construction and the pushdown optimizer."""
+
+import pytest
+
+from repro.core.optimizer import optimize
+from repro.core.plan import (
+    ComputedFilterNode,
+    CrowdPredicateNode,
+    JoinNode,
+    LimitNode,
+    ProjectNode,
+    ScanNode,
+    SortNode,
+    plan_tree_lines,
+)
+from repro.core.planner import build_plan
+from repro.errors import PlanError
+from repro.language.parser import parse_query, parse_statements
+from repro.relational.catalog import Catalog
+from repro.relational.schema import Schema
+from repro.relational.table import Table
+from repro.tasks import task_from_definition
+
+DSL = """
+TASK isFemale(field) TYPE Filter:
+    Prompt: "<img src='%s'>", tuple[field]
+
+TASK samePerson(f1, f2) TYPE EquiJoin:
+    LeftNormal: "<img src='%s'>", tuple1[f1]
+    RightNormal: "<img src='%s'>", tuple2[f2]
+
+TASK gender(field) TYPE Generative:
+    Prompt: "<img src='%s'>", tuple[field]
+    Response: Radio("Gender", ["Male", "Female", UNKNOWN])
+
+TASK quality(field) TYPE Rank:
+    Html: "<img src='%s'>", tuple[field]
+"""
+
+
+@pytest.fixture
+def catalog() -> Catalog:
+    catalog = Catalog()
+    catalog.register_table(Table("celeb", Schema.of("name text", "img url")))
+    catalog.register_table(Table("photos", Schema.of("id integer", "img url")))
+    from repro.language.ast import TaskDefinition
+
+    for statement in parse_statements(DSL):
+        assert isinstance(statement, TaskDefinition)
+        catalog.register_task(task_from_definition(statement))
+    catalog.register_function("startsWith", lambda s, p: str(s).startswith(p))
+    return catalog
+
+
+def test_basic_plan_shape(catalog):
+    plan = build_plan(parse_query("SELECT c.name FROM celeb c"), catalog)
+    assert isinstance(plan, ProjectNode)
+    assert isinstance(plan.inputs[0], ScanNode)
+
+
+def test_where_conjuncts_split(catalog):
+    plan = build_plan(
+        parse_query(
+            "SELECT c.name FROM celeb c WHERE isFemale(c) AND c.name != 'x'"
+        ),
+        catalog,
+    )
+    kinds = [type(node).__name__ for node in plan.walk()]
+    assert "CrowdPredicateNode" in kinds
+    assert "ComputedFilterNode" in kinds
+
+
+def test_join_plan_left_deep(catalog):
+    plan = build_plan(
+        parse_query(
+            "SELECT c.name FROM celeb c JOIN photos p ON samePerson(c.img, p.img)"
+        ),
+        catalog,
+    )
+    joins = [node for node in plan.walk() if isinstance(node, JoinNode)]
+    assert len(joins) == 1
+    assert isinstance(joins[0].inputs[0], ScanNode)
+    assert isinstance(joins[0].inputs[1], ScanNode)
+
+
+def test_join_possibly_preserved(catalog):
+    plan = build_plan(
+        parse_query(
+            "SELECT c.name FROM celeb c JOIN photos p ON samePerson(c.img, p.img) "
+            "AND POSSIBLY gender(c.img) = gender(p.img)"
+        ),
+        catalog,
+    )
+    join = next(node for node in plan.walk() if isinstance(node, JoinNode))
+    assert len(join.possibly) == 1
+
+
+def test_join_condition_must_be_equijoin(catalog):
+    with pytest.raises(PlanError):
+        build_plan(
+            parse_query("SELECT c.name FROM celeb c JOIN photos p ON isFemale(c)"),
+            catalog,
+        )
+    with pytest.raises(PlanError):
+        build_plan(
+            parse_query("SELECT c.name FROM celeb c JOIN photos p ON c.img = p.img"),
+            catalog,
+        )
+
+
+def test_unknown_table_and_udf(catalog):
+    with pytest.raises(PlanError):
+        build_plan(parse_query("SELECT x.a FROM missing x"), catalog)
+    with pytest.raises(PlanError):
+        build_plan(
+            parse_query("SELECT c.name FROM celeb c WHERE mystery(c)"), catalog
+        )
+
+
+def test_sort_and_limit_nodes(catalog):
+    plan = build_plan(
+        parse_query(
+            "SELECT c.name FROM celeb c ORDER BY quality(c.img) LIMIT 3"
+        ),
+        catalog,
+    )
+    assert isinstance(plan, LimitNode)
+    assert any(isinstance(node, SortNode) for node in plan.walk())
+
+
+def test_optimizer_pushes_computed_below_crowd(catalog):
+    plan = build_plan(
+        parse_query(
+            "SELECT c.name FROM celeb c WHERE isFemale(c) AND startsWith(c.name, 'a')"
+        ),
+        catalog,
+    )
+    optimized = optimize(plan)
+    order = [type(node).__name__ for node in optimized.walk()]
+    # Walking top-down: the crowd filter now sits above the computed filter.
+    assert order.index("CrowdPredicateNode") < order.index("ComputedFilterNode")
+
+
+def test_optimizer_pushes_filters_into_join_side(catalog):
+    plan = build_plan(
+        parse_query(
+            "SELECT c.name FROM celeb c JOIN photos p "
+            "ON samePerson(c.img, p.img) WHERE isFemale(c)"
+        ),
+        catalog,
+    )
+    optimized = optimize(plan)
+    join = next(node for node in optimized.walk() if isinstance(node, JoinNode))
+    left = join.inputs[0]
+    assert isinstance(left, CrowdPredicateNode)  # filter ran before the join
+
+
+def test_optimizer_pushes_computed_into_right_side(catalog):
+    plan = build_plan(
+        parse_query(
+            "SELECT c.name FROM celeb c JOIN photos p "
+            "ON samePerson(c.img, p.img) WHERE p.id < 10"
+        ),
+        catalog,
+    )
+    optimized = optimize(plan)
+    join = next(node for node in optimized.walk() if isinstance(node, JoinNode))
+    assert isinstance(join.inputs[1], ComputedFilterNode)
+
+
+def test_cross_side_predicate_stays_above_join(catalog):
+    plan = build_plan(
+        parse_query(
+            "SELECT c.name FROM celeb c JOIN photos p "
+            "ON samePerson(c.img, p.img) WHERE c.name != p.id"
+        ),
+        catalog,
+    )
+    optimized = optimize(plan)
+    assert isinstance(optimized.inputs[0], ComputedFilterNode)
+
+
+def test_plan_tree_lines_renders(catalog):
+    plan = build_plan(parse_query("SELECT c.name FROM celeb c"), catalog)
+    lines = plan_tree_lines(plan)
+    assert lines[0].startswith("Project")
+    assert lines[1].strip().startswith("Scan")
+
+
+def test_node_labels(catalog):
+    plan = build_plan(
+        parse_query(
+            "SELECT c.name FROM celeb c JOIN photos p ON samePerson(c.img, p.img) "
+            "AND POSSIBLY gender(c.img) = gender(p.img) "
+            "WHERE isFemale(c) ORDER BY quality(c.img) LIMIT 2"
+        ),
+        catalog,
+    )
+    labels = "\n".join(node.label() for node in plan.walk())
+    assert "CrowdJoin" in labels and "1 POSSIBLY" in labels
+    assert "Limit(2)" in labels
+    assert "Sort(" in labels

@@ -1,0 +1,52 @@
+"""Tests for pricing and the cost ledger — anchored to the paper's numbers."""
+
+import pytest
+
+from repro.hits.pricing import CostLedger, PricingModel
+
+
+def test_per_assignment_matches_paper():
+    pricing = PricingModel()
+    assert pricing.per_assignment == pytest.approx(0.015)
+
+
+def test_naive_900_pair_join_costs_135_dollars():
+    # §3.3.2: 900 comparisons × 10 assignments × $0.015 = $135.00
+    pricing = PricingModel()
+    assert pricing.cost(900 * 10) == pytest.approx(135.0)
+
+
+def test_unfiltered_celebrity_join_costs_67_50():
+    # §3.3.4: 900 comparisons × 5 assignments × $0.015 = $67.50
+    assert PricingModel().cost(900 * 5) == pytest.approx(67.50)
+
+
+def test_ledger_accumulates_by_label():
+    ledger = CostLedger()
+    ledger.record("join", hits=10, assignments=50)
+    ledger.record("join", hits=5, assignments=25)
+    ledger.record("sort", hits=2, assignments=10)
+    assert ledger.total_hits == 17
+    assert ledger.total_assignments == 85
+    assert ledger.hits_for("join") == 15
+    assert ledger.assignments_for("sort") == 10
+    assert ledger.cost_for("sort") == pytest.approx(0.15)
+    assert ledger.total_cost == pytest.approx(85 * 0.015)
+
+
+def test_ledger_breakdown():
+    ledger = CostLedger()
+    ledger.record("a", hits=1, assignments=5)
+    breakdown = ledger.breakdown()
+    assert breakdown["a"] == (1, 5, pytest.approx(0.075))
+
+
+def test_ledger_rejects_negative():
+    with pytest.raises(ValueError):
+        CostLedger().record("x", hits=-1, assignments=0)
+
+
+def test_unknown_label_is_zero():
+    ledger = CostLedger()
+    assert ledger.hits_for("nothing") == 0
+    assert ledger.cost_for("nothing") == 0.0

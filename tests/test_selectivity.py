@@ -1,0 +1,59 @@
+"""Tests for the §3.2 selectivity algebra."""
+
+import pytest
+
+from repro.errors import QurkError
+from repro.joins.selectivity import (
+    combined_selectivity,
+    estimate_selectivity,
+    feature_selectivity,
+    value_distribution,
+)
+from repro.relational.expressions import UNKNOWN
+
+
+def test_value_distribution():
+    dist = value_distribution(["a", "a", "b", "c"])
+    assert dist == {"a": 0.5, "b": 0.25, "c": 0.25}
+
+
+def test_value_distribution_ignores_unknown():
+    dist = value_distribution(["a", UNKNOWN, "a", "b"])
+    assert dist["a"] == pytest.approx(2 / 3)
+
+
+def test_value_distribution_all_unknown():
+    with pytest.raises(QurkError):
+        value_distribution([UNKNOWN, UNKNOWN])
+
+
+def test_feature_selectivity_uniform_binary():
+    # 50/50 gender on both sides: σ = 0.5² + 0.5² = 0.5 (§3.2).
+    dist = {"m": 0.5, "f": 0.5}
+    assert feature_selectivity(dist, dist) == pytest.approx(0.5)
+
+
+def test_feature_selectivity_four_values():
+    dist = {v: 0.25 for v in "abcd"}
+    assert feature_selectivity(dist, dist) == pytest.approx(0.25)
+
+
+def test_feature_selectivity_disjoint_supports():
+    assert feature_selectivity({"a": 1.0}, {"b": 1.0}) == 0.0
+
+
+def test_combined_selectivity_product():
+    assert combined_selectivity([0.5, 0.4]) == pytest.approx(0.2)
+    assert combined_selectivity([]) == 1.0
+
+
+def test_combined_selectivity_validation():
+    with pytest.raises(QurkError):
+        combined_selectivity([1.5])
+
+
+def test_estimate_selectivity_from_samples():
+    left = ["m"] * 5 + ["f"] * 5
+    right = ["m"] * 8 + ["f"] * 2
+    # σ = 0.5×0.8 + 0.5×0.2 = 0.5
+    assert estimate_selectivity(left, right) == pytest.approx(0.5)

@@ -1,0 +1,66 @@
+"""Tests for comparison-group covering designs."""
+
+import pytest
+
+from repro.errors import QurkError
+from repro.sorting.groups import covering_groups, minimum_group_count, pairs_covered
+
+
+def all_pairs(items):
+    return {
+        tuple(sorted((items[i], items[j])))
+        for i in range(len(items))
+        for j in range(i + 1, len(items))
+    }
+
+
+def test_covers_every_pair():
+    items = [f"i{k}" for k in range(12)]
+    groups = covering_groups(items, group_size=4, seed=0)
+    assert pairs_covered(groups) >= all_pairs(items)
+
+
+def test_group_sizes_fixed():
+    items = [f"i{k}" for k in range(10)]
+    groups = covering_groups(items, 5, seed=1)
+    assert all(len(group) == 5 for group in groups)
+    assert all(len(set(group)) == 5 for group in groups)
+
+
+def test_group_count_near_lower_bound():
+    items = [f"i{k}" for k in range(40)]
+    groups = covering_groups(items, 5, seed=2)
+    bound = minimum_group_count(40, 5)  # = 78
+    assert bound <= len(groups) <= bound * 1.8
+
+
+def test_paper_bound_value():
+    # §4.2.4: 40 squares at S=5 → 78 comparison HITs.
+    assert minimum_group_count(40, 5) == pytest.approx(78.0)
+
+
+def test_deterministic_per_seed():
+    items = [f"i{k}" for k in range(15)]
+    assert covering_groups(items, 4, seed=3) == covering_groups(items, 4, seed=3)
+
+
+def test_group_size_two_is_all_pairs():
+    items = ["a", "b", "c", "d"]
+    groups = covering_groups(items, 2, seed=0)
+    assert pairs_covered(groups) == all_pairs(items)
+    assert len(groups) == 6
+
+
+def test_validation():
+    with pytest.raises(QurkError):
+        covering_groups(["a", "a"], 2)
+    with pytest.raises(QurkError):
+        covering_groups(["a", "b"], 1)
+    with pytest.raises(QurkError):
+        covering_groups(["a", "b"], 3)
+
+
+def test_whole_set_single_group():
+    items = ["a", "b", "c"]
+    groups = covering_groups(items, 3, seed=0)
+    assert len(groups) == 1

@@ -1,0 +1,96 @@
+"""Tests for in-memory tables and TSV import/export."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational.schema import Schema
+from repro.relational.table import Table
+
+
+@pytest.fixture
+def table() -> Table:
+    t = Table("people", Schema.of("name text", "age integer"))
+    t.extend([{"name": "ada", "age": 36}, {"name": "bob", "age": 25}])
+    return t
+
+
+def test_insert_and_len(table):
+    assert len(table) == 2
+    table.insert({"name": "carol", "age": 51})
+    assert len(table) == 3
+
+
+def test_insert_validates(table):
+    with pytest.raises(SchemaError):
+        table.insert({"name": "dave", "age": "old"})
+
+
+def test_scan_order(table):
+    assert [row["name"] for row in table.scan()] == ["ada", "bob"]
+
+
+def test_filter_returns_new_table(table):
+    adults = table.filter(lambda row: row["age"] > 30)
+    assert len(adults) == 1
+    assert len(table) == 2
+
+
+def test_project(table):
+    names = table.project(["name"])
+    assert names.schema.names == ("name",)
+    assert names.column_values("name") == ["ada", "bob"]
+
+
+def test_column_values_unknown_column(table):
+    with pytest.raises(SchemaError):
+        table.column_values("height")
+
+
+def test_head(table):
+    assert len(table.head(1)) == 1
+    assert len(table.head(10)) == 2
+
+
+def test_tsv_roundtrip(table):
+    text = table.to_tsv()
+    parsed = Table.from_tsv("people", text, table.schema)
+    assert [row.as_dict() for row in parsed] == [row.as_dict() for row in table]
+
+
+def test_tsv_type_coercion():
+    parsed = Table.from_tsv(
+        "t", "a\tb\tc\n1\t2.5\ttrue", Schema.of("a integer", "b float", "c boolean")
+    )
+    row = parsed.rows[0]
+    assert row["a"] == 1 and row["b"] == 2.5 and row["c"] is True
+
+
+def test_tsv_untyped_coerces_best_effort():
+    parsed = Table.from_tsv("t", "a\tb\n1\thello")
+    assert parsed.rows[0]["a"] == 1
+    assert parsed.rows[0]["b"] == "hello"
+
+
+def test_tsv_header_mismatch():
+    with pytest.raises(SchemaError):
+        Table.from_tsv("t", "x\n1", Schema.of("a integer"))
+
+
+def test_tsv_ragged_row():
+    with pytest.raises(SchemaError):
+        Table.from_tsv("t", "a\tb\n1")
+
+
+def test_tsv_empty_input():
+    with pytest.raises(SchemaError):
+        Table.from_tsv("t", "   \n  ")
+
+
+def test_tsv_empty_cell_is_none():
+    parsed = Table.from_tsv("t", "a\tb\n\tx", Schema.of("a integer", "b text"))
+    assert parsed.rows[0]["a"] is None
+
+
+def test_table_requires_name():
+    with pytest.raises(SchemaError):
+        Table("", Schema.of("a"))

@@ -1,0 +1,129 @@
+"""Tests for task template construction from parsed definitions."""
+
+import pytest
+
+from repro.errors import TaskError
+from repro.language.parser import parse_task
+from repro.tasks import (
+    EquiJoinTask,
+    FilterTask,
+    GenerativeTask,
+    RankTask,
+    TaskType,
+    resolve_item_ref,
+    task_from_definition,
+)
+
+FILTER_DSL = 'TASK f(field) TYPE Filter:\nPrompt: "<img src=\'%s\'>", tuple[field]\n'
+RANK_DSL = (
+    'TASK r(field) TYPE Rank:\n'
+    'SingularName: "square"\nPluralName: "squares"\n'
+    'OrderDimensionName: "area"\nLeastName: "smallest"\nMostName: "largest"\n'
+    'Html: "<img src=\'%s\'>", tuple[field]\n'
+)
+JOIN_DSL = (
+    'TASK j(f1, f2) TYPE EquiJoin:\n'
+    'LeftNormal: "<img src=\'%s\'>", tuple1[f1]\n'
+    'RightNormal: "<img src=\'%s\'>", tuple2[f2]\n'
+)
+GEN_DSL = (
+    'TASK g(field) TYPE Generative:\n'
+    'Prompt: "<img src=\'%s\'>", tuple[field]\n'
+    'Response: Radio("Color", ["red", "blue", UNKNOWN])\n'
+)
+
+
+def test_filter_task_built():
+    task = task_from_definition(parse_task(FILTER_DSL))
+    assert isinstance(task, FilterTask)
+    assert task.task_type is TaskType.FILTER
+    assert task.yes_text == "Yes" and task.no_text == "No"
+    assert task.combiner == "MajorityVote"
+
+
+def test_rank_task_questions():
+    task = task_from_definition(parse_task(RANK_DSL))
+    assert isinstance(task, RankTask)
+    assert "smallest" in task.compare_question(5)
+    assert "7-point" in task.rate_question()
+    assert task.scale_points == 7
+
+
+def test_equijoin_task_built():
+    task = task_from_definition(parse_task(JOIN_DSL))
+    assert isinstance(task, EquiJoinTask)
+    assert task.left_param == "f1" and task.right_param == "f2"
+    # Previews default to the normal templates when omitted.
+    assert task.left_preview is task.left_normal
+
+
+def test_equijoin_requires_two_params():
+    bad = 'TASK j(f1) TYPE EquiJoin:\nLeftNormal: "%s", tuple1[f1]\nRightNormal: "x"\n'
+    with pytest.raises(TaskError):
+        task_from_definition(parse_task(bad))
+
+
+def test_generative_single_field():
+    task = task_from_definition(parse_task(GEN_DSL))
+    assert isinstance(task, GenerativeTask)
+    field = task.single_field
+    assert field.is_categorical
+    assert len(field.options) == 3
+
+
+def test_generative_fields_block_and_lookup():
+    dsl = (
+        'TASK g(field) TYPE Generative:\n'
+        'Prompt: "%s", tuple[field]\n'
+        'Fields: { a: { Response: Text("A") }, b: { Response: Text("B") } }\n'
+    )
+    task = task_from_definition(parse_task(dsl))
+    assert [f.name for f in task.fields] == ["a", "b"]
+    assert task.field("b").response.label == "B"
+    with pytest.raises(TaskError):
+        task.field("c")
+    with pytest.raises(TaskError):
+        task.single_field
+
+
+def test_generative_requires_response_or_fields():
+    bad = 'TASK g(field) TYPE Generative:\nPrompt: "%s", tuple[field]\n'
+    with pytest.raises(TaskError):
+        task_from_definition(parse_task(bad))
+
+
+def test_unknown_task_type():
+    bad = parse_task('TASK x(a) TYPE Filter:\nPrompt: "hi"\n')
+    object.__setattr__(bad, "task_type", "Mystery")
+    with pytest.raises(TaskError):
+        task_from_definition(bad)
+
+
+def test_arity_validation():
+    task = task_from_definition(parse_task(FILTER_DSL))
+    task.validate_arity(1)
+    with pytest.raises(TaskError):
+        task.validate_arity(2)
+
+
+def test_resolve_item_ref_scalar():
+    assert resolve_item_ref("img://x") == "img://x"
+    assert resolve_item_ref(42) == "42"
+
+
+def test_resolve_item_ref_row_prefers_img():
+    assert resolve_item_ref({"name": "a", "img": "img://1"}) == "img://1"
+    assert resolve_item_ref({"c.name": "a", "c.img": "img://2"}) == "img://2"
+    assert resolve_item_ref({"id": 9}) == "9"
+    assert resolve_item_ref({"other": "z"}) == "z"
+
+
+def test_resolve_item_ref_empty_row():
+    with pytest.raises(TaskError):
+        resolve_item_ref({})
+
+
+def test_effort_models():
+    filter_task = task_from_definition(parse_task(FILTER_DSL))
+    gen_task = task_from_definition(parse_task(GEN_DSL))
+    assert filter_task.unit_effort_seconds() < gen_task.unit_effort_seconds() * 4

@@ -1,0 +1,54 @@
+"""Tests for prompt templates."""
+
+import pytest
+
+from repro.errors import TaskError
+from repro.language.templates import PromptTemplate, TemplateArg
+
+
+def test_render_substitutes_in_order():
+    template = PromptTemplate(
+        "<img src='%s'> vs <img src='%s'>",
+        (TemplateArg("tuple1", "f1"), TemplateArg("tuple2", "f2")),
+    )
+    html = template.render(
+        {("tuple1", "f1"): "img://a", ("tuple2", "f2"): "img://b"}
+    )
+    assert html == "<img src='img://a'> vs <img src='img://b'>"
+
+
+def test_hole_count_validated():
+    with pytest.raises(TaskError):
+        PromptTemplate("%s %s", (TemplateArg("tuple", "f"),))
+    with pytest.raises(TaskError):
+        PromptTemplate("no holes", (TemplateArg("tuple", "f"),))
+
+
+def test_missing_binding():
+    template = PromptTemplate("%s", (TemplateArg("tuple", "f"),))
+    with pytest.raises(TaskError):
+        template.render({})
+
+
+def test_escape_option():
+    template = PromptTemplate("%s", (TemplateArg("tuple", "f"),))
+    html = template.render({("tuple", "f"): "<script>"}, escape=True)
+    assert html == "&lt;script&gt;"
+
+
+def test_invalid_source_rejected():
+    with pytest.raises(TaskError):
+        TemplateArg("tuple3", "f")
+
+
+def test_required_params():
+    template = PromptTemplate(
+        "%s %s", (TemplateArg("tuple1", "a"), TemplateArg("tuple2", "b"))
+    )
+    assert template.required_params() == {("tuple1", "a"), ("tuple2", "b")}
+
+
+def test_str_rendering():
+    assert str(PromptTemplate("plain")) == "'plain'"
+    template = PromptTemplate("%s", (TemplateArg("tuple", "f"),))
+    assert "tuple[f]" in str(template)

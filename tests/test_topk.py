@@ -1,0 +1,53 @@
+"""Tests for top-K and MAX/MIN tournaments."""
+
+import pytest
+
+from repro.errors import QurkError
+from repro.sorting.topk import pick_extreme_order, top_k
+
+
+def test_top_k_most():
+    order = ["a", "b", "c", "d"]  # least → most
+    assert top_k(order, 2, most=True) == ["d", "c"]
+
+
+def test_top_k_least():
+    assert top_k(["a", "b", "c"], 2, most=False) == ["a", "b"]
+
+
+def test_top_k_validation():
+    with pytest.raises(QurkError):
+        top_k(["a"], 0)
+    with pytest.raises(QurkError):
+        top_k(["a"], 2)
+
+
+def test_tournament_finds_max():
+    items = [f"i{k:02d}" for k in range(23)]
+    winner, hits = pick_extreme_order(items, pick=max, batch_size=5)
+    assert winner == "i22"
+    assert hits >= 5
+
+
+def test_tournament_hit_count_linear():
+    items = [f"i{k:03d}" for k in range(100)]
+    _, hits = pick_extreme_order(items, pick=max, batch_size=5)
+    # ≈ N/(b−1) = 25, far below the 4950 pairwise comparisons.
+    assert hits <= 30
+
+
+def test_tournament_single_item():
+    winner, hits = pick_extreme_order(["only"], pick=max)
+    assert winner == "only" and hits == 0
+
+
+def test_tournament_validation():
+    with pytest.raises(QurkError):
+        pick_extreme_order([], pick=max)
+    with pytest.raises(QurkError):
+        pick_extreme_order(["a", "b"], pick=max, batch_size=1)
+
+
+def test_tournament_rejects_foreign_winner():
+    with pytest.raises(QurkError):
+        pick_extreme_order(["a", "b"], pick=lambda batch: "zzz", batch_size=2)

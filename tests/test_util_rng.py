@@ -1,0 +1,103 @@
+"""Tests for the seeded randomness plumbing."""
+
+import pytest
+
+from repro.util.rng import RandomSource, child_seed, spawn_rng
+
+
+def test_same_seed_same_stream():
+    a = RandomSource(42)
+    b = RandomSource(42)
+    assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+
+def test_different_seeds_differ():
+    a = RandomSource(1)
+    b = RandomSource(2)
+    assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+
+def test_child_seed_is_stable_and_label_sensitive():
+    assert child_seed(7, "workers") == child_seed(7, "workers")
+    assert child_seed(7, "workers") != child_seed(7, "latency")
+    assert child_seed(7, "a", 1) != child_seed(7, "a", 2)
+
+
+def test_child_streams_are_independent():
+    parent = RandomSource(9)
+    left = parent.child("left")
+    right = parent.child("right")
+    assert [left.random() for _ in range(5)] != [right.random() for _ in range(5)]
+
+
+def test_spawn_rng_matches_child():
+    assert spawn_rng(5, "x").random() == RandomSource(child_seed(5, "x")).random()
+
+
+def test_chance_extremes():
+    rng = RandomSource(0)
+    assert rng.chance(1.0) is True
+    assert rng.chance(0.0) is False
+    assert rng.chance(1.5) is True
+    assert rng.chance(-0.5) is False
+
+
+def test_chance_rate_approximates_probability():
+    rng = RandomSource(3)
+    hits = sum(1 for _ in range(20000) if rng.chance(0.3))
+    assert 0.27 < hits / 20000 < 0.33
+
+
+def test_randint_bounds():
+    rng = RandomSource(1)
+    values = {rng.randint(1, 3) for _ in range(200)}
+    assert values == {1, 2, 3}
+
+
+def test_exponential_positive_and_rate_scaling():
+    rng = RandomSource(2)
+    fast = [rng.exponential(10.0) for _ in range(2000)]
+    slow = [rng.exponential(0.1) for _ in range(2000)]
+    assert all(v > 0 for v in fast)
+    assert sum(fast) / len(fast) < sum(slow) / len(slow)
+
+
+def test_exponential_rejects_nonpositive_rate():
+    with pytest.raises(ValueError):
+        RandomSource(0).exponential(0.0)
+
+
+def test_weighted_index_distribution():
+    rng = RandomSource(4)
+    counts = [0, 0]
+    for _ in range(10000):
+        counts[rng.weighted_index([3.0, 1.0])] += 1
+    assert 0.70 < counts[0] / 10000 < 0.80
+
+
+def test_weighted_index_rejects_zero_weights():
+    with pytest.raises(ValueError):
+        RandomSource(0).weighted_index([0.0, 0.0])
+
+
+def test_zipf_index_favors_low_ranks():
+    rng = RandomSource(5)
+    counts = [0] * 10
+    for _ in range(10000):
+        counts[rng.zipf_index(10)] += 1
+    assert counts[0] > counts[5] > 0
+    assert counts[0] > counts[9]
+
+
+def test_shuffled_preserves_elements():
+    rng = RandomSource(6)
+    items = list(range(30))
+    shuffled = rng.shuffled(items)
+    assert sorted(shuffled) == items
+    assert items == list(range(30))  # original untouched
+
+
+def test_sample_without_replacement():
+    rng = RandomSource(7)
+    sample = rng.sample(list(range(10)), 4)
+    assert len(sample) == len(set(sample)) == 4

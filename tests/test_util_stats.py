@@ -1,0 +1,58 @@
+"""Tests for descriptive statistics helpers."""
+
+import pytest
+
+from repro.util.stats import Summary, mean, percentile, stddev, summarize
+
+
+def test_mean_basic():
+    assert mean([1, 2, 3, 4]) == 2.5
+
+
+def test_mean_empty_raises():
+    with pytest.raises(ValueError):
+        mean([])
+
+
+def test_stddev_population():
+    assert stddev([2, 4, 4, 4, 5, 5, 7, 9]) == 2.0
+
+
+def test_stddev_singleton_is_zero():
+    assert stddev([5.0]) == 0.0
+
+
+def test_percentile_endpoints():
+    data = [1.0, 2.0, 3.0, 4.0, 5.0]
+    assert percentile(data, 0) == 1.0
+    assert percentile(data, 100) == 5.0
+    assert percentile(data, 50) == 3.0
+
+
+def test_percentile_interpolates():
+    assert percentile([1.0, 2.0], 50) == 1.5
+
+
+def test_percentile_unsorted_input():
+    assert percentile([5.0, 1.0, 3.0], 50) == 3.0
+
+
+def test_percentile_out_of_range():
+    with pytest.raises(ValueError):
+        percentile([1.0], 101)
+
+
+def test_percentile_empty():
+    with pytest.raises(ValueError):
+        percentile([], 50)
+
+
+def test_summarize_fields():
+    summary = summarize([1, 2, 3])
+    assert summary == Summary(count=3, mean=2.0, std=stddev([1, 2, 3]), minimum=1.0, maximum=3.0)
+    assert "n=3" in str(summary)
+
+
+def test_summarize_empty_raises():
+    with pytest.raises(ValueError):
+        summarize([])

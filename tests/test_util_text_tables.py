@@ -1,0 +1,45 @@
+"""Tests for text normalisation and table rendering helpers."""
+
+import pytest
+
+from repro.util.tables import format_table
+from repro.util.text import lowercase_single_space, slugify
+
+
+def test_lowercase_single_space_collapses_whitespace():
+    assert lowercase_single_space("  Polar   BEAR\t\n cub ") == "polar bear cub"
+
+
+def test_lowercase_single_space_idempotent():
+    once = lowercase_single_space("A  B")
+    assert lowercase_single_space(once) == once
+
+
+def test_slugify():
+    assert slugify("Great White Shark!") == "great-white-shark"
+    assert slugify("  --hello--  ") == "hello"
+
+
+def test_format_table_alignment():
+    text = format_table(["name", "n"], [["a", 1], ["long-name", 22]])
+    lines = text.splitlines()
+    assert lines[0].startswith("name")
+    assert "---" in lines[1]
+    assert len(lines) == 4
+    # All rows share the same width.
+    assert len(set(len(line) for line in [lines[0], *lines[2:]])) == 1
+
+
+def test_format_table_title():
+    text = format_table(["x"], [[1]], title="Table 1")
+    assert text.splitlines()[0] == "Table 1"
+
+
+def test_format_table_arity_mismatch():
+    with pytest.raises(ValueError):
+        format_table(["a", "b"], [[1]])
+
+
+def test_format_table_float_rendering():
+    text = format_table(["v"], [[0.5], [1.25]])
+    assert "0.5" in text and "1.25" in text

@@ -1,0 +1,114 @@
+"""Tests for worker profiles and the pool."""
+
+import pytest
+
+from repro.crowd.pool import PoolConfig, WorkerPool
+from repro.crowd.worker import make_reliable, make_sloppy, make_spammer
+from repro.util.rng import RandomSource
+
+
+def test_pool_config_fractions_must_sum():
+    with pytest.raises(ValueError):
+        PoolConfig(reliable_fraction=0.5, sloppy_fraction=0.2, spammer_fraction=0.2)
+
+
+def test_pool_build_composition():
+    pool = WorkerPool.build(PoolConfig(size=100), seed=1)
+    counts = pool.archetype_counts()
+    assert counts["reliable"] == 77
+    assert counts["sloppy"] == 17
+    assert counts["spammer"] == 6
+    assert len(pool) == 100
+
+
+def test_pool_is_deterministic():
+    a = WorkerPool.build(seed=5)
+    b = WorkerPool.build(seed=5)
+    assert [w.worker_id for w in a.workers] == [w.worker_id for w in b.workers]
+    assert [w.archetype for w in a.workers] == [w.archetype for w in b.workers]
+
+
+def test_archetype_parameter_ranges():
+    rng = RandomSource(0)
+    reliable = make_reliable("r", rng.child("r"))
+    sloppy = make_sloppy("s", rng.child("s"))
+    spammer = make_spammer("x", rng.child("x"))
+    assert reliable.filter_error < sloppy.filter_error
+    assert reliable.join_miss < sloppy.join_miss
+    assert spammer.is_spammer and not reliable.is_spammer
+    assert spammer.spam_style in ("random", "always_yes", "always_no", "first_option")
+
+
+def test_batch_factor_grows_and_caps():
+    worker = make_reliable("r", RandomSource(1))
+    assert worker.batch_factor(1) == 1.0
+    assert worker.batch_factor(5) > 1.0
+    assert worker.batch_factor(1000) == 3.0
+
+
+def test_error_rate_capped():
+    worker = make_sloppy("s", RandomSource(2))
+    assert worker.error_rate(0.9, 1000) <= 0.95
+
+
+def test_acceptance_probability_monotone():
+    worker = make_reliable("r", RandomSource(3))
+    easy = worker.acceptance_probability(5.0)
+    hard = worker.acceptance_probability(60.0)
+    assert easy > 0.9 > 0.1 > hard
+
+
+def test_pick_candidate_zipfian_concentration():
+    pool = WorkerPool.build(PoolConfig(size=50), seed=4)
+    rng = RandomSource(9)
+    counts: dict[str, int] = {}
+    for _ in range(5000):
+        worker = pool.pick_candidate(rng)
+        assert worker is not None
+        counts[worker.worker_id] = counts.get(worker.worker_id, 0) + 1
+    shares = sorted(counts.values(), reverse=True)
+    # Zipfian: the top worker does far more than the median worker.
+    assert shares[0] > 5 * shares[len(shares) // 2]
+
+
+def test_pick_candidate_spammer_batch_affinity():
+    pool = WorkerPool.build(PoolConfig(size=200, spammer_batch_affinity=0.2), seed=6)
+    rng = RandomSource(10)
+    spam_small = sum(
+        1 for _ in range(4000) if pool.pick_candidate(rng, batch_units=1).is_spammer
+    )
+    spam_large = sum(
+        1 for _ in range(4000) if pool.pick_candidate(rng, batch_units=25).is_spammer
+    )
+    assert spam_large > spam_small * 1.5
+
+
+def test_pick_candidate_respects_exclusions():
+    pool = WorkerPool.build(PoolConfig(size=10), seed=7)
+    rng = RandomSource(11)
+    all_ids = {worker.worker_id for worker in pool.workers}
+    excluded = set(list(all_ids)[:9])
+    for _ in range(20):
+        worker = pool.pick_candidate(rng, exclude=excluded)
+        assert worker is not None
+        assert worker.worker_id not in excluded
+    assert pool.pick_candidate(rng, exclude=all_ids) is None
+
+
+def test_ban_removes_workers_from_pickup():
+    pool = WorkerPool.build(PoolConfig(size=10), seed=8)
+    rng = RandomSource(12)
+    victim = pool.workers[0].worker_id
+    pool.ban([victim])
+    assert victim in pool.banned
+    for _ in range(200):
+        worker = pool.pick_candidate(rng)
+        assert worker.worker_id != victim
+
+
+def test_by_id():
+    pool = WorkerPool.build(PoolConfig(size=10), seed=9)
+    worker = pool.workers[3]
+    assert pool.by_id(worker.worker_id) is worker
+    with pytest.raises(KeyError):
+        pool.by_id("nobody")

@@ -1,0 +1,127 @@
+"""cProfile wrapper for the marketplace hot path.
+
+Runs the Table 5 end-to-end query (optimized plan, optionally scaled) under
+cProfile and prints the top cumulative entries.
+
+Usage::
+
+    PYTHONPATH=src python scripts/profile_hotpath.py [--scale N] [--top K]
+    PYTHONPATH=src python scripts/profile_hotpath.py --check
+
+``--check`` is the CI guard: it exits nonzero if ``child_seed`` or
+``payload_cache_key`` appear among the top-5 cumulative profile entries —
+i.e. if per-assignment seed hashing or per-lookup payload ``repr`` ever
+creep back onto the hot path.
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import pstats
+import sys
+
+from repro.core.context import ExecutionConfig
+from repro.core.engine import Qurk
+from repro.crowd import SimulatedMarketplace
+from repro.crowd.latency import LatencyConfig, LatencyModel
+from repro.datasets.movie import movie_dataset
+from repro.experiments.end_to_end import QUERY_WITH_FILTER
+from repro.hits.cache import TaskCache
+from repro.joins.batching import JoinInterface
+
+CHECK_TOP_N = 5
+FORBIDDEN_IN_TOP = ("child_seed", "payload_cache_key")
+
+
+def run_workload(scale: int = 1, seed: int = 0) -> None:
+    """The profiled workload: the optimized Table 5 query, with a task
+    cache configured so the cache-key path is exercised too."""
+    data = movie_dataset(seed=seed, scale=scale)
+    latency = LatencyModel(LatencyConfig(deadline_hours=8.0 * scale))
+    market = SimulatedMarketplace(data.truth, seed=seed, latency=latency)
+    config = ExecutionConfig(
+        join_interface=JoinInterface.SMART,
+        grid_rows=5,
+        grid_cols=5,
+        use_feature_filters=True,
+        generative_batch_size=5,
+        sort_method="rate",
+        compare_group_size=5,
+        rate_batch_size=5,
+    )
+    engine = Qurk(platform=market, config=config, cache=TaskCache())
+    engine.register_table(data.actors)
+    engine.register_table(data.scenes)
+    engine.define(data.task_dsl)
+    engine.execute(QUERY_WITH_FILTER)
+
+
+def profile(scale: int, seed: int) -> pstats.Stats:
+    profiler = cProfile.Profile()
+    profiler.enable()
+    run_workload(scale=scale, seed=seed)
+    profiler.disable()
+    return pstats.Stats(profiler)
+
+
+def top_cumulative_entries(stats: pstats.Stats, count: int) -> list[str]:
+    """Function names of the top-``count`` entries by cumulative time,
+    excluding the profiler scaffolding itself."""
+    rows = sorted(
+        stats.stats.items(),  # type: ignore[attr-defined]
+        key=lambda kv: kv[1][3],  # cumulative time
+        reverse=True,
+    )
+    names = []
+    for (filename, _lineno, funcname), _ in rows:
+        if funcname in ("profile", "run_workload", "<module>"):
+            continue
+        names.append(funcname)
+        if len(names) >= count:
+            break
+    return names
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=int, default=1, help="dataset scale factor")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--top", type=int, default=25, help="entries to print")
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help=(
+            "exit nonzero if child_seed or payload_cache_key appear in the "
+            f"top-{CHECK_TOP_N} cumulative entries"
+        ),
+    )
+    args = parser.parse_args()
+
+    stats = profile(args.scale, args.seed)
+    stats.sort_stats("cumulative").print_stats(args.top)
+
+    if args.check:
+        top = top_cumulative_entries(stats, CHECK_TOP_N)
+        offenders = [
+            name
+            for name in top
+            if any(forbidden in name for forbidden in FORBIDDEN_IN_TOP)
+        ]
+        if offenders:
+            print(
+                f"CHECK FAILED: {offenders} in the top-{CHECK_TOP_N} cumulative "
+                "profile entries — the seed-derivation/cache-key work has "
+                "crept back onto the hot path.",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"check ok: none of {FORBIDDEN_IN_TOP} in the top-{CHECK_TOP_N} "
+            f"cumulative entries ({top})"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,35 @@
+"""Regenerate the golden determinism trace.
+
+Only run this when a PR *intentionally* changes the RNG stream (see
+README.md, "Performance & determinism contract"). The golden is written
+from the currently active implementation, so regenerate from a tree whose
+behaviour you trust — and call out the stream break in the PR description.
+
+Usage::
+
+    PYTHONPATH=src python scripts/regen_golden_trace.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "tests"))
+
+from test_determinism_trace import GOLDEN_PATH, collect_trace  # noqa: E402
+
+
+def main() -> None:
+    trace = collect_trace(seed=0)
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    GOLDEN_PATH.write_text(json.dumps(trace, indent=1, sort_keys=True))
+    print(
+        f"wrote {GOLDEN_PATH}: {len(trace['votes'])} votes, "
+        f"clock={trace['clock_seconds']}, ledger={trace['ledger']}"
+    )
+
+
+if __name__ == "__main__":
+    main()

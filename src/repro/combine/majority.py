@@ -13,7 +13,7 @@ from typing import Mapping, Sequence
 
 from repro.combine.base import Combiner
 from repro.errors import CombinerError
-from repro.hits.hit import Vote
+from repro.hits.hit import Vote, count_vote_values
 
 
 class MajorityVote(Combiner):
@@ -26,7 +26,7 @@ class MajorityVote(Combiner):
     def _majority(qid: str, votes: Sequence[Vote]) -> object:
         if not votes:
             raise CombinerError(f"no votes for question {qid!r}")
-        counts = Counter(vote.value for vote in votes)
+        counts = count_vote_values(votes)
         best_count = max(counts.values())
         winners = [value for value, count in counts.items() if count == best_count]
         if len(winners) == 1:

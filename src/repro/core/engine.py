@@ -38,6 +38,27 @@ from repro.tasks.base import task_from_definition
 from repro.tasks.rank import RankTask
 
 
+@dataclass(frozen=True)
+class MarketplaceSnapshot:
+    """Per-query delta of the platform's marketplace counters.
+
+    A snapshot rather than the live stats object so that a
+    :class:`QueryResult`'s EXPLAIN footer describes *this* query, like the
+    sibling cost/clock fields, instead of mutating as later queries run.
+    """
+
+    considerations: int = 0
+    refusals: int = 0
+    assignments_completed: int = 0
+
+    @property
+    def considerations_per_assignment(self) -> float:
+        """See :meth:`MarketplaceStats.considerations_per_assignment`."""
+        if self.assignments_completed == 0:
+            return 0.0
+        return self.considerations / self.assignments_completed
+
+
 @dataclass
 class QueryResult:
     """Rows plus the execution economics and diagnostics."""
@@ -49,6 +70,9 @@ class QueryResult:
     total_cost: float = 0.0
     elapsed_seconds: float = 0.0
     node_stats: dict[int, OperatorStats] = field(default_factory=dict)
+    marketplace_stats: MarketplaceSnapshot | None = None
+    """This query's marketplace-counter deltas, when the platform exposes
+    stats (the simulated marketplace does)."""
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -63,7 +87,9 @@ class QueryResult:
 
     def explain(self) -> str:
         """EXPLAIN-style tree with per-operator quality signals (§6)."""
-        return render_explain(self.plan, self.node_stats)
+        return render_explain(
+            self.plan, self.node_stats, marketplace_stats=self.marketplace_stats
+        )
 
 
 class Qurk:
@@ -129,7 +155,21 @@ class Qurk:
         assignments_before = self.ledger.total_assignments
         cost_before = self.ledger.total_cost
         clock_before = self.platform.clock_seconds
+        live_stats = getattr(self.platform, "stats", None)
+        if live_stats is not None:
+            considerations_before = getattr(live_stats, "considerations", 0)
+            refusals_before = getattr(live_stats, "refusals", 0)
+            completed_before = getattr(live_stats, "assignments_completed", 0)
         rows = run_plan(plan, ctx)
+        snapshot = None
+        if live_stats is not None:
+            snapshot = MarketplaceSnapshot(
+                considerations=getattr(live_stats, "considerations", 0)
+                - considerations_before,
+                refusals=getattr(live_stats, "refusals", 0) - refusals_before,
+                assignments_completed=getattr(live_stats, "assignments_completed", 0)
+                - completed_before,
+            )
         return QueryResult(
             rows=rows,
             plan=plan,
@@ -138,6 +178,7 @@ class Qurk:
             total_cost=self.ledger.total_cost - cost_before,
             elapsed_seconds=self.platform.clock_seconds - clock_before,
             node_stats=ctx.node_stats,
+            marketplace_stats=snapshot,
         )
 
     def explain(self, query: str | SelectQuery) -> str:

@@ -31,8 +31,18 @@ def _signal_notes(stats: OperatorStats) -> list[str]:
     return notes
 
 
-def render_explain(plan: PlanNode, node_stats: dict[int, OperatorStats]) -> str:
-    """Render the plan tree annotated with collected operator signals."""
+def render_explain(
+    plan: PlanNode,
+    node_stats: dict[int, OperatorStats],
+    marketplace_stats: object | None = None,
+) -> str:
+    """Render the plan tree annotated with collected operator signals.
+
+    When ``marketplace_stats`` is provided (the simulated marketplace's
+    aggregate counters), a footer reports the consideration/refusal
+    economics — most importantly ``considerations_per_assignment``, the
+    refusal-loop overhead the dispatch fast path targets.
+    """
     lines: list[str] = []
 
     def visit(node: PlanNode, depth: int) -> None:
@@ -52,4 +62,16 @@ def render_explain(plan: PlanNode, node_stats: dict[int, OperatorStats]) -> str:
             visit(child, depth + 1)
 
     visit(plan, 0)
+    if marketplace_stats is not None:
+        considerations = getattr(marketplace_stats, "considerations", None)
+        per_assignment = getattr(
+            marketplace_stats, "considerations_per_assignment", None
+        )
+        if considerations is not None and per_assignment is not None:
+            lines.append(
+                "marketplace: "
+                f"considerations={considerations}"
+                f", refusals={getattr(marketplace_stats, 'refusals', 0)}"
+                f", considerations_per_assignment={per_assignment:.3f}"
+            )
     return "\n".join(lines)

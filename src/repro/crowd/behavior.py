@@ -25,9 +25,12 @@ Noise models:
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 from repro.crowd.truth import GroundTruth
 from repro.crowd.worker import WorkerProfile
 from repro.errors import MarketplaceError
+from repro.util import fastpath
 from repro.hits.hit import (
     HIT,
     ComparePayload,
@@ -67,12 +70,7 @@ def answer_hit(
 ) -> dict[str, object]:
     """All answers one worker gives to one HIT."""
     units = hit.unit_count
-    generative_tasks = {
-        payload.task_name
-        for payload in hit.payloads
-        if isinstance(payload, GenerativePayload)
-    }
-    combined = len(generative_tasks) > 1
+    combined = hit.combined_generative
     answers: dict[str, object] = {}
     for payload in hit.payloads:
         answers.update(
@@ -120,6 +118,16 @@ def _spam_binary(worker: WorkerProfile, rng: RandomSource) -> bool:
     return rng.chance(0.5)
 
 
+def _chance_draws(probability: float) -> bool:
+    """Whether ``RandomSource.chance(probability)`` consumes a draw.
+
+    The fast lanes below inline ``chance`` with raw draws; probabilities at
+    or beyond 0/1 short-circuit without touching the stream, and that edge
+    must be preserved exactly.
+    """
+    return 0.0 < probability < 1.0
+
+
 def _answer_filter(
     worker: WorkerProfile,
     payload: FilterPayload,
@@ -127,6 +135,8 @@ def _answer_filter(
     rng: RandomSource,
     units: int,
 ) -> dict[str, object]:
+    if fastpath.enabled() and not worker.is_spammer:
+        return _answer_filter_fast(worker, payload, truth, rng, units)
     answers: dict[str, object] = {}
     for question in payload.questions:
         qid = filter_qid(payload.task_name, question.item)
@@ -146,6 +156,40 @@ def _answer_filter(
     return answers
 
 
+def _answer_filter_fast(
+    worker: WorkerProfile,
+    payload: FilterPayload,
+    truth: GroundTruth,
+    rng: RandomSource,
+    units: int,
+) -> dict[str, object]:
+    """Draw-for-draw equivalent of the honest-worker loop above, with the
+    per-question constants (error rate, bias) hoisted and ``chance``
+    inlined against the raw stream."""
+    answers: dict[str, object] = {}
+    task_name = payload.task_name
+    filter_answer = truth.filter_answer
+    raw_random = rng.raw.random
+    error = worker.error_rate(worker.filter_error, units)
+    error_draws = _chance_draws(error)
+    error_always = error >= 1.0
+    yes_bias = worker.yes_bias
+    bias_draws = _chance_draws(abs(yes_bias))
+    bias_always = abs(yes_bias) >= 1.0
+    for question in payload.questions:
+        correct = filter_answer(task_name, question.item)
+        flip = raw_random() < error if error_draws else error_always
+        answer = (not correct) if flip else correct
+        if yes_bias > 0 and not answer:
+            if raw_random() < yes_bias if bias_draws else bias_always:
+                answer = True
+        elif yes_bias < 0 and answer:
+            if raw_random() < -yes_bias if bias_draws else bias_always:
+                answer = False
+        answers[f"{task_name}:filter:{question.item}"] = answer
+    return answers
+
+
 def _answer_join_pairs(
     worker: WorkerProfile,
     payload: JoinPairsPayload,
@@ -153,6 +197,8 @@ def _answer_join_pairs(
     rng: RandomSource,
     units: int,
 ) -> dict[str, object]:
+    if fastpath.enabled() and not worker.is_spammer:
+        return _answer_join_pairs_fast(worker, payload, truth, rng, units)
     answers: dict[str, object] = {}
     for pair in payload.pairs:
         qid = join_qid(payload.task_name, pair.left, pair.right)
@@ -166,6 +212,37 @@ def _answer_join_pairs(
         else:
             false_alarm = worker.error_rate(worker.join_false_alarm, units)
             answers[qid] = rng.chance(false_alarm)
+    return answers
+
+
+def _answer_join_pairs_fast(
+    worker: WorkerProfile,
+    payload: JoinPairsPayload,
+    truth: GroundTruth,
+    rng: RandomSource,
+    units: int,
+) -> dict[str, object]:
+    """Honest-worker lane of the loop above: rates hoisted, ``chance``
+    inlined, identical draw sequence."""
+    answers: dict[str, object] = {}
+    task_name = payload.task_name
+    join_match = truth.join_match
+    raw_random = rng.raw.random
+    miss = worker.error_rate(worker.join_miss, units)
+    miss_draws = _chance_draws(miss)
+    miss_always = miss >= 1.0
+    false_alarm = worker.error_rate(worker.join_false_alarm, units)
+    fa_draws = _chance_draws(false_alarm)
+    fa_always = false_alarm >= 1.0
+    for pair in payload.pairs:
+        left = pair.left
+        right = pair.right
+        if join_match(task_name, left, right):
+            missed = raw_random() < miss if miss_draws else miss_always
+            answers[f"{task_name}:join:{left}|{right}"] = not missed
+        else:
+            alarmed = raw_random() < false_alarm if fa_draws else fa_always
+            answers[f"{task_name}:join:{left}|{right}"] = alarmed
     return answers
 
 
@@ -198,6 +275,25 @@ def _answer_join_grid(
                     )
         return answers
     extra_miss = min(GRID_MISS_CAP, GRID_MISS_PER_CELL * max(0, cells - 4))
+    if fastpath.enabled():
+        task_name = payload.task_name
+        join_match = truth.join_match
+        raw_random = rng.raw.random
+        miss = min(0.9, worker.join_miss + extra_miss)
+        miss_draws = _chance_draws(miss)
+        miss_always = miss >= 1.0
+        false_alarm = worker.join_false_alarm
+        fa_draws = _chance_draws(false_alarm)
+        fa_always = false_alarm >= 1.0
+        for left in payload.left_items:
+            for right in payload.right_items:
+                if join_match(task_name, left, right):
+                    missed = raw_random() < miss if miss_draws else miss_always
+                    answers[f"{task_name}:join:{left}|{right}"] = not missed
+                else:
+                    alarmed = raw_random() < false_alarm if fa_draws else fa_always
+                    answers[f"{task_name}:join:{left}|{right}"] = alarmed
+        return answers
     for left in payload.left_items:
         for right in payload.right_items:
             qid = join_qid(payload.task_name, left, right)
@@ -246,6 +342,8 @@ def _answer_compare(
     """
     answers: dict[str, object] = {}
     batch = worker.batch_factor(units)
+    if fastpath.enabled() and not worker.is_spammer:
+        return _answer_compare_fast(worker, payload, truth, rng, batch)
     for group in payload.groups:
         perceived: dict[str, float] = {}
         for item in group.items:
@@ -263,6 +361,62 @@ def _answer_compare(
     return answers
 
 
+@lru_cache(maxsize=8192)
+def _compare_pair_layout(
+    task_name: str, items: tuple[str, ...]
+) -> tuple[tuple[int, int, str], ...]:
+    """(i, j, qid) for every pair of a comparison group.
+
+    Groups repeat across a HIT's assignments (and often across workers'
+    overlapping covering groups), so the pair qid strings are built once.
+    """
+    pairs = []
+    for i in range(len(items)):
+        a = items[i]
+        for j in range(i + 1, len(items)):
+            b = items[j]
+            lo, hi = (a, b) if a <= b else (b, a)
+            pairs.append((i, j, f"{task_name}:cmp:{lo}|{hi}"))
+    return tuple(pairs)
+
+
+def _answer_compare_fast(
+    worker: WorkerProfile,
+    payload: ComparePayload,
+    truth: GroundTruth,
+    rng: RandomSource,
+    batch: float,
+) -> dict[str, object]:
+    """Honest-worker lane of ``_answer_compare``: per-item truth/ambiguity
+    lookups hoisted out of the loops, pair qids cached per group layout;
+    identical draw sequence (one gauss per item via ``_perceived``, plus
+    the batch-fatigue gauss)."""
+    answers: dict[str, object] = {}
+    task_name = payload.task_name
+    rank_truth = truth.rank_truth(task_name)
+    random_answers = rank_truth.random_answers
+    sigma = worker.compare_noise * rank_truth.comparison_ambiguity
+    latent_value = truth.latent_value
+    gauss = rng.raw.gauss
+    raw_random = rng.raw.random
+    fatigue = batch > 1.0
+    fatigue_sigma = 0.01 * (batch - 1.0)
+    for group in payload.groups:
+        items = group.items
+        perceived: list[float] = []
+        for item in items:
+            if random_answers:
+                value = raw_random()
+            else:
+                value = latent_value(task_name, item) + gauss(0.0, sigma)
+            if fatigue:
+                value += gauss(0.0, fatigue_sigma)
+            perceived.append(value)
+        for i, j, qid in _compare_pair_layout(task_name, items):
+            answers[qid] = items[i] if perceived[i] >= perceived[j] else items[j]
+    return answers
+
+
 def _answer_rate(
     worker: WorkerProfile,
     payload: RatePayload,
@@ -272,6 +426,25 @@ def _answer_rate(
 ) -> dict[str, object]:
     answers: dict[str, object] = {}
     scale = payload.scale_points
+    if fastpath.enabled() and not worker.is_spammer:
+        task_name = payload.task_name
+        rank_truth = truth.rank_truth(task_name)
+        random_answers = rank_truth.random_answers
+        sigma = worker.rate_noise * rank_truth.rating_ambiguity
+        latent_value = truth.latent_value
+        gauss = rng.raw.gauss
+        raw_random = rng.raw.random
+        rate_bias = worker.rate_bias
+        span = scale - 1
+        for question in payload.questions:
+            item = question.item
+            if random_answers:
+                perceived = raw_random()
+            else:
+                perceived = latent_value(task_name, item) + gauss(0.0, sigma)
+            point = round(1 + span * perceived + rate_bias)
+            answers[f"{task_name}:rate:{item}"] = max(1, min(scale, point))
+        return answers
     for question in payload.questions:
         qid = rate_qid(payload.task_name, question.item)
         if worker.is_spammer:

@@ -115,6 +115,32 @@ class LatencyModel:
         rate = self.pickup_rate(remaining, total, time_of_day, trial_factor)
         return rng.exponential(rate)
 
+    def pickup_rate_table(
+        self, total: int, time_of_day: TimeOfDay, trial_factor: float
+    ) -> list[float]:
+        """Precomputed ``pickup_rate`` for every ``remaining`` in [0, total].
+
+        One posting considers thousands of times but ``remaining`` only takes
+        ``total + 1`` values, so the marketplace hot loop indexes this table
+        instead of recomputing the log/branch per consideration. Every entry
+        is evaluated with the exact expression (and operation order) of
+        :meth:`pickup_rate`, so sampled gaps are bit-identical.
+        """
+        config = self.config
+        base = config.base_pickup_rate
+        scale = config.attraction_log_scale
+        straggler_fraction = config.straggler_fraction
+        slowdown = config.straggler_slowdown
+        tod_factor = time_of_day.rate_factor
+        log2 = math.log2
+        table = [self.pickup_rate(0, total, time_of_day, trial_factor)]
+        for remaining in range(1, total + 1):
+            rate = base * (1.0 + scale * log2(1 + remaining)) * tod_factor
+            if remaining / total <= straggler_fraction:
+                rate *= slowdown
+            table.append(rate * trial_factor)
+        return table
+
     def work_seconds(
         self, worker: WorkerProfile, effort_seconds: float, rng: RandomSource
     ) -> float:

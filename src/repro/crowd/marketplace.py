@@ -8,7 +8,10 @@ models against a :class:`~repro.crowd.truth.GroundTruth` oracle, and the
 latency model produces completion-time distributions with the paper's
 qualitative shape.
 
-Everything is deterministic given the construction seed.
+Everything is deterministic given the construction seed. The dispatch loop
+has two implementations behind :mod:`repro.util.fastpath` — a reference one
+and a fast one — that consume identical random draws and emit bit-identical
+assignments; ``tests/test_determinism_trace.py`` enforces this.
 """
 
 from __future__ import annotations
@@ -21,7 +24,8 @@ from repro.crowd.latency import LatencyConfig, LatencyModel, TimeOfDay
 from repro.crowd.pool import PoolConfig, WorkerPool
 from repro.crowd.truth import GroundTruth
 from repro.hits.hit import HIT, Assignment
-from repro.util.rng import RandomSource
+from repro.util import fastpath
+from repro.util.rng import RandomSource, child_seed_from_material
 
 
 @dataclass
@@ -42,11 +46,89 @@ class MarketplaceStats:
             self.worker_assignment_counts.get(worker_id, 0) + 1
         )
 
+    @property
+    def considerations_per_assignment(self) -> float:
+        """Worker considerations burned per completed assignment.
+
+        1.0 means every consideration converted into work; higher values
+        measure the refusal-loop overhead (candidates declining the batch
+        size, or re-drawing workers who already did the HIT) that the
+        fast-path optimizations target. 0.0 when nothing completed.
+        """
+        if self.assignments_completed == 0:
+            return 0.0
+        return self.considerations / self.assignments_completed
+
 
 @dataclass
 class _PendingAssignment:
     hit: HIT
     sequence: int
+
+
+class _FenwickSlots:
+    """Index-stable pending-slot table with O(log n) k-th-alive selection.
+
+    The reference dispatch loop keeps pending slots in a plain list and
+    removes with ``list.pop(index)`` — O(n) per acceptance. Because ``pop``
+    preserves the relative order of the survivors, the live list is always
+    "the original shuffled slots, minus the removed ones, in original
+    order"; so selecting index ``k`` from the live list is exactly selecting
+    the k-th alive slot of the original order. A Fenwick tree over alive
+    flags does that selection (and removal) in O(log n) without shifting
+    anything, keeping the randint -> slot mapping bit-identical.
+    """
+
+    __slots__ = ("_slots", "_alive", "_tree", "_size", "_count")
+
+    def __init__(self, slots: list) -> None:
+        n = len(slots)
+        self._slots = slots
+        self._alive = [True] * n
+        size = 1
+        while size < n:
+            size <<= 1
+        self._size = size
+        tree = [0] * (size + 1)
+        for i in range(1, size + 1):
+            if i <= n:
+                tree[i] += 1
+            parent = i + (i & -i)
+            if parent <= size:
+                tree[parent] += tree[i]
+        self._tree = tree
+        self._count = n
+
+    def __len__(self) -> int:
+        return self._count
+
+    def select(self, k: int) -> int:
+        """Original-order position of the k-th (0-based) alive slot."""
+        tree = self._tree
+        size = self._size
+        pos = 0
+        remaining = k + 1
+        mask = size
+        while mask:
+            probe = pos + mask
+            if probe <= size and tree[probe] < remaining:
+                remaining -= tree[probe]
+                pos = probe
+            mask >>= 1
+        return pos
+
+    def remove(self, pos: int) -> None:
+        self._alive[pos] = False
+        self._count -= 1
+        tree = self._tree
+        size = self._size
+        i = pos + 1
+        while i <= size:
+            tree[i] -= 1
+            i += i & -i
+
+    def alive_slots(self) -> list:
+        return [slot for slot, alive in zip(self._slots, self._alive) if alive]
 
 
 class SimulatedMarketplace:
@@ -100,12 +182,51 @@ class SimulatedMarketplace:
         rng = self._rng.child("group", group_id or "anon", self.stats.hits_posted)
         trial_factor = self.latency.trial_rate_factor(rng.child("trial"))
 
-        pending: list[_PendingAssignment] = []
-        for hit in hits:
-            for sequence in range(hit.assignments_requested):
-                pending.append(_PendingAssignment(hit=hit, sequence=sequence))
-        pending = rng.shuffled(pending)
+        if fastpath.enabled():
+            # Bare (hit, sequence) tuples: the fast loop unpacks them by
+            # index. Shuffle draws depend only on length, so the slot
+            # representation does not touch the stream.
+            pending_fast = [
+                (hit, sequence)
+                for hit in hits
+                for sequence in range(hit.assignments_requested)
+            ]
+            completed, now, incomplete_hits = self._dispatch_fast(
+                hits, rng.shuffled(pending_fast), rng, post_time, trial_factor
+            )
+        else:
+            pending: list[_PendingAssignment] = []
+            for hit in hits:
+                for sequence in range(hit.assignments_requested):
+                    pending.append(_PendingAssignment(hit=hit, sequence=sequence))
+            pending = rng.shuffled(pending)
+            completed, now, leftover = self._dispatch_reference(
+                hits, pending, rng, post_time, trial_factor
+            )
+            incomplete_hits = {slot.hit.hit_id for slot in leftover}
 
+        self.stats.uncompleted_hits += len(incomplete_hits)
+        if incomplete_hits:
+            # The posting sat (partially) unclaimed until we gave up on it.
+            self._clock = max(
+                now, max((a.submit_time for a in completed), default=post_time)
+            )
+        elif completed:
+            self._clock = max(assignment.submit_time for assignment in completed)
+        else:
+            self._clock = now
+        return completed
+
+    def _dispatch_reference(
+        self,
+        hits: Sequence[HIT],
+        pending: list[_PendingAssignment],
+        rng: RandomSource,
+        post_time: float,
+        trial_factor: float,
+    ) -> tuple[list[Assignment], float, list[_PendingAssignment]]:
+        """The reference dispatch loop (kept verbatim for the fast path's
+        determinism contract; see the module docstring)."""
         total = len(pending)
         completed: list[Assignment] = []
         workers_on_hit: dict[str, set[str]] = {hit.hit_id: set() for hit in hits}
@@ -160,16 +281,117 @@ class SimulatedMarketplace:
             )
             completed.append(assignment)
             self.stats.record_work(worker.worker_id)
+        return completed, now, pending
 
-        incomplete_hits = {slot.hit.hit_id for slot in pending}
-        self.stats.uncompleted_hits += len(incomplete_hits)
-        if pending:
-            # The posting sat (partially) unclaimed until we gave up on it.
-            self._clock = max(
-                now, max((a.submit_time for a in completed), default=post_time)
+    def _dispatch_fast(
+        self,
+        hits: Sequence[HIT],
+        pending: list[tuple[HIT, int]],
+        rng: RandomSource,
+        post_time: float,
+        trial_factor: float,
+    ) -> tuple[list[Assignment], float, set[str]]:
+        """Stream-preserving fast dispatch.
+
+        Identical draw-for-draw to :meth:`_dispatch_reference`; the wins are
+        structural: pickup rates come from a precomputed table, slot
+        selection/removal goes through the Fenwick table instead of
+        ``list.pop``, per-HIT constants (unit count, effort, exclusion set)
+        are resolved once, and the per-draw wrapper methods are bypassed in
+        favour of the same underlying ``random.Random`` stream.
+        """
+        total = len(pending)
+        completed: list[Assignment] = []
+        workers_on_hit: dict[str, set[str]] = {hit.hit_id: set() for hit in hits}
+        deadline = post_time + self.latency.deadline_seconds
+        latency_config = self.latency.config
+        max_refusals = latency_config.max_consecutive_refusals
+        work_overhead = latency_config.work_overhead_seconds
+        work_sigma = latency_config.work_time_sigma
+        rates = self.latency.pickup_rate_table(total, self.time_of_day, trial_factor)
+        slots = _FenwickSlots(pending)
+        raw = rng.raw
+        raw_random = raw.random
+        # randint(0, n-1) routes through randrange(n); calling randrange
+        # directly consumes the same getrandbits draws.
+        raw_randrange = raw.randrange
+        raw_expovariate = raw.expovariate
+        raw_lognormvariate = raw.lognormvariate
+        select = slots.select
+        remove = slots.remove
+        pick_fast = self.pool._pick_candidate_fast
+        truth = self.truth
+        stats = self.stats
+        record_work = stats.record_work
+        # One reused child source, re-seeded per assignment with the same
+        # derivation rng.child("answers", ...) would use.
+        child_rng = RandomSource(0)
+        reseed = child_rng.reseed
+        seed_prefix = f"{rng.seed}:answers:"
+        counter = self._assignment_counter
+        considerations = 0
+        refusals = 0
+        consecutive_refusals = 0
+        alive = total
+        now = post_time
+
+        while alive:
+            now += raw_expovariate(rates[alive])
+            if now > deadline:
+                break
+            if consecutive_refusals >= max_refusals:
+                break
+            pos = select(raw_randrange(alive))
+            hit, sequence = pending[pos]
+            considerations += 1
+            hit_id = hit.hit_id
+            taken_by = workers_on_hit[hit_id]
+            worker = pick_fast(rng, hit.unit_count, taken_by)
+            if worker is None:
+                consecutive_refusals += 1
+                refusals += 1
+                continue
+            # Inlined RandomSource.chance: acceptance probabilities of 0/1
+            # must not consume a draw, matching the reference wrapper.
+            effort = hit.effort_seconds
+            probability = worker.acceptance_probability(effort)
+            if probability <= 0.0:
+                accepted = False
+            elif probability >= 1.0:
+                accepted = True
+            else:
+                accepted = raw_random() < probability
+            if not accepted:
+                consecutive_refusals += 1
+                refusals += 1
+                continue
+            consecutive_refusals = 0
+            remove(pos)
+            alive -= 1
+            worker_id = worker.worker_id
+            taken_by.add(worker_id)
+            # Inlined LatencyModel.work_seconds, same expression and draw.
+            nominal = effort * worker.speed
+            if nominal < 0.5:
+                nominal = 0.5
+            work = work_overhead + nominal * raw_lognormvariate(0.0, work_sigma)
+            reseed(child_seed_from_material(f"{seed_prefix}{hit_id}:{sequence}:{worker_id}"))
+            answers = answer_hit(worker, hit, truth, child_rng)
+            counter += 1
+            completed.append(
+                Assignment(
+                    assignment_id=f"asn-{counter:06d}",
+                    hit_id=hit_id,
+                    worker_id=worker_id,
+                    answers=answers,
+                    accept_time=now,
+                    submit_time=now + work,
+                )
             )
-        elif completed:
-            self._clock = max(assignment.submit_time for assignment in completed)
-        else:
-            self._clock = now
-        return completed
+            record_work(worker_id)
+
+        self._assignment_counter = counter
+        stats.considerations += considerations
+        stats.refusals += refusals
+        incomplete = {slot[0].hit_id for slot in slots.alive_slots()}
+        return completed, now, incomplete

@@ -9,10 +9,13 @@ disproportionately attract low-quality workers.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass
+from itertools import accumulate
 from typing import Iterable, Sequence
 
 from repro.crowd.worker import WorkerProfile, make_reliable, make_sloppy, make_spammer
+from repro.util import fastpath
 from repro.util.rng import RandomSource
 
 
@@ -50,6 +53,15 @@ class WorkerPool:
         self._zipf_weights = [
             1.0 / (rank + 1) ** config.zipf_exponent for rank in range(len(self.workers))
         ]
+        # Fast-path candidate tables, keyed by batch_units. Each entry holds
+        # the non-banned workers in pool order, their batch-adjusted weights,
+        # the cumulative sums of those weights, the builtin-sum total, and a
+        # worker_id -> position map for applying per-HIT exclusions.
+        # Invalidated by ban().
+        self._candidate_tables: dict[
+            int,
+            tuple[list[WorkerProfile], list[float], list[float], float, dict[str, int]],
+        ] = {}
 
     @classmethod
     def build(cls, config: PoolConfig | None = None, seed: int = 0) -> "WorkerPool":
@@ -103,6 +115,7 @@ class WorkerPool:
     def ban(self, worker_ids: Iterable[str]) -> None:
         """Exclude workers from future pick-ups (§6: acting on QA output)."""
         self._banned.update(worker_ids)
+        self._candidate_tables.clear()
 
     @property
     def banned(self) -> frozenset[str]:
@@ -127,7 +140,15 @@ class WorkerPool:
         Returns None when every eligible worker is excluded. The caller then
         applies :meth:`WorkerProfile.acceptance_probability` to decide
         whether the candidate actually takes the HIT.
+
+        Both implementations consume exactly one ``random()`` draw and pick
+        the same worker: the fast path caches the batch-adjusted weight
+        vector per ``batch_units`` (exclusions are rare and small, so most
+        draws are an O(log n) bisect over a cached cumulative array) while
+        the reference path rebuilds the eligible list on every call.
         """
+        if fastpath.enabled():
+            return self._pick_candidate_fast(rng, batch_units, exclude)
         exclude = exclude or set()
         weights = []
         eligible: list[WorkerProfile] = []
@@ -144,3 +165,62 @@ class WorkerPool:
         if not eligible:
             return None
         return eligible[rng.weighted_index(weights)]
+
+    def _candidate_table(
+        self, batch_units: int
+    ) -> tuple[list[WorkerProfile], list[float], list[float], float, dict[str, int]]:
+        table = self._candidate_tables.get(batch_units)
+        if table is None:
+            workers: list[WorkerProfile] = []
+            weights: list[float] = []
+            affinity = self.config.spammer_batch_affinity
+            for weight, worker in zip(self._zipf_weights, self.workers):
+                if worker.worker_id in self._banned:
+                    continue
+                if worker.is_spammer and batch_units > 1:
+                    weight = weight * (1.0 + min(4.0, affinity * (batch_units - 1)))
+                workers.append(worker)
+                weights.append(weight)
+            positions = {w.worker_id: i for i, w in enumerate(workers)}
+            # The total comes from the builtin ``sum`` because that is what
+            # the reference scales its draw by, and ``sum`` of floats is
+            # Neumaier-compensated on Python 3.12+ (see weighted_index).
+            table = (
+                workers,
+                weights,
+                list(accumulate(weights)),
+                float(sum(weights)),
+                positions,
+            )
+            self._candidate_tables[batch_units] = table
+        return table
+
+    def _pick_candidate_fast(
+        self, rng: RandomSource, batch_units: int, exclude: set[str] | None
+    ) -> WorkerProfile | None:
+        table = self._candidate_tables.get(batch_units)
+        if table is None:
+            table = self._candidate_table(batch_units)
+        workers, weights, cumulative, total, positions = table
+        if exclude:
+            drop = [positions[wid] for wid in exclude if wid in positions]
+            if drop:
+                if len(drop) > 1:
+                    drop.sort(reverse=True)
+                workers = workers.copy()
+                weights = weights.copy()
+                for position in drop:
+                    del workers[position]
+                    del weights[position]
+                if not workers:
+                    return None
+                cumulative = list(accumulate(weights))
+                total = float(sum(weights))
+        if not workers:
+            return None
+        # Inlined weighted_index_cumulative; pool weights are Zipfian and
+        # strictly positive, so the positive-sum guard can't trip.
+        point = rng.raw.random() * total
+        index = bisect_right(cumulative, point)
+        last = len(cumulative) - 1
+        return workers[index if index < last else last]

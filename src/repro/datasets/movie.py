@@ -92,8 +92,19 @@ class MovieDataset:
         return [ref for ref, count in self.num_in_scene.items() if count == 1]
 
 
-def movie_dataset(seed: int = 0) -> MovieDataset:
-    """Build the 211-scene, 5-actor end-to-end dataset."""
+def movie_dataset(seed: int = 0, scale: int = 1) -> MovieDataset:
+    """Build the 211-scene, 5-actor end-to-end dataset.
+
+    ``scale`` multiplies the scene-side cardinalities (scene count,
+    single-person scenes, matches per actor) for scaled-up performance
+    runs; ``scale=1`` reproduces the paper's Table 5 dataset exactly,
+    including the RNG stream consumed while building it.
+    """
+    if scale < 1:
+        raise ValueError(f"scale must be >= 1, got {scale}")
+    scene_count = SCENE_COUNT * scale
+    single_person_scenes = SINGLE_PERSON_SCENES * scale
+    matches_per_actor = tuple(count * scale for count in MATCHES_PER_ACTOR)
     rng = RandomSource(seed).child("movie")
     actors = Table("actors", Schema.of("name text", "img url"))
     scenes = Table("scenes", Schema.of("id integer", "img url"))
@@ -105,12 +116,12 @@ def movie_dataset(seed: int = 0) -> MovieDataset:
         actors.insert({"name": f"actor-{i}", "img": ref})
         actor_refs.append(ref)
 
-    # Assign people counts: 117 single-person scenes, the rest 0/2/3.
-    scene_refs = [f"img://scene/{i:03d}" for i in range(SCENE_COUNT)]
+    # Assign people counts: 117·scale single-person scenes, the rest 0/2/3.
+    scene_refs = [f"img://scene/{i:03d}" for i in range(scene_count)]
     num_in_scene: dict[str, int] = {}
     multi_counts = [0, 2, 3]
     for index, ref in enumerate(scene_refs):
-        if index < SINGLE_PERSON_SCENES:
+        if index < single_person_scenes:
             num_in_scene[ref] = 1
         else:
             num_in_scene[ref] = multi_counts[index % len(multi_counts)]
@@ -125,7 +136,7 @@ def movie_dataset(seed: int = 0) -> MovieDataset:
     singles = [ref for ref in scene_refs if num_in_scene[ref] == 1]
     matches: list[tuple[str, str]] = []
     cursor = 0
-    for actor_index, count in enumerate(MATCHES_PER_ACTOR):
+    for actor_index, count in enumerate(matches_per_actor):
         for _ in range(count):
             matches.append((actor_refs[actor_index], singles[cursor]))
             cursor += 1

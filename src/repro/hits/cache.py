@@ -4,11 +4,21 @@ Qurk "first checks to see if the HIT is cached and if not generates HTML for
 the HIT and dispatches it to the crowd". This mirrors TurKit's crash-and-
 rerun caching [10]: re-running a workflow does not re-pay for answers the
 crowd already gave.
+
+Immutability contract
+---------------------
+Cached results are stored and returned as **tuples** of
+:class:`~repro.hits.hit.Assignment` (which are themselves frozen
+dataclasses). Callers must treat a :meth:`TaskCache.lookup` result as
+read-only; in exchange, the cache never copies on lookup or store, which
+keeps repeated cache hits allocation-free. Code that needs a mutable
+collection should build its own ``list(...)`` from the result.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
 from repro.hits.hit import HIT, Assignment, Payload
 
@@ -18,7 +28,8 @@ def payload_cache_key(payloads: tuple[Payload, ...], assignments: int) -> str:
 
     Payload dataclasses are frozen; their ``repr`` includes every question
     and item reference, so two HITs asking exactly the same questions with
-    the same replication collide (which is the point).
+    the same replication collide (which is the point). :attr:`HIT.cache_key`
+    computes this same key once per HIT; prefer it on hot paths.
     """
     body = ";".join(sorted(repr(payload) for payload in payloads))
     return f"a={assignments}|{body}"
@@ -28,24 +39,26 @@ def payload_cache_key(payloads: tuple[Payload, ...], assignments: int) -> str:
 class TaskCache:
     """In-memory HIT-result cache with hit/miss accounting."""
 
-    _store: dict[str, list[Assignment]] = field(default_factory=dict)
+    _store: dict[str, tuple[Assignment, ...]] = field(default_factory=dict)
     hits: int = 0
     misses: int = 0
 
-    def lookup(self, hit: HIT) -> list[Assignment] | None:
-        """Cached assignments for an identical HIT, or None."""
-        key = payload_cache_key(hit.payloads, hit.assignments_requested)
-        cached = self._store.get(key)
+    def lookup(self, hit: HIT) -> tuple[Assignment, ...] | None:
+        """Cached assignments for an identical HIT, or None.
+
+        The returned tuple is the stored object itself (see the module's
+        immutability contract) — do not attempt to mutate it.
+        """
+        cached = self._store.get(hit.cache_key)
         if cached is None:
             self.misses += 1
             return None
         self.hits += 1
-        return list(cached)
+        return cached
 
-    def store(self, hit: HIT, assignments: list[Assignment]) -> None:
+    def store(self, hit: HIT, assignments: Sequence[Assignment]) -> None:
         """Record completed assignments for future identical HITs."""
-        key = payload_cache_key(hit.payloads, hit.assignments_requested)
-        self._store[key] = list(assignments)
+        self._store[hit.cache_key] = tuple(assignments)
 
     def __len__(self) -> int:
         return len(self._store)

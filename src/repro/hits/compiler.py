@@ -12,6 +12,7 @@ from __future__ import annotations
 import html as _html
 
 from repro.errors import TaskError
+from repro.util import fastpath
 from repro.hits.hit import (
     HIT,
     CompareGroup,
@@ -101,19 +102,35 @@ class HITCompiler:
         self.effort_model = effort_model or EffortModel()
 
     def compile(self, hit: HIT) -> HIT:
-        """Fill in ``hit.html`` and ``hit.effort_seconds`` in place; returns it."""
+        """Fill in ``hit.html`` and ``hit.effort_seconds`` in place; returns it.
+
+        Effort is always estimated eagerly — the marketplace needs it for
+        acceptance decisions. The HTML render is the expensive half and is
+        only needed when something actually reads ``hit.html`` (a real
+        platform, a test), so on the fast path it is deferred to first
+        access; the rendered form is identical either way.
+        """
+        hit.effort_seconds = self.estimate_effort(hit)
+        if fastpath.enabled():
+            hit.defer_html(self.render_hit)
+        else:
+            hit.html = self.render_hit(hit)
+        return hit
+
+    def estimate_effort(self, hit: HIT) -> float:
+        """Seconds of honest work across the HIT's payloads."""
+        return sum(self.effort_model.effort(payload) for payload in hit.payloads)
+
+    def render_hit(self, hit: HIT) -> str:
+        """The full HTML form for a HIT (all payload sections)."""
         sections = [self.render_payload(payload) for payload in hit.payloads]
         body = "\n<hr>\n".join(sections)
-        hit.html = (
+        return (
             "<form method='post' class='qurk-hit'>\n"
             f"{body}\n"
             "<input type='submit' value='Submit'>\n"
             "</form>"
         )
-        hit.effort_seconds = sum(
-            self.effort_model.effort(payload) for payload in hit.payloads
-        )
-        return hit
 
     def render_payload(self, payload: Payload) -> str:
         """HTML for one payload."""

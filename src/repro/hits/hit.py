@@ -21,7 +21,7 @@ Question id conventions:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Union
+from typing import Callable, NamedTuple, Sequence, Union
 
 from repro.errors import TaskError
 
@@ -283,31 +283,104 @@ Payload = Union[
 
 @dataclass
 class HIT:
-    """One posted HIT: payloads + compiled HTML + posting parameters."""
+    """One posted HIT: payloads + compiled HTML + posting parameters.
+
+    ``payloads`` must not be mutated after construction: the unit count and
+    the task-cache key are computed once and cached, and the HTML form is
+    rendered lazily from the payloads on first access of :attr:`html`.
+    """
 
     hit_id: str
     payloads: tuple[Payload, ...]
     assignments_requested: int = 5
     reward: float = 0.01
-    html: str = ""
     effort_seconds: float = 0.0
     group_id: str | None = None
 
     @property
     def unit_count(self) -> int:
         """Total atomic work units across payloads (batch-size proxy)."""
-        return sum(payload.unit_count for payload in self.payloads)
+        units = self._unit_count
+        if units is None:
+            units = self._unit_count = sum(
+                payload.unit_count for payload in self.payloads
+            )
+        return units
+
+    @property
+    def html(self) -> str:
+        """The compiled HTML form, rendered on first access.
+
+        The simulated marketplace answers payloads directly and never reads
+        the HTML, so deferring the render keeps it off the dispatch hot
+        path; a real platform (or a test) still sees the same form.
+        """
+        rendered = self._html
+        if rendered is None:
+            builder = self._html_builder
+            rendered = self._html = builder(self) if builder is not None else ""
+        return rendered
+
+    @html.setter
+    def html(self, value: str) -> None:
+        self._html = value
+
+    def defer_html(self, builder: Callable[["HIT"], str]) -> None:
+        """Arrange for ``builder(self)`` to render the HTML on first access."""
+        self._html_builder = builder
+        self._html = None
+
+    @property
+    def combined_generative(self) -> bool:
+        """Whether payloads span more than one Generative task (*combining*,
+        §2.6) — scales feature-answer confusion in the behaviour models.
+        Computed once; payloads are immutable after construction."""
+        flag = self._combined_generative
+        if flag is None:
+            names = {
+                payload.task_name
+                for payload in self.payloads
+                if isinstance(payload, GenerativePayload)
+            }
+            flag = self._combined_generative = len(names) > 1
+        return flag
+
+    @property
+    def cache_key(self) -> str:
+        """Deterministic task-cache key for this HIT's content.
+
+        Payload dataclasses are frozen; their ``repr`` includes every
+        question and item reference, so two HITs asking exactly the same
+        questions with the same replication collide (which is the point).
+        Computed once per HIT instead of re-``repr``-ing every payload on
+        each cache lookup/store.
+        """
+        key = self._cache_key
+        if key is None:
+            body = ";".join(sorted(repr(payload) for payload in self.payloads))
+            key = self._cache_key = f"a={self.assignments_requested}|{body}"
+        return key
 
     def __post_init__(self) -> None:
         if not self.payloads:
             raise TaskError("a HIT must carry at least one payload")
         if self.assignments_requested < 1:
             raise TaskError("a HIT must request at least one assignment")
+        self._unit_count: int | None = None
+        self._combined_generative: bool | None = None
+        self._cache_key: str | None = None
+        self._html: str | None = ""
+        self._html_builder: Callable[["HIT"], str] | None = None
 
 
-@dataclass(frozen=True)
-class Assignment:
-    """One worker's completed pass over a HIT."""
+class Assignment(NamedTuple):
+    """One worker's completed pass over a HIT.
+
+    A ``NamedTuple`` rather than a frozen dataclass: the marketplace
+    constructs one per completed assignment on the hot path, and tuple
+    construction is several times cheaper than ``object.__setattr__``-based
+    frozen-dataclass init. Field semantics are unchanged.
+    """
 
     assignment_id: str
     hit_id: str
@@ -322,9 +395,29 @@ class Assignment:
         return self.submit_time - self.accept_time
 
 
-@dataclass(frozen=True)
-class Vote:
-    """One worker's answer to one question."""
+class Vote(NamedTuple):
+    """One worker's answer to one question.
+
+    ``NamedTuple`` for the same hot-path reason as :class:`Assignment` —
+    one ``Vote`` is built per answer per assignment when collecting a
+    round's corpus.
+    """
 
     worker_id: str
     value: object
+
+
+def count_vote_values(votes: Sequence["Vote"]) -> dict[object, int]:
+    """Multiset of the values in a vote list, as a plain dict.
+
+    The shared counting step of every combiner/agreement path. Vote lists
+    are typically ~5 long and there is one per question, so
+    ``collections.Counter`` construction dominates combining on large
+    corpora — a hand-rolled dict loop is several times cheaper and
+    semantically identical.
+    """
+    counts: dict[object, int] = {}
+    for vote in votes:
+        value = vote.value
+        counts[value] = counts.get(value, 0) + 1
+    return counts

@@ -22,6 +22,7 @@ from typing import Protocol, Sequence
 
 from repro.errors import HITUncompletedError, TaskError
 from repro.hits.cache import TaskCache
+from repro.util import fastpath
 from repro.hits.compiler import HITCompiler, merge_payloads
 from repro.hits.hit import HIT, Assignment, Payload, Vote
 from repro.hits.pricing import CostLedger
@@ -212,11 +213,22 @@ class TaskManager:
             )
 
         outcome.finish_time = self.platform.clock_seconds
-        for assignment in outcome.assignments:
-            for qid, value in assignment.answers.items():
-                outcome.votes.setdefault(qid, []).append(
-                    Vote(worker_id=assignment.worker_id, value=value)
-                )
+        if fastpath.enabled():
+            votes = outcome.votes
+            get_bucket = votes.get
+            for assignment in outcome.assignments:
+                worker_id = assignment.worker_id
+                for qid, value in assignment.answers.items():
+                    bucket = get_bucket(qid)
+                    if bucket is None:
+                        bucket = votes[qid] = []
+                    bucket.append(Vote(worker_id, value))
+        else:
+            for assignment in outcome.assignments:
+                for qid, value in assignment.answers.items():
+                    outcome.votes.setdefault(qid, []).append(
+                        Vote(worker_id=assignment.worker_id, value=value)
+                    )
         if strict and outcome.uncompleted_hit_ids:
             raise HITUncompletedError(
                 f"{len(outcome.uncompleted_hit_ids)} HIT(s) in group {label!r} "

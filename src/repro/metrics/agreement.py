@@ -2,10 +2,9 @@
 
 from __future__ import annotations
 
-from collections import Counter
 from typing import Callable, Mapping, Sequence
 
-from repro.hits.hit import Vote
+from repro.hits.hit import Vote, count_vote_values
 from repro.metrics.fleiss import fleiss_kappa, modified_kappa
 
 
@@ -13,11 +12,7 @@ def vote_count_table(
     corpus: Mapping[str, Sequence[Vote]]
 ) -> list[dict[object, int]]:
     """Per-question label counts, the input shape for Fleiss' κ."""
-    table = []
-    for votes in corpus.values():
-        counts: Counter = Counter(vote.value for vote in votes)
-        table.append(dict(counts))
-    return table
+    return [count_vote_values(votes) for votes in corpus.values()]
 
 
 def feature_kappa(corpus: Mapping[str, Sequence[Vote]]) -> float:
@@ -42,7 +37,7 @@ def comparison_agreement_table(
     for qid, votes in corpus.items():
         if not votes:
             continue
-        counts = Counter(vote.value for vote in votes)
+        counts = count_vote_values(votes)
         agreement[qid] = max(counts.values()) / sum(counts.values())
     return agreement
 

@@ -57,7 +57,10 @@ def fleiss_kappa(rows: Sequence[Mapping[object, int]]) -> float:
     if expected >= 1.0:
         # Every rating was the same single category: perfect but degenerate.
         return 1.0
-    return (mean_agreement - expected) / (1.0 - expected)
+    # With unequal rater counts per item the raw statistic's floor is
+    # -Pe/(1-Pe), which can drop below -1; clamp to the conventional range
+    # (anything at the floor just means "worse than chance").
+    return max(-1.0, (mean_agreement - expected) / (1.0 - expected))
 
 
 def modified_kappa(
@@ -82,4 +85,6 @@ def modified_kappa(
         raise QurkError("need at least two categories")
     mean_agreement = sum(p for p, _ in usable) / len(usable)
     chance = 1.0 / k
+    # No clamp needed here: mean agreement is in [0, 1], so the floor is
+    # -1/(k-1) >= -1 (only fleiss_kappa's empirical prior can dip below -1).
     return (mean_agreement - chance) / (1.0 - chance)

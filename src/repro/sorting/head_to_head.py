@@ -12,11 +12,10 @@ same direction as the latent values.
 
 from __future__ import annotations
 
-from collections import Counter
 from typing import Mapping, Sequence
 
 from repro.errors import QurkError
-from repro.hits.hit import Vote
+from repro.hits.hit import Vote, count_vote_values
 
 
 def pair_winners_from_votes(
@@ -37,7 +36,7 @@ def pair_winners_from_votes(
             a, b = pair_part.split("|", 1)
         except (IndexError, ValueError) as exc:
             raise QurkError(f"malformed comparison qid {qid!r}") from exc
-        counts = Counter(vote.value for vote in votes)
+        counts = count_vote_values(votes)
         top = max(counts.values())
         leaders = sorted(
             [value for value, count in counts.items() if count == top], key=str

@@ -1,0 +1,53 @@
+"""Global switch between the reference and fast hot-path implementations.
+
+Every optimization on the marketplace dispatch path is *stream-preserving*:
+the fast implementation consumes exactly the same pseudo-random draws and
+produces bit-identical results to the reference implementation it replaces.
+The reference code is kept alongside the fast code, behind this switch, for
+two reasons:
+
+1. ``benchmarks/bench_perf_hotpath.py`` measures before/after wall-clock in
+   the same process, so the recorded speedup is reproducible anywhere;
+2. ``tests/test_determinism_trace.py`` runs a fixed-seed query under both
+   modes and asserts the vote stream, virtual clock, and cost ledger are
+   identical — the determinism contract is enforced, not assumed.
+
+The fast path is on by default. Set ``REPRO_FASTPATH=0`` in the environment
+(or call :func:`set_enabled`) to fall back to the reference implementations.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator
+
+_ENABLED: bool = os.environ.get("REPRO_FASTPATH", "1").lower() not in (
+    "0",
+    "false",
+    "no",
+    "off",
+)
+
+
+def enabled() -> bool:
+    """Whether the fast hot-path implementations are active."""
+    return _ENABLED
+
+
+def set_enabled(flag: bool) -> bool:
+    """Switch the fast path on/off; returns the previous setting."""
+    global _ENABLED
+    previous = _ENABLED
+    _ENABLED = bool(flag)
+    return previous
+
+
+@contextmanager
+def forced(flag: bool) -> Iterator[None]:
+    """Temporarily force the fast path on or off (tests and benchmarks)."""
+    previous = set_enabled(flag)
+    try:
+        yield
+    finally:
+        set_enabled(previous)

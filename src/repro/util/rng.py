@@ -11,9 +11,25 @@ from __future__ import annotations
 
 import hashlib
 import random
+from bisect import bisect_right
+from functools import lru_cache
+from itertools import accumulate
 from typing import Iterable, Sequence, TypeVar
 
+from repro.util import fastpath
+
 T = TypeVar("T")
+
+_mt_seed = random.Random.__mro__[1].seed
+"""The C-level Mersenne-Twister seed (``_random.Random.seed``)."""
+
+
+def _derive_child_seed(material: str) -> int:
+    digest = hashlib.sha256(material.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") & 0x7FFF_FFFF_FFFF_FFFF
+
+
+_cached_child_seed = lru_cache(maxsize=1 << 16)(_derive_child_seed)
 
 
 def child_seed(seed: int, *labels: object) -> int:
@@ -22,11 +38,39 @@ def child_seed(seed: int, *labels: object) -> int:
     The derivation hashes the parent seed together with the string forms of
     the labels, so ``child_seed(1, "workers")`` and ``child_seed(1, "latency")``
     are independent, and the mapping is stable across processes (unlike
-    ``hash``, which is salted).
+    ``hash``, which is salted). On the fast path repeated derivations (the
+    same component rebuilt across experiment variants) are memoized; the
+    mapping itself is identical either way.
     """
     material = ":".join([str(seed), *[str(label) for label in labels]])
-    digest = hashlib.sha256(material.encode("utf-8")).digest()
-    return int.from_bytes(digest[:8], "big") & 0x7FFF_FFFF_FFFF_FFFF
+    if fastpath.enabled():
+        return _cached_child_seed(material)
+    return _derive_child_seed(material)
+
+
+def child_seed_from_material(material: str) -> int:
+    """:func:`child_seed` given the already-joined label material.
+
+    Hot loops that derive one child per assignment build the material string
+    directly (an f-string over known labels) and skip both the label join
+    and the memo table — per-assignment labels are unique, so caching them
+    would only churn the cache. The derivation itself is identical.
+    """
+    return _derive_child_seed(material)
+
+
+@lru_cache(maxsize=256)
+def _zipf_cumulative(n: int, exponent: float) -> tuple[tuple[float, ...], float]:
+    """(cumulative Zipfian weights, builtin-``sum`` total).
+
+    The cumulative array accumulates left-to-right like the reference scan
+    so boundary comparisons are bit-identical; the total comes from the
+    builtin ``sum`` because that is what the reference scales the draw by
+    (and ``sum`` of floats is Neumaier-compensated on Python 3.12+, which
+    can differ from the naive running sum by an ulp).
+    """
+    weights = [1.0 / (i + 1) ** exponent for i in range(n)]
+    return tuple(accumulate(weights)), float(sum(weights))
 
 
 class RandomSource:
@@ -42,9 +86,33 @@ class RandomSource:
         self.seed = int(seed)
         self._random = random.Random(self.seed)
 
+    def reseed(self, seed: int) -> None:
+        """Re-point this source at a new stream, as if freshly constructed.
+
+        Hot loops that would otherwise build one short-lived child source
+        per assignment reuse a single instance via ``reseed``. Calling the
+        C-level seed directly and clearing the cached gauss value is
+        exactly what ``random.Random.seed`` does for an int argument, so
+        the draws are identical to those of ``RandomSource(seed)``.
+        """
+        self.seed = seed = int(seed)
+        target = self._random
+        _mt_seed(target, seed)
+        target.gauss_next = None
+
     def child(self, *labels: object) -> "RandomSource":
         """Return an independent stream derived from this one."""
         return RandomSource(child_seed(self.seed, *labels))
+
+    @property
+    def raw(self) -> random.Random:
+        """The underlying stream, for hot loops that bypass wrapper overhead.
+
+        Draws taken here advance the same stream the wrapper methods
+        consume, so mixing ``raw`` calls with wrapper calls is safe as long
+        as the *sequence* of draws is unchanged.
+        """
+        return self._random
 
     def uniform(self, low: float = 0.0, high: float = 1.0) -> float:
         """Uniform float in ``[low, high)``."""
@@ -95,7 +163,20 @@ class RandomSource:
         return result
 
     def weighted_index(self, weights: Sequence[float]) -> int:
-        """Pick an index with probability proportional to ``weights``."""
+        """Pick an index with probability proportional to ``weights``.
+
+        Consumes exactly one ``random()`` draw. The fast path bisects a
+        cumulative-sum array; because the cumulative sums are accumulated in
+        the same left-to-right order as the reference linear scan, the two
+        implementations select bit-identical indices from the same draw.
+        """
+        if fastpath.enabled():
+            cumulative = list(accumulate(weights))
+            # The draw is scaled by the builtin-``sum`` total, exactly like
+            # the reference below — on Python 3.12+ ``sum`` of floats is
+            # Neumaier-compensated and can differ from the naive running
+            # sum by an ulp, and the contract is bit-identical selection.
+            return self.weighted_index_cumulative(cumulative, float(sum(weights)))
         total = float(sum(weights))
         if total <= 0:
             raise ValueError("weights must have a positive sum")
@@ -107,12 +188,40 @@ class RandomSource:
                 return index
         return len(weights) - 1
 
+    def weighted_index_cumulative(
+        self, cumulative: Sequence[float], total: float | None = None
+    ) -> int:
+        """Pick an index given precomputed cumulative weights.
+
+        ``cumulative`` must be the running left-to-right sums of the weight
+        vector (``itertools.accumulate``); hot callers cache it so each draw
+        costs O(log n) instead of O(n). ``total`` is the builtin-``sum`` of
+        the weights when the caller has it (see :meth:`weighted_index` for
+        why it may differ from ``cumulative[-1]`` by an ulp); it defaults to
+        ``cumulative[-1]``. Consumes exactly one ``random()`` draw, like
+        :meth:`weighted_index`.
+        """
+        if not cumulative:
+            raise ValueError("weights must have a positive sum")
+        if total is None:
+            total = cumulative[-1]
+        if total <= 0:
+            raise ValueError("weights must have a positive sum")
+        point = self._random.random() * total
+        index = bisect_right(cumulative, point)
+        last = len(cumulative) - 1
+        return index if index < last else last
+
     def zipf_index(self, n: int, exponent: float = 1.0) -> int:
         """Pick an index in ``[0, n)`` with Zipfian weights ``1/(i+1)^s``.
 
         Used to model the paper's observation (§3.3.3) that the number of
-        tasks completed per worker is roughly Zipfian.
+        tasks completed per worker is roughly Zipfian. The weight vector for
+        each ``(n, exponent)`` is memoized on the fast path.
         """
+        if fastpath.enabled():
+            cumulative, total = _zipf_cumulative(n, float(exponent))
+            return self.weighted_index_cumulative(cumulative, total)
         weights = [1.0 / (i + 1) ** exponent for i in range(n)]
         return self.weighted_index(weights)
 

@@ -42,15 +42,30 @@ def test_cache_key_sensitive_to_content_and_replication():
     assert payload_cache_key(a.payloads, 5) != payload_cache_key(a.payloads, 10)
 
 
-def test_lookup_returns_copy():
+def test_lookup_returns_immutable_tuple():
+    # The cache stores and returns tuples (no defensive copies): results
+    # cannot be mutated, and repeat lookups return the same object.
     cache = TaskCache()
     hit = make_hit()
     cache.store(hit, [make_assignment(hit)])
     first = cache.lookup(hit)
-    assert first is not None
-    first.clear()
-    second = cache.lookup(hit)
-    assert second is not None and len(second) == 1
+    assert isinstance(first, tuple) and len(first) == 1
+    assert cache.lookup(hit) is first
+
+
+def test_store_accepts_any_sequence():
+    cache = TaskCache()
+    hit = make_hit()
+    assignment = make_assignment(hit)
+    cache.store(hit, (assignment,))
+    cached = cache.lookup(hit)
+    assert cached == (assignment,)
+
+
+def test_hit_cache_key_matches_function_and_is_cached():
+    hit = make_hit()
+    assert hit.cache_key == payload_cache_key(hit.payloads, hit.assignments_requested)
+    assert hit.cache_key is hit.cache_key
 
 
 def test_clear():

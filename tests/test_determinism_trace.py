@@ -1,0 +1,162 @@
+"""Golden-trace regression: the fast path must not move a single vote.
+
+The perf overhaul (memoized seed derivation, cumulative-weight sampling,
+Fenwick slot table, lazy HTML, hoisted behaviour loops) promises to be
+*stream-preserving*: for a fixed seed, the emitted per-qid vote stream, the
+virtual clock, and the cost-ledger totals are bit-identical to the seed
+implementation. This module enforces that promise two ways:
+
+1. against a golden trace (``tests/golden/determinism_trace.json``)
+   captured from the pre-optimization implementation, and
+2. by running the same query with the fast path forced on and off and
+   asserting the two traces are equal.
+
+If a future PR *must* break the stream (e.g. a semantically different
+sampler), regenerate the golden with
+``python scripts/regen_golden_trace.py`` and say so loudly in the PR — see
+README.md, "Performance & determinism contract".
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core.context import ExecutionConfig
+from repro.core.engine import Qurk
+from repro.crowd import SimulatedMarketplace
+from repro.datasets.movie import movie_dataset
+from repro.experiments.end_to_end import QUERY_WITH_FILTER
+from repro.joins.batching import JoinInterface
+from repro.util import fastpath
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "determinism_trace.json"
+
+
+class RecordingPlatform:
+    """Delegates to a marketplace while recording every completed assignment."""
+
+    def __init__(self, inner: SimulatedMarketplace) -> None:
+        self.inner = inner
+        self.completed = []
+
+    def post_hit_group(self, hits, group_id=None):
+        assignments = self.inner.post_hit_group(hits, group_id=group_id)
+        self.completed.extend(assignments)
+        return assignments
+
+    @property
+    def clock_seconds(self) -> float:
+        return self.inner.clock_seconds
+
+
+def collect_trace(seed: int = 0) -> dict:
+    """Run the fixed-seed join + sort query and trace everything observable.
+
+    This is the movie query under the paper's optimized plan (numInScene
+    filter + Smart 5x5 join + Rate sort), exercising generative, join-grid,
+    and rating HITs in one pass.
+    """
+    data = movie_dataset(seed=seed)
+    market = SimulatedMarketplace(data.truth, seed=seed)
+    platform = RecordingPlatform(market)
+    config = ExecutionConfig(
+        join_interface=JoinInterface.SMART,
+        grid_rows=5,
+        grid_cols=5,
+        use_feature_filters=True,
+        generative_batch_size=5,
+        sort_method="rate",
+        compare_group_size=5,
+        rate_batch_size=5,
+    )
+    engine = Qurk(platform=platform, config=config)
+    engine.register_table(data.actors)
+    engine.register_table(data.scenes)
+    engine.define(data.task_dsl)
+    result = engine.execute(QUERY_WITH_FILTER)
+    votes = []
+    for assignment in platform.completed:
+        for qid, value in assignment.answers.items():
+            votes.append([qid, assignment.worker_id, repr(value)])
+    return {
+        "seed": seed,
+        "result_rows": len(result.rows),
+        "votes": votes,
+        "clock_seconds": market.clock_seconds,
+        "ledger": {
+            "total_hits": engine.ledger.total_hits,
+            "total_assignments": engine.ledger.total_assignments,
+            "total_cost": round(engine.ledger.total_cost, 10),
+        },
+        "stats": {
+            "hits_posted": market.stats.hits_posted,
+            "considerations": market.stats.considerations,
+            "refusals": market.stats.refusals,
+            "assignments_completed": market.stats.assignments_completed,
+        },
+        "assignment_ids": [a.assignment_id for a in platform.completed[-5:]],
+        "submit_times": [
+            platform.completed[i].submit_time
+            for i in (0, len(platform.completed) // 2, -1)
+        ],
+    }
+
+
+@pytest.fixture(scope="module")
+def fast_trace() -> dict:
+    with fastpath.forced(True):
+        return collect_trace(seed=0)
+
+
+def test_fast_path_matches_golden(fast_trace):
+    """Votes, clock, and ledger are bit-identical to the seed implementation."""
+    golden = json.loads(GOLDEN_PATH.read_text())
+    assert fast_trace["votes"] == golden["votes"]
+    assert fast_trace["clock_seconds"] == golden["clock_seconds"]
+    assert fast_trace["ledger"] == golden["ledger"]
+    assert fast_trace["stats"] == golden["stats"]
+    assert fast_trace["assignment_ids"] == golden["assignment_ids"]
+    assert fast_trace["submit_times"] == golden["submit_times"]
+    assert fast_trace["result_rows"] == golden["result_rows"]
+
+
+def test_reference_path_matches_golden():
+    """The retained reference implementations still reproduce the golden."""
+    with fastpath.forced(False):
+        trace = collect_trace(seed=0)
+    golden = json.loads(GOLDEN_PATH.read_text())
+    assert trace == golden
+
+
+def test_fast_and_reference_agree_on_other_seeds(fast_trace):
+    """Fast vs reference equality on a seed the golden does not cover."""
+    with fastpath.forced(True):
+        fast = collect_trace(seed=7)
+    with fastpath.forced(False):
+        ref = collect_trace(seed=7)
+    assert fast == ref
+
+
+def test_reseed_matches_fresh_construction():
+    """RandomSource.reseed is draw-for-draw a fresh RandomSource."""
+    from repro.util.rng import RandomSource
+
+    reused = RandomSource(1)
+    for seed in (0, 1, 42, 2**61 + 7):
+        fresh = RandomSource(seed)
+        reused.reseed(seed)
+        draws = [
+            fresh.random(),
+            fresh.gauss(0.0, 1.0),
+            fresh.randint(0, 10**6),
+            fresh.lognormal(0.0, 0.3),
+        ]
+        assert draws == [
+            reused.random(),
+            reused.gauss(0.0, 1.0),
+            reused.randint(0, 10**6),
+            reused.lognormal(0.0, 0.3),
+        ]

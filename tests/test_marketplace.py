@@ -133,3 +133,53 @@ def test_time_of_day_accepted_as_string(truth):
     from repro.crowd.latency import TimeOfDay
 
     assert market.time_of_day is TimeOfDay.EVENING
+
+
+def test_considerations_per_assignment(truth):
+    market = SimulatedMarketplace(truth, seed=13)
+    # Nothing completed yet: the ratio is defined as 0, not a crash.
+    assert market.stats.considerations_per_assignment == 0.0
+    market.post_hit_group(filter_hits(10), "g")
+    stats = market.stats
+    ratio = stats.considerations_per_assignment
+    assert ratio == stats.considerations / stats.assignments_completed
+    # Every completion takes at least one consideration.
+    assert ratio >= 1.0
+
+
+def test_considerations_per_assignment_counts_refusals():
+    """Oversized batches burn considerations without completing work."""
+    t = GroundTruth()
+    t.add_rank_task("rank", {f"i{k}": float(k) for k in range(20)})
+    market = SimulatedMarketplace(t, seed=14)
+    compiler = HITCompiler()
+    hit = HIT(
+        hit_id="big",
+        payloads=(
+            ComparePayload("rank", (CompareGroup(tuple(f"i{k}" for k in range(20))),)),
+        ),
+        assignments_requested=5,
+    )
+    compiler.compile(hit)
+    market.post_hit_group([hit], "g")
+    assert market.stats.refusals > 0
+    assert market.stats.considerations > market.stats.assignments_completed
+    if market.stats.assignments_completed:
+        assert market.stats.considerations_per_assignment > 1.0
+
+
+def test_fast_and_reference_dispatch_agree(truth):
+    """The two dispatch implementations emit identical assignments."""
+    from repro.util import fastpath
+
+    with fastpath.forced(True):
+        fast = SimulatedMarketplace(truth, seed=15).post_hit_group(filter_hits(12), "g")
+    with fastpath.forced(False):
+        ref = SimulatedMarketplace(truth, seed=15).post_hit_group(filter_hits(12), "g")
+    assert [
+        (a.assignment_id, a.hit_id, a.worker_id, a.answers, a.accept_time, a.submit_time)
+        for a in fast
+    ] == [
+        (a.assignment_id, a.hit_id, a.worker_id, a.answers, a.accept_time, a.submit_time)
+        for a in ref
+    ]

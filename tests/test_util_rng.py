@@ -101,3 +101,66 @@ def test_sample_without_replacement():
     rng = RandomSource(7)
     sample = rng.sample(list(range(10)), 4)
     assert len(sample) == len(set(sample)) == 4
+
+
+# -- fast-path stream preservation ------------------------------------------
+
+
+def test_weighted_index_fast_matches_reference():
+    from repro.util import fastpath
+
+    weights = [1.0 / (i + 1) ** 0.9 for i in range(37)]
+    with fastpath.forced(True):
+        fast = [RandomSource(9).weighted_index(weights) for _ in range(1)]
+        fast += [x for x in _draw_many(RandomSource(9), weights)]
+    with fastpath.forced(False):
+        ref = [RandomSource(9).weighted_index(weights) for _ in range(1)]
+        ref += [x for x in _draw_many(RandomSource(9), weights)]
+    assert fast == ref
+
+
+def _draw_many(rng: RandomSource, weights) -> list[int]:
+    return [rng.weighted_index(weights) for _ in range(500)]
+
+
+def test_zipf_index_fast_matches_reference():
+    from repro.util import fastpath
+
+    with fastpath.forced(True):
+        rng = RandomSource(12)
+        fast = [rng.zipf_index(40, 0.9) for _ in range(500)]
+    with fastpath.forced(False):
+        rng = RandomSource(12)
+        ref = [rng.zipf_index(40, 0.9) for _ in range(500)]
+    assert fast == ref
+
+
+def test_weighted_index_cumulative_matches_weighted_index():
+    from itertools import accumulate
+
+    weights = [0.5, 2.0, 0.25, 3.0]
+    a = RandomSource(5)
+    b = RandomSource(5)
+    cumulative = list(accumulate(weights))
+    for _ in range(200):
+        assert a.weighted_index(weights) == b.weighted_index_cumulative(cumulative)
+
+
+def test_weighted_index_cumulative_rejects_zero_total():
+    with pytest.raises(ValueError):
+        RandomSource(0).weighted_index_cumulative([0.0, 0.0])
+    with pytest.raises(ValueError):
+        RandomSource(0).weighted_index_cumulative([])
+
+
+def test_child_seed_memoization_is_transparent():
+    from repro.util import fastpath
+    from repro.util.rng import child_seed_from_material
+
+    with fastpath.forced(True):
+        fast = child_seed(3, "a", 1, "b")
+        fast_again = child_seed(3, "a", 1, "b")
+    with fastpath.forced(False):
+        ref = child_seed(3, "a", 1, "b")
+    assert fast == fast_again == ref
+    assert child_seed_from_material("3:a:1:b") == ref

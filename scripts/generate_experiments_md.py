@@ -89,7 +89,7 @@ def main() -> None:
         "Absolute numbers come from a simulator calibrated to the paper's "
         "aggregate statistics; the claims being reproduced are the "
         "*shapes*: who wins, by what factor, where the crossovers fall. "
-        "See DESIGN.md §2 for the substitution rationale.\n\n"
+        "See docs/ARCHITECTURE.md for the substitution rationale.\n\n"
     )
 
     runners = [

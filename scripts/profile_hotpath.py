@@ -8,18 +8,29 @@ Usage::
     PYTHONPATH=src python scripts/profile_hotpath.py [--scale N] [--top K]
     PYTHONPATH=src python scripts/profile_hotpath.py --check
 
-``--check`` is the CI guard: it exits nonzero if ``child_seed`` or
-``payload_cache_key`` appear among the top-5 cumulative profile entries —
-i.e. if per-assignment seed hashing or per-lookup payload ``repr`` ever
-creep back onto the hot path.
+``--check`` is the CI guard; it exits nonzero when either hot-path budget
+is blown:
+
+1. ``child_seed`` or ``payload_cache_key`` appear among the top-5
+   cumulative profile entries — per-assignment seed hashing or per-lookup
+   payload ``repr`` crept back onto the dispatch path;
+2. the pipelined executor's wall-clock on the macro workload exceeds the
+   depth-first interpreter's by more than 5% — the scheduler's queue and
+   bookkeeping machinery started taxing the path it is supposed to merely
+   re-time. Both modes run the same macro in-process (best of
+   ``--check-repeats``) and the measurement is appended to
+   ``benchmarks/BENCH_pipeline.json`` under ``ci_check``.
 """
 
 from __future__ import annotations
 
 import argparse
 import cProfile
+import json
 import pstats
 import sys
+import time
+from pathlib import Path
 
 from repro.core.context import ExecutionConfig
 from repro.core.engine import Qurk
@@ -29,9 +40,12 @@ from repro.datasets.movie import movie_dataset
 from repro.experiments.end_to_end import QUERY_WITH_FILTER
 from repro.hits.cache import TaskCache
 from repro.joins.batching import JoinInterface
+from repro.util import pipeline
 
 CHECK_TOP_N = 5
 FORBIDDEN_IN_TOP = ("child_seed", "payload_cache_key")
+PIPELINE_OVERHEAD_LIMIT = 1.05
+BENCH_PIPELINE_PATH = Path(__file__).parent.parent / "benchmarks" / "BENCH_pipeline.json"
 
 
 def run_workload(scale: int = 1, seed: int = 0) -> None:
@@ -65,6 +79,66 @@ def profile(scale: int, seed: int) -> pstats.Stats:
     return pstats.Stats(profiler)
 
 
+def check_pipeline_overhead(scale: int, seed: int, repeats: int) -> dict:
+    """Run the macro workload in both pipeline modes; measure the ratio.
+
+    The depth-first path is the baseline the tentpole refactor must not
+    regress: ``wall_overhead`` is pipelined / depth-first best-of CPU
+    time, and values above ``PIPELINE_OVERHEAD_LIMIT`` fail CI.
+
+    Measurement hygiene, because a 5% bound demands it: CPU time instead
+    of wall clock (immune to preemption on shared runners), the garbage
+    collector paused and drained around each timed run (GC pauses are
+    bimodal noise bigger than the bound), modes interleaved so neither
+    systematically runs on a warmer cache, and a scale floor so the
+    dispatch work being compared dwarfs timer resolution.
+    """
+    import gc
+
+    scale = max(scale, 4)
+    run_workload(scale=scale, seed=seed)  # untimed warm-up
+    timings = {"depth_first": float("inf"), "pipelined": float("inf")}
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for _ in range(max(1, repeats)):
+            for mode, label in ((False, "depth_first"), (True, "pipelined")):
+                with pipeline.forced(mode):
+                    gc.collect()
+                    start = time.process_time()
+                    run_workload(scale=scale, seed=seed)
+                    timings[label] = min(
+                        timings[label], time.process_time() - start
+                    )
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    overhead = (
+        timings["pipelined"] / timings["depth_first"]
+        if timings["depth_first"] > 0
+        else 0.0
+    )
+    report = {
+        "scale": scale,
+        "repeats": repeats,
+        "depth_first_seconds": round(timings["depth_first"], 4),
+        "pipelined_seconds": round(timings["pipelined"], 4),
+        "wall_overhead": round(overhead, 4),
+        "limit": PIPELINE_OVERHEAD_LIMIT,
+    }
+    try:
+        recorded = (
+            json.loads(BENCH_PIPELINE_PATH.read_text())
+            if BENCH_PIPELINE_PATH.exists()
+            else {}
+        )
+        recorded["ci_check"] = report
+        BENCH_PIPELINE_PATH.write_text(json.dumps(recorded, indent=1))
+    except OSError as exc:  # CI sandboxes may mount the repo read-only
+        print(f"warning: could not record ci_check results: {exc}", file=sys.stderr)
+    return report
+
+
 def top_cumulative_entries(stats: pstats.Stats, count: int) -> list[str]:
     """Function names of the top-``count`` entries by cumulative time,
     excluding the profiler scaffolding itself."""
@@ -93,7 +167,24 @@ def main() -> int:
         action="store_true",
         help=(
             "exit nonzero if child_seed or payload_cache_key appear in the "
-            f"top-{CHECK_TOP_N} cumulative entries"
+            f"top-{CHECK_TOP_N} cumulative entries, or if the pipelined "
+            f"executor's macro wall-clock exceeds the depth-first path's "
+            f"by more than {PIPELINE_OVERHEAD_LIMIT - 1:.0%}"
+        ),
+    )
+    def positive_int(value: str) -> int:
+        parsed = int(value)
+        if parsed < 1:
+            raise argparse.ArgumentTypeError("must be >= 1")
+        return parsed
+
+    parser.add_argument(
+        "--check-repeats",
+        type=positive_int,
+        default=5,
+        help=(
+            "macro repetitions per mode for the pipeline-overhead check "
+            "(interleaved, best-of; raise on noisy machines)"
         ),
     )
     args = parser.parse_args()
@@ -119,6 +210,21 @@ def main() -> int:
         print(
             f"check ok: none of {FORBIDDEN_IN_TOP} in the top-{CHECK_TOP_N} "
             f"cumulative entries ({top})"
+        )
+        report = check_pipeline_overhead(args.scale, args.seed, args.check_repeats)
+        if report["wall_overhead"] > PIPELINE_OVERHEAD_LIMIT:
+            print(
+                "CHECK FAILED: pipelined executor wall-clock is "
+                f"{report['wall_overhead']:.3f}x the depth-first path "
+                f"(limit {PIPELINE_OVERHEAD_LIMIT}x) on the macro workload: "
+                f"{report}",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            "check ok: pipelined executor wall-clock is "
+            f"{report['wall_overhead']:.3f}x the depth-first path "
+            f"(limit {PIPELINE_OVERHEAD_LIMIT}x)"
         )
     return 0
 

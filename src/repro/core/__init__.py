@@ -1,13 +1,17 @@
-"""The Qurk query engine: plans, operators, executor, and facade.
+"""The Qurk query engine: plans, operators, executors, and facade.
 
 The public entry point is :class:`~repro.core.engine.Qurk`: register tables,
 define tasks in the TASK DSL, and execute SELECT queries whose filters,
-joins, and sorts run on a crowd platform.
+joins, and sorts run on a crowd platform. Execution is handled by the
+event-driven pipelined scheduler (:mod:`repro.core.scheduler`, default) or
+the depth-first interpreter (:mod:`repro.core.executor`,
+``REPRO_PIPELINE=0``) — identical results, different latency; see
+docs/ARCHITECTURE.md.
 """
 
 from repro.core.batch_tuner import BatchTuner, ProbeResult
 from repro.core.budget import BudgetPlan, allocate_budget
-from repro.core.context import ExecutionConfig, QueryContext
+from repro.core.context import ExecutionConfig, PipelineStats, QueryContext
 from repro.core.engine import QueryResult, Qurk
 from repro.core.plan import (
     ComputedFilterNode,
@@ -30,6 +34,7 @@ __all__ = [
     "ExecutionConfig",
     "JoinNode",
     "LimitNode",
+    "PipelineStats",
     "PlanNode",
     "ProbeResult",
     "ProjectNode",

@@ -95,6 +95,19 @@ class ExecutionConfig:
     seed: int = 0
     """Seed for engine-side sampling (covering groups, anchors, windows)."""
 
+    pipeline: bool | None = None
+    """Force the pipelined executor on/off for this query; None defers to
+    the ``REPRO_PIPELINE`` toggle (:mod:`repro.util.pipeline`). Either way
+    the pipelined executor also requires a platform with the multi-client
+    ``submit_hit_group``/``harvest`` API, falling back to depth-first."""
+
+    pipeline_chunk_size: int = 64
+    """Rows per chunk flowing through the pipelined executor's queues."""
+
+    pipeline_queue_chunks: int = 8
+    """Bounded capacity (in chunks) of each inter-operator queue; a full
+    queue stalls the producer (back-pressure)."""
+
     def __post_init__(self) -> None:
         if self.sort_method not in ("compare", "rate", "hybrid"):
             raise PlanError(f"unknown sort method {self.sort_method!r}")
@@ -102,10 +115,54 @@ class ExecutionConfig:
             raise PlanError(f"unknown hybrid strategy {self.hybrid_strategy!r}")
         if self.assignments < 1:
             raise PlanError("assignments must be >= 1")
+        if self.pipeline_chunk_size < 1:
+            raise PlanError("pipeline_chunk_size must be >= 1")
+        if self.pipeline_queue_chunks < 1:
+            raise PlanError("pipeline_queue_chunks must be >= 1")
 
     def with_overrides(self, **kwargs) -> "ExecutionConfig":
         """A copy with some fields replaced (experiment sweeps)."""
         return replace(self, **kwargs)
+
+
+@dataclass
+class PipelineStats:
+    """Per-operator pipelined-execution telemetry for EXPLAIN.
+
+    Filled in by :mod:`repro.core.scheduler` when a query runs under the
+    pipelined executor; ``None`` on :class:`OperatorStats` otherwise.
+    """
+
+    stage: int = 0
+    """The operator's position in the pipeline's deterministic posting
+    order (post-order plan rank; the depth-first interpreter posts in this
+    exact order, which is why the two executors' vote streams agree)."""
+
+    depth: int = 0
+    """Chain length from this operator down to its deepest leaf — the
+    number of pipeline stages whose work can be in flight below it."""
+
+    queue_capacity: int = 0
+    """Output-queue bound, in chunks."""
+
+    queue_peak: int = 0
+    """High-water occupancy of the output queue, in chunks."""
+
+    chunks_emitted: int = 0
+    """Chunks this operator pushed downstream."""
+
+    emit_stalls: int = 0
+    """Times the operator blocked on a full output queue (back-pressure)."""
+
+    groups_posted: int = 0
+    """HIT groups this operator posted."""
+
+    peak_outstanding: int = 0
+    """Most HIT groups this operator had outstanding at once."""
+
+    started_at: float = 0.0
+    finished_at: float = 0.0
+    """Virtual-time interval over which the operator was live."""
 
 
 @dataclass
@@ -119,6 +176,7 @@ class OperatorStats:
     rows_out: int = 0
     elapsed_seconds: float = 0.0
     signals: dict[str, float] = field(default_factory=dict)
+    pipeline: PipelineStats | None = None
 
 
 @dataclass
@@ -129,6 +187,10 @@ class QueryContext:
     manager: TaskManager
     config: ExecutionConfig = field(default_factory=ExecutionConfig)
     node_stats: dict[int, OperatorStats] = field(default_factory=dict)
+    pipeline_summary: dict[str, float] | None = None
+    """Whole-query pipeline telemetry (stages, makespan, serial latency,
+    peak outstanding groups) when the pipelined executor ran; None under
+    the depth-first interpreter."""
 
     def combiner_for(self, task_combiner: str) -> Combiner:
         """Instantiate the effective combiner for a task."""
@@ -140,11 +202,20 @@ class QueryContext:
         return self.node_stats.setdefault(id(node), OperatorStats(label=node.label()))
 
     def charge_budget(self, upcoming_assignments: int) -> None:
-        """Pre-flight budget check before posting more work."""
+        """Pre-flight budget check before posting more work.
+
+        Counts the ledger plus any posted-but-unharvested work: under the
+        pipelined executor, ledger charges land at harvest time, so the
+        operator manager proxy exposes ``inflight_assignments`` for the
+        groups currently outstanding — keeping the abort point identical
+        to the depth-first interpreter's, where every posting charges the
+        ledger before the next pre-flight check runs.
+        """
         if self.config.max_budget is None:
             return
+        inflight = getattr(self.manager, "inflight_assignments", 0)
         projected = self.manager.ledger.total_cost + self.manager.ledger.pricing.cost(
-            upcoming_assignments
+            upcoming_assignments + inflight
         )
         if projected > self.config.max_budget + 1e-9:
             from repro.errors import BudgetExceededError

@@ -191,20 +191,49 @@ def run_filter_call(
     return answers, outcome
 
 
-def run_generative_units(
+@dataclass
+class PendingGenerative:
+    """One or more generative tasks posted but not yet collected.
+
+    Produced by :func:`begin_generative_units`; :meth:`collect` harvests the
+    underlying HIT group and combines votes into per-item field values.
+    """
+
+    tasks: dict[str, GenerativeTask]
+    task_items: dict[str, tuple[str, ...]]
+    ctx: QueryContext
+    pending: object | None = None
+    """The manager's PendingBatch, or None when there was nothing to post.
+
+    Callers ordering harvests by finish time sort the non-None ``pending``
+    handles themselves (see :func:`repro.hits.manager.collect_pending`);
+    an empty pending has no meaningful finish time."""
+
+    def collect(
+        self,
+    ) -> tuple[dict[str, dict[str, dict[str, object]]], BatchOutcome, dict[str, dict[str, list[Vote]]]]:
+        """Harvest and combine; see :func:`run_generative_units` for shape."""
+        if self.pending is None:
+            return {}, BatchOutcome(), {}
+        outcome = self.pending.result()
+        return _combine_generative(self.tasks, self.task_items, self.ctx, outcome)
+
+
+def begin_generative_units(
     task_items: Mapping[str, Sequence[str]],
     ctx: QueryContext,
     label: str,
     combine_tasks: bool = False,
     batch_size: int | None = None,
-) -> tuple[dict[str, dict[str, dict[str, object]]], BatchOutcome, dict[str, dict[str, list[Vote]]]]:
-    """Run one or more generative tasks over item lists.
+) -> PendingGenerative:
+    """Post one or more generative tasks over item lists without collecting.
 
-    ``task_items`` maps task name → item refs. With ``combine_tasks`` the
-    tasks are *combined*: each HIT unit asks all tasks about one item
-    (requires identical item lists, the §3.3.4 combined feature interface).
-
-    Returns (task → ref → field values, outcome, task → field corpus).
+    The non-blocking half of :func:`run_generative_units`: the join executor
+    begins both of its feature-extraction sides before collecting either, so
+    under the pipelined executor the two sides' HIT batches are outstanding
+    over the same virtual interval (§2.6 overlap). Against the blocking
+    manager the batch resolves at posting time and ``collect()`` merely
+    combines — serial behaviour, draw-for-draw.
     """
     tasks = {name: ctx.catalog.task(name) for name in task_items}
     for name, task in tasks.items():
@@ -232,17 +261,47 @@ def run_generative_units(
             for item in items:
                 units.append([generative_payload_for(tasks[name], item)])  # type: ignore[arg-type]
 
+    frozen_items = {name: tuple(items) for name, items in task_items.items()}
     if not units:
-        return {}, BatchOutcome(), {}
+        return PendingGenerative(tasks, frozen_items, ctx)  # type: ignore[arg-type]
     ctx.charge_budget(len(units) * ctx.config.assignments)
-    outcome = ctx.manager.run_units(
+    pending = ctx.manager.begin_units(
         units,
         batch_size=batch_size or ctx.config.generative_batch_size,
         assignments=ctx.config.assignments,
         label=label,
         strict=ctx.config.strict_hits,
     )
+    return PendingGenerative(tasks, frozen_items, ctx, pending)  # type: ignore[arg-type]
 
+
+def run_generative_units(
+    task_items: Mapping[str, Sequence[str]],
+    ctx: QueryContext,
+    label: str,
+    combine_tasks: bool = False,
+    batch_size: int | None = None,
+) -> tuple[dict[str, dict[str, dict[str, object]]], BatchOutcome, dict[str, dict[str, list[Vote]]]]:
+    """Run one or more generative tasks over item lists.
+
+    ``task_items`` maps task name → item refs. With ``combine_tasks`` the
+    tasks are *combined*: each HIT unit asks all tasks about one item
+    (requires identical item lists, the §3.3.4 combined feature interface).
+
+    Returns (task → ref → field values, outcome, task → field corpus).
+    """
+    return begin_generative_units(
+        task_items, ctx, label, combine_tasks=combine_tasks, batch_size=batch_size
+    ).collect()
+
+
+def _combine_generative(
+    tasks: Mapping[str, GenerativeTask],
+    task_items: Mapping[str, Sequence[str]],
+    ctx: QueryContext,
+    outcome: BatchOutcome,
+) -> tuple[dict[str, dict[str, dict[str, object]]], BatchOutcome, dict[str, dict[str, list[Vote]]]]:
+    """Normalize, combine, and index one generative outcome's votes."""
     results: dict[str, dict[str, dict[str, object]]] = {}
     corpora: dict[str, dict[str, list[Vote]]] = {}
     for name, task in tasks.items():

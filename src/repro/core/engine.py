@@ -73,6 +73,9 @@ class QueryResult:
     marketplace_stats: MarketplaceSnapshot | None = None
     """This query's marketplace-counter deltas, when the platform exposes
     stats (the simulated marketplace does)."""
+    pipeline_summary: dict[str, float] | None = None
+    """Whole-query overlap telemetry when the pipelined executor ran
+    (stages, groups, peak outstanding, makespan vs serial latency)."""
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -88,7 +91,10 @@ class QueryResult:
     def explain(self) -> str:
         """EXPLAIN-style tree with per-operator quality signals (§6)."""
         return render_explain(
-            self.plan, self.node_stats, marketplace_stats=self.marketplace_stats
+            self.plan,
+            self.node_stats,
+            marketplace_stats=self.marketplace_stats,
+            pipeline_summary=self.pipeline_summary,
         )
 
 
@@ -179,6 +185,7 @@ class Qurk:
             elapsed_seconds=self.platform.clock_seconds - clock_before,
             node_stats=ctx.node_stats,
             marketplace_stats=snapshot,
+            pipeline_summary=ctx.pipeline_summary,
         )
 
     def explain(self, query: str | SelectQuery) -> str:

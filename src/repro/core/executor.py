@@ -1,10 +1,29 @@
-"""Plan interpreter.
+"""Plan execution: the depth-first interpreter and the operator bodies.
 
-The paper's executor runs each operator in its own thread with async queues
-(§2.6); for determinism we interpret the plan tree depth-first over the
-marketplace's virtual clock (see DESIGN.md for the substitution note).
-Crowd operators materialise their inputs — they must, since HIT batches are
-built over whole tuple sets.
+Two executors share the operator implementations in this module:
+
+* the **depth-first interpreter** (:func:`run_plan_depth_first`) walks the
+  plan tree recursively and materialises every operator boundary — simple,
+  serial, and the reference for the determinism contract;
+* the **pipelined executor** (:mod:`repro.core.scheduler`) runs each
+  operator as a stepping task with bounded input queues over the
+  marketplace's virtual clock, the paper's §2.6 event-driven design, so
+  crowd operators from different pipeline stages have HIT batches
+  outstanding over overlapping virtual intervals.
+
+:func:`run_plan` picks between them: the pipelined executor when the
+``REPRO_PIPELINE`` toggle (or ``ExecutionConfig.pipeline``) allows it *and*
+the platform exposes the multi-client submit/harvest API; the depth-first
+interpreter otherwise. For a fixed seed both produce identical rows, costs,
+and vote streams — pipelining preserves the depth-first posting order and
+overlaps only virtual time — so the choice is observable solely through
+latency and EXPLAIN telemetry (``tests/test_scheduler.py`` enforces this).
+
+Crowd operators still materialise their own *inputs* under both executors:
+HIT batching (merging, §2.6) spans an operator's whole tuple set, so a
+crowd operator drains its input queue before posting. The pipelining wins
+come from sibling operators and independent per-group/per-side batches
+overlapping, plus chunked row flow through the computed operators.
 """
 
 from __future__ import annotations
@@ -24,61 +43,99 @@ from repro.core.plan import (
 )
 from repro.core.sort_exec import execute_sort
 from repro.errors import ExecutionError
+from repro.hits.manager import platform_supports_overlap
 from repro.relational.expressions import UDFCall
 from repro.relational.rows import Row
+from repro.util import pipeline as pipeline_toggle
 
 
 def run_plan(node: PlanNode, ctx: QueryContext) -> list[Row]:
-    """Execute a plan tree; returns the output rows."""
+    """Execute a plan tree; returns the output rows.
+
+    Dispatches to the pipelined executor when enabled and supported (see
+    the module docstring), else interprets depth-first.
+    """
+    enabled = ctx.config.pipeline
+    if enabled is None:
+        enabled = pipeline_toggle.enabled()
+    if enabled and platform_supports_overlap(ctx.manager.platform):
+        from repro.core.scheduler import run_plan_pipelined
+
+        return run_plan_pipelined(node, ctx)
+    return run_plan_depth_first(node, ctx)
+
+
+def run_plan_depth_first(node: PlanNode, ctx: QueryContext) -> list[Row]:
+    """The reference interpreter: recurse, materialise, apply."""
     if isinstance(node, ScanNode):
-        return _run_scan(node, ctx)
+        return scan_rows(node, ctx)
     if isinstance(node, ComputedFilterNode):
-        return _run_computed_filter(node, ctx)
+        return computed_filter_rows(
+            node, run_plan_depth_first(node.inputs[0], ctx), ctx
+        )
     if isinstance(node, CrowdPredicateNode):
-        return _run_crowd_predicate(node, ctx)
+        return crowd_filter_rows(
+            node, run_plan_depth_first(node.inputs[0], ctx), ctx
+        )
     if isinstance(node, JoinNode):
-        return _run_join(node, ctx)
+        left_rows = run_plan_depth_first(node.inputs[0], ctx)
+        right_rows = run_plan_depth_first(node.inputs[1], ctx)
+        return join_rows(node, left_rows, right_rows, ctx)
     if isinstance(node, SortNode):
-        rows = run_plan(node.inputs[0], ctx)
+        rows = run_plan_depth_first(node.inputs[0], ctx)
         return execute_sort(node, rows, ctx)
     if isinstance(node, ProjectNode):
-        return _run_project(node, ctx)
+        return project_rows(node, run_plan_depth_first(node.inputs[0], ctx), ctx)
     if isinstance(node, LimitNode):
-        rows = run_plan(node.inputs[0], ctx)
-        stats = ctx.stats_for(node)
-        stats.rows_in = len(rows)
-        stats.rows_out = min(len(rows), node.count)
-        return rows[: node.count]
+        return limit_rows(node, run_plan_depth_first(node.inputs[0], ctx), ctx)
     raise ExecutionError(f"no executor for plan node {type(node).__name__}")
 
 
-def _run_scan(node: ScanNode, ctx: QueryContext) -> list[Row]:
+# ---------------------------------------------------------------------------
+# Operator bodies (shared by both executors)
+# ---------------------------------------------------------------------------
+
+
+def scan_rows(node: ScanNode, ctx: QueryContext) -> list[Row]:
+    """Read the scanned table, qualifying columns with the alias."""
     table = ctx.catalog.table(node.table_name)
     rows = [row.prefixed(node.alias) for row in table.scan()]
     stats = ctx.stats_for(node)
-    stats.rows_in = len(table)
-    stats.rows_out = len(rows)
+    stats.rows_in += len(table)
+    stats.rows_out += len(rows)
     return rows
 
 
-def _run_computed_filter(node: ComputedFilterNode, ctx: QueryContext) -> list[Row]:
-    rows = run_plan(node.inputs[0], ctx)
+def computed_filter_rows(
+    node: ComputedFilterNode, rows: list[Row], ctx: QueryContext
+) -> list[Row]:
+    """Apply a computer-evaluable predicate (streamable: call per chunk)."""
     assert node.predicate is not None
     env = ctx.catalog.functions()
     kept = [row for row in rows if node.predicate.evaluate(row, env)]
     stats = ctx.stats_for(node)
-    stats.rows_in = len(rows)
-    stats.rows_out = len(kept)
+    stats.rows_in += len(rows)
+    stats.rows_out += len(kept)
     return kept
 
 
-def _run_crowd_predicate(node: CrowdPredicateNode, ctx: QueryContext) -> list[Row]:
-    rows = run_plan(node.inputs[0], ctx)
+def limit_rows(node: LimitNode, rows: list[Row], ctx: QueryContext) -> list[Row]:
+    """Keep the first ``count`` rows."""
+    stats = ctx.stats_for(node)
+    stats.rows_in += len(rows)
+    kept = rows[: node.count]
+    stats.rows_out += len(kept)
+    return kept
+
+
+def crowd_filter_rows(
+    node: CrowdPredicateNode, rows: list[Row], ctx: QueryContext
+) -> list[Row]:
+    """Run a crowd predicate over materialised input rows."""
     assert node.predicate is not None
     stats = ctx.stats_for(node)
-    stats.rows_in = len(rows)
+    stats.rows_in += len(rows)
     if not rows:
-        stats.rows_out = 0
         return []
     bindings = run_predicate_calls(node.predicate, rows, ctx, "where")
     stats.hits += bindings.outcome.hit_count
@@ -90,36 +147,48 @@ def _run_crowd_predicate(node: CrowdPredicateNode, ctx: QueryContext) -> list[Ro
         for row in rows
         if evaluate_with_crowd(node.predicate, row, bindings, ctx)
     ]
-    stats.rows_out = len(kept)
+    stats.rows_out += len(kept)
     return kept
 
 
-def _run_join(node: JoinNode, ctx: QueryContext) -> list[Row]:
-    left_rows = run_plan(node.inputs[0], ctx)
-    right_rows = run_plan(node.inputs[1], ctx)
-    left_aliases = _aliases(node.inputs[0])
-    right_aliases = _aliases(node.inputs[1])
+def join_rows(
+    node: JoinNode, left_rows: list[Row], right_rows: list[Row], ctx: QueryContext
+) -> list[Row]:
+    """Run the crowd equijoin over materialised inputs."""
+    left_aliases = plan_aliases(node.inputs[0])
+    right_aliases = plan_aliases(node.inputs[1])
     return execute_join(node, left_rows, right_rows, ctx, left_aliases, right_aliases)
 
 
-def _aliases(node: PlanNode) -> set[str]:
+def plan_aliases(node: PlanNode) -> set[str]:
+    """Every scan alias bound inside a subtree."""
     return {n.alias for n in node.walk() if isinstance(n, ScanNode)}
 
 
-def _run_project(node: ProjectNode, ctx: QueryContext) -> list[Row]:
-    rows = run_plan(node.inputs[0], ctx)
-    stats = ctx.stats_for(node)
-    stats.rows_in = len(rows)
+def project_crowd_calls(node: ProjectNode, ctx: QueryContext) -> list[UDFCall]:
+    """The generative crowd calls appearing in a select list (§2.2)."""
     if node.star:
-        stats.rows_out = len(rows)
-        return rows
-    # The select list may contain generative crowd calls (§2.2).
-    crowd_calls = [
+        return []
+    return [
         call
         for item in node.items
         for call in item.expr.udf_calls()
         if not ctx.catalog.has_function(call.name)
     ]
+
+
+def project_rows(node: ProjectNode, rows: list[Row], ctx: QueryContext) -> list[Row]:
+    """Evaluate the select list; may trigger generative crowd work.
+
+    Streamable per chunk only when :func:`project_crowd_calls` is empty —
+    generative select items batch HITs over the whole input.
+    """
+    stats = ctx.stats_for(node)
+    stats.rows_in += len(rows)
+    if node.star:
+        stats.rows_out += len(rows)
+        return rows
+    crowd_calls = project_crowd_calls(node, ctx)
     bindings = None
     if crowd_calls and rows:
         from repro.relational.expressions import And
@@ -148,7 +217,7 @@ def _run_project(node: ProjectNode, ctx: QueryContext) -> list[Row]:
             else:
                 values[name] = _evaluate_plain(item.expr, row, env)
         out.append(RowClass(schema, values))
-    stats.rows_out = len(out)
+    stats.rows_out += len(out)
     return out
 
 

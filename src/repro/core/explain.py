@@ -8,9 +8,18 @@ After execution, each plan node renders with its HIT/assignment counts,
 row flow, and the signals its operator collected (feature κ, pair
 agreement, filter selectivity, comparison κ, ...). Signals that look
 pathological get flagged so the workflow designer knows where to look.
+
+When the query ran under the pipelined executor each node additionally
+carries a pipeline column — stage rank, pipeline depth, output-queue
+occupancy against its bound, back-pressure stalls, and HIT-group posting
+telemetry — and the footer reports the whole-query overlap economics
+(virtual makespan vs the serial latency the depth-first interpreter would
+have accumulated). See ``docs/API.md`` for the column glossary.
 """
 
 from __future__ import annotations
+
+from typing import Mapping
 
 from repro.core.context import OperatorStats
 from repro.core.plan import PlanNode
@@ -31,17 +40,41 @@ def _signal_notes(stats: OperatorStats) -> list[str]:
     return notes
 
 
+def _pipeline_note(stats: OperatorStats) -> str | None:
+    """The per-operator pipeline column: stage, queue occupancy, posting."""
+    ps = stats.pipeline
+    if ps is None:
+        return None
+    parts = [f"stage={ps.stage}", f"depth={ps.depth}"]
+    if ps.queue_capacity:
+        parts.append(f"queue={ps.queue_peak}/{ps.queue_capacity}")
+    if ps.chunks_emitted:
+        parts.append(f"chunks={ps.chunks_emitted}")
+    if ps.emit_stalls:
+        parts.append(f"stalls={ps.emit_stalls}")
+    if ps.groups_posted:
+        parts.append(
+            f"groups={ps.groups_posted} (peak {ps.peak_outstanding} outstanding)"
+        )
+        parts.append(f"live=[{ps.started_at:.0f}s..{ps.finished_at:.0f}s]")
+    return "pipeline: " + ", ".join(parts)
+
+
 def render_explain(
     plan: PlanNode,
     node_stats: dict[int, OperatorStats],
     marketplace_stats: object | None = None,
+    pipeline_summary: Mapping[str, float] | None = None,
 ) -> str:
     """Render the plan tree annotated with collected operator signals.
 
     When ``marketplace_stats`` is provided (the simulated marketplace's
     aggregate counters), a footer reports the consideration/refusal
     economics — most importantly ``considerations_per_assignment``, the
-    refusal-loop overhead the dispatch fast path targets.
+    refusal-loop overhead the dispatch fast path targets. When
+    ``pipeline_summary`` is provided (the query ran pipelined), a second
+    footer reports the overlap economics and each node carries its
+    pipeline column.
     """
     lines: list[str] = []
 
@@ -56,12 +89,29 @@ def render_explain(
             )
         lines.append(header)
         if stats is not None:
+            pipeline_note = _pipeline_note(stats)
+            if pipeline_note is not None:
+                lines.append(f"{indent}    ~ {pipeline_note}")
             for note in _signal_notes(stats):
                 lines.append(f"{indent}    ~ {note}")
         for child in node.inputs:
             visit(child, depth + 1)
 
     visit(plan, 0)
+    if pipeline_summary is not None:
+        makespan = pipeline_summary.get("makespan_seconds", 0.0)
+        serial = pipeline_summary.get("serial_latency_seconds", 0.0)
+        overlap = f", overlap_speedup={serial / makespan:.2f}x" if makespan > 0 else ""
+        lines.append(
+            "pipeline: "
+            f"stages={pipeline_summary.get('stages', 0):.0f}"
+            f", groups={pipeline_summary.get('groups_posted', 0):.0f}"
+            f", peak_outstanding_groups="
+            f"{pipeline_summary.get('peak_outstanding_groups', 0):.0f}"
+            f", makespan={makespan:.0f}s"
+            f", serial_latency={serial:.0f}s"
+            f"{overlap}"
+        )
     if marketplace_stats is not None:
         considerations = getattr(marketplace_stats, "considerations", None)
         per_assignment = getattr(

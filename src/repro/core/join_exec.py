@@ -2,10 +2,13 @@
 
 Qurk "implements a block nested loop join, and uses the results of the HIT
 comparisons to evaluate whether two elements satisfy the join condition".
-This module materialises both inputs, applies POSSIBLY feature filtering
-(equality features across the tables plus unary feature predicates on one
-side), shapes the surviving candidates into the configured interface's HITs,
-and combines the votes into join results.
+The executor hands this module both inputs fully materialised (HIT batching
+spans whole tuple sets); it applies POSSIBLY feature filtering (equality
+features across the tables plus unary feature predicates on one side),
+shapes the surviving candidates into the configured interface's HITs, and
+combines the votes into join results. The two feature-extraction passes
+are posted before either is collected, so under the pipelined executor the
+left and right linear scans overlap in virtual time (§2.6).
 """
 
 from __future__ import annotations
@@ -16,10 +19,11 @@ from repro.combine.base import combine_corpus
 from repro.core.context import QueryContext
 from repro.core.crowd_calls import (
     adaptive_single_question_votes,
+    begin_generative_units,
     call_item_ref,
     evaluate_arg,
-    run_generative_units,
 )
+from repro.hits.manager import collect_pending
 from repro.core.plan import JoinNode
 from repro.errors import PlanError
 from repro.hits.hit import (
@@ -214,12 +218,22 @@ def _run_feature_extraction(
         target = left_tasks if side == "left" else right_tasks
         target[call.name] = left_refs if side == "left" else right_refs
 
-    left_results, left_outcome, left_corpora = run_generative_units(
+    # Both sides are posted before either is collected: under the pipelined
+    # executor the two feature passes are outstanding over the same virtual
+    # interval (the linear scans overlap, §2.6); against the blocking manager
+    # each begin resolves at posting time, giving the serial left-then-right
+    # execution draw-for-draw.
+    left_pending = begin_generative_units(
         left_tasks, ctx, "join:features:left", combine_tasks=ctx.config.combine_features
     )
-    right_results, right_outcome, right_corpora = run_generative_units(
+    right_pending = begin_generative_units(
         right_tasks, ctx, "join:features:right", combine_tasks=ctx.config.combine_features
     )
+    collect_pending(
+        [p.pending for p in (left_pending, right_pending) if p.pending is not None]
+    )
+    left_results, left_outcome, left_corpora = left_pending.collect()
+    right_results, right_outcome, right_corpora = right_pending.collect()
     stats.hits += left_outcome.hit_count + right_outcome.hit_count
     stats.assignments += left_outcome.assignment_count + right_outcome.assignment_count
 

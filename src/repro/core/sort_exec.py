@@ -4,6 +4,16 @@ ORDER BY clauses mix plain expressions with at most one Rank-task UDF: rows
 first group by the plain prefix (e.g. ``ORDER BY name, quality(img)`` sorts
 scenes per actor), then each group's distinct items are ordered by the
 crowd using the configured method.
+
+The per-group Compare/Rate sorts are independent of one another, so their
+HIT batches are *begun* for every group before any group's votes are
+collected: under the pipelined executor the groups' postings share one
+virtual interval (five per-actor Rate batches finish in the time of the
+slowest one, §2.6), while against the blocking manager each begin resolves
+at posting time and the execution is the serial group-by-group loop,
+draw-for-draw. Hybrid sorting stays serial per group — its comparison
+windows are chosen from the evolving order, an inherently sequential
+repair loop.
 """
 
 from __future__ import annotations
@@ -21,6 +31,7 @@ from repro.hits.hit import (
     RatePayload,
     RateQuestion,
 )
+from repro.hits.manager import collect_pending
 from repro.language.ast import OrderItem
 from repro.metrics.agreement import comparison_kappa
 from repro.relational.expressions import UDFCall
@@ -94,7 +105,10 @@ def execute_sort(node: SortNode, rows: Sequence[Row], ctx: QueryContext) -> list
         groups[key].append(row)
     group_order.sort()
 
-    ordered_rows: list[Row] = []
+    # Phase 1: post every group's sort HITs (begin); phase 2: harvest in
+    # virtual-finish order; phase 3: combine per group. Hybrid groups (and
+    # trivial ones) carry no pending work and sort inline in phase 3.
+    group_sorts: list[tuple[tuple, dict[str, list[Row]], _PendingGroupSort | None]] = []
     for key in group_order:
         group_rows = groups[key]
         ref_map: dict[str, list[Row]] = {}
@@ -102,7 +116,22 @@ def execute_sort(node: SortNode, rows: Sequence[Row], ctx: QueryContext) -> list
             ref = call_item_ref(call, row, env)
             ref_map.setdefault(ref, []).append(row)
         refs = list(ref_map)
-        ordered_refs = crowd_sort_items(task, refs, ctx, node)
+        pending: _PendingGroupSort | None = None
+        if len(refs) >= 2 and ctx.config.sort_method == "compare":
+            pending = begin_compare_sort(task, refs, ctx)
+        elif len(refs) >= 2 and ctx.config.sort_method == "rate":
+            pending = begin_rate_sort(task, refs, ctx)
+        group_sorts.append((key, ref_map, pending))
+    collect_pending(
+        [plan.batch for _, _, plan in group_sorts if plan is not None]
+    )
+
+    ordered_rows: list[Row] = []
+    for key, ref_map, pending in group_sorts:
+        if pending is not None:
+            ordered_refs = pending.finish(node)[0]
+        else:
+            ordered_refs = crowd_sort_items(task, list(ref_map), ctx, node)
         if not crowd_item.ascending:
             ordered_refs = list(reversed(ordered_refs))
         for ref in ordered_refs:
@@ -165,13 +194,29 @@ def crowd_sort_items(
     return order
 
 
-def compare_sort(
-    task: RankTask,
-    refs: Sequence[str],
-    ctx: QueryContext,
-    node: SortNode | None = None,
-) -> tuple[list[str], dict]:
-    """Full comparison sort; returns (order, vote corpus)."""
+class _PendingGroupSort:
+    """One group's posted-but-uncombined sort HITs (Compare or Rate)."""
+
+    def __init__(self, ctx, batch, combine) -> None:
+        self.ctx = ctx
+        self.batch = batch
+        self._combine = combine
+
+    def finish(self, node: SortNode | None = None):
+        """Collect the votes and combine them into (order, corpus/summaries)."""
+        outcome = self.batch.result()
+        if node is not None:
+            stats = self.ctx.stats_for(node)
+            stats.hits += outcome.hit_count
+            stats.assignments += outcome.assignment_count
+            stats.elapsed_seconds += outcome.elapsed_seconds
+        return self._combine(outcome, node)
+
+
+def begin_compare_sort(
+    task: RankTask, refs: Sequence[str], ctx: QueryContext
+) -> _PendingGroupSort:
+    """Post a full comparison sort's HITs without collecting the votes."""
     group_size = min(ctx.config.compare_group_size, len(refs))
     groups = covering_groups(list(refs), group_size, seed=ctx.config.seed)
     item_html = {ref: _item_html(task, ref) for ref in refs}
@@ -187,33 +232,39 @@ def compare_sort(
         for group in groups
     ]
     ctx.charge_budget(len(units) * ctx.config.assignments)
-    outcome = ctx.manager.run_units(
+    batch = ctx.manager.begin_units(
         units,
         batch_size=ctx.config.compare_batch_groups,
         assignments=ctx.config.assignments,
         label="sort:compare",
         strict=ctx.config.strict_hits,
     )
-    corpus = {qid: v for qid, v in outcome.votes.items() if ":cmp:" in qid and v}
-    winners = pair_winners_from_votes(corpus)
-    order = head_to_head_order(list(refs), winners)
-    if node is not None:
-        stats = ctx.stats_for(node)
-        stats.hits += outcome.hit_count
-        stats.assignments += outcome.assignment_count
-        stats.elapsed_seconds += outcome.elapsed_seconds
-        if corpus:
-            stats.signals["comparison_kappa"] = comparison_kappa(corpus)
-    return order, corpus
+
+    def combine(outcome, node):
+        corpus = {qid: v for qid, v in outcome.votes.items() if ":cmp:" in qid and v}
+        winners = pair_winners_from_votes(corpus)
+        order = head_to_head_order(list(refs), winners)
+        if node is not None and corpus:
+            ctx.stats_for(node).signals["comparison_kappa"] = comparison_kappa(corpus)
+        return order, corpus
+
+    return _PendingGroupSort(ctx, batch, combine)
 
 
-def rate_sort(
+def compare_sort(
     task: RankTask,
     refs: Sequence[str],
     ctx: QueryContext,
     node: SortNode | None = None,
-) -> tuple[list[str], dict[str, RatingSummary]]:
-    """Rating sort; returns (order, per-item summaries)."""
+) -> tuple[list[str], dict]:
+    """Full comparison sort; returns (order, vote corpus)."""
+    return begin_compare_sort(task, refs, ctx).finish(node)
+
+
+def begin_rate_sort(
+    task: RankTask, refs: Sequence[str], ctx: QueryContext
+) -> _PendingGroupSort:
+    """Post a rating sort's HITs without collecting the votes."""
     rng = RandomSource(ctx.config.seed).child("rate-anchors", task.name)
     anchor_count = min(ctx.config.rate_anchor_count, len(refs))
     anchors = tuple(rng.sample(list(refs), anchor_count))
@@ -230,25 +281,33 @@ def rate_sort(
         for ref in refs
     ]
     ctx.charge_budget(len(units) * ctx.config.assignments)
-    outcome = ctx.manager.run_units(
+    batch = ctx.manager.begin_units(
         units,
         batch_size=ctx.config.rate_batch_size,
         assignments=ctx.config.assignments,
         label="sort:rate",
         strict=ctx.config.strict_hits,
     )
-    corpus = {qid: v for qid, v in outcome.votes.items() if ":rate:" in qid and v}
-    summaries = summarize_ratings(corpus)
-    for ref in refs:
-        if ref not in summaries:
-            summaries[ref] = RatingSummary(item=ref, mean=0.0, std=0.0, count=0)
-    order = order_by_rating(summaries)
-    if node is not None:
-        stats = ctx.stats_for(node)
-        stats.hits += outcome.hit_count
-        stats.assignments += outcome.assignment_count
-        stats.elapsed_seconds += outcome.elapsed_seconds
-    return order, summaries
+
+    def combine(outcome, node):
+        corpus = {qid: v for qid, v in outcome.votes.items() if ":rate:" in qid and v}
+        summaries = summarize_ratings(corpus)
+        for ref in refs:
+            if ref not in summaries:
+                summaries[ref] = RatingSummary(item=ref, mean=0.0, std=0.0, count=0)
+        return order_by_rating(summaries), summaries
+
+    return _PendingGroupSort(ctx, batch, combine)
+
+
+def rate_sort(
+    task: RankTask,
+    refs: Sequence[str],
+    ctx: QueryContext,
+    node: SortNode | None = None,
+) -> tuple[list[str], dict[str, RatingSummary]]:
+    """Rating sort; returns (order, per-item summaries)."""
+    return begin_rate_sort(task, refs, ctx).finish(node)
 
 
 def hybrid_sort(

@@ -8,10 +8,29 @@ models against a :class:`~repro.crowd.truth.GroundTruth` oracle, and the
 latency model produces completion-time distributions with the paper's
 qualitative shape.
 
-Everything is deterministic given the construction seed. The dispatch loop
-has two implementations behind :mod:`repro.util.fastpath` — a reference one
-and a fast one — that consume identical random draws and emit bit-identical
-assignments; ``tests/test_determinism_trace.py`` enforces this.
+The marketplace serves two posting styles:
+
+* **blocking** — :meth:`SimulatedMarketplace.post_hit_group` posts a group
+  and advances the shared virtual clock to its completion before returning
+  (the depth-first executor's serial timeline);
+* **multi-client** — :meth:`SimulatedMarketplace.submit_hit_group` posts a
+  group at an explicit virtual ``post_time`` and returns a
+  :class:`HITGroupTicket` without touching the shared clock, so several
+  operators can have HIT groups outstanding over overlapping virtual-time
+  intervals; :meth:`SimulatedMarketplace.harvest` (or
+  :meth:`SimulatedMarketplace.harvest_next`, which picks the earliest
+  finisher) collects a ticket and folds its completion time into the clock.
+  This is what the pipelined executor (:mod:`repro.core.scheduler`) drives.
+
+Everything is deterministic given the construction seed. Each group's
+dispatch draws from an independent child stream derived from the group id
+and the running ``hits_posted`` counter — not from the shared clock — and
+all gap/deadline arithmetic is relative to the group's ``post_time``, so a
+group's assignments are identical whether it is posted blocking or
+outstanding. The dispatch loop has two implementations behind
+:mod:`repro.util.fastpath` — a reference one and a fast one — that consume
+identical random draws and emit bit-identical assignments;
+``tests/test_determinism_trace.py`` enforces this.
 """
 
 from __future__ import annotations
@@ -37,6 +56,8 @@ class MarketplaceStats:
     considerations: int = 0
     refusals: int = 0
     uncompleted_hits: int = 0
+    groups_submitted: int = 0
+    peak_outstanding_groups: int = 0
     worker_assignment_counts: dict[str, int] = field(default_factory=dict)
 
     def record_work(self, worker_id: str) -> None:
@@ -64,6 +85,28 @@ class MarketplaceStats:
 class _PendingAssignment:
     hit: HIT
     sequence: int
+
+
+@dataclass(frozen=True)
+class HITGroupTicket:
+    """Handle for a HIT group that is outstanding on the marketplace.
+
+    The simulation resolves a group's assignments eagerly at submission
+    (they depend only on the group's independent random stream, never on
+    what else is outstanding), but the results stay embargoed behind this
+    ticket until :meth:`SimulatedMarketplace.harvest` collects them — which
+    is also the moment the group's completion folds into the shared virtual
+    clock. ``finish_time`` is the virtual time the group resolved: the last
+    submission when fully completed, or the instant the marketplace gave up
+    on it (deadline / sustained refusals) when HITs were left uncompleted.
+    """
+
+    ticket_id: int
+    group_id: str | None
+    post_time: float
+    finish_time: float
+    assignments: tuple[Assignment, ...]
+    incomplete_hit_ids: frozenset[str]
 
 
 class _FenwickSlots:
@@ -152,6 +195,8 @@ class SimulatedMarketplace:
         self._rng = RandomSource(seed).child("marketplace")
         self._clock = 0.0
         self._assignment_counter = 0
+        self._ticket_counter = 0
+        self._outstanding: dict[int, HITGroupTicket] = {}
 
     @property
     def clock_seconds(self) -> float:
@@ -174,11 +219,34 @@ class SimulatedMarketplace:
         Blocks (in virtual time) until every assignment completes, the
         posting deadline passes, or the marketplace concludes nobody will
         ever take the work (sustained refusals — oversized batches).
+        Equivalent to :meth:`submit_hit_group` at the current clock followed
+        by an immediate :meth:`harvest`.
         """
         if not hits:
             return []
+        return self.harvest(self.submit_hit_group(hits, group_id=group_id))
+
+    def submit_hit_group(
+        self,
+        hits: Sequence[HIT],
+        group_id: str | None = None,
+        post_time: float | None = None,
+    ) -> HITGroupTicket:
+        """Post HITs as one outstanding group at ``post_time``.
+
+        The shared clock does not move; the group's workers consider and
+        complete assignments over the virtual interval ``[post_time,
+        finish_time]`` recorded on the returned ticket. Several tickets may
+        be outstanding at once with overlapping intervals — that is the
+        pipelined executor's whole point. Dispatch draws come from a child
+        stream keyed by the group id and the running ``hits_posted``
+        counter, so a group's assignments depend on *posting order*, never
+        on what else is outstanding or on ``post_time`` (timestamps aside).
+        """
+        if post_time is None:
+            post_time = self._clock
         self.stats.hits_posted += len(hits)
-        post_time = self._clock
+        self.stats.groups_submitted += 1
         rng = self._rng.child("group", group_id or "anon", self.stats.hits_posted)
         trial_factor = self.latency.trial_rate_factor(rng.child("trial"))
 
@@ -208,14 +276,69 @@ class SimulatedMarketplace:
         self.stats.uncompleted_hits += len(incomplete_hits)
         if incomplete_hits:
             # The posting sat (partially) unclaimed until we gave up on it.
-            self._clock = max(
+            finish_time = max(
                 now, max((a.submit_time for a in completed), default=post_time)
             )
         elif completed:
-            self._clock = max(assignment.submit_time for assignment in completed)
+            finish_time = max(assignment.submit_time for assignment in completed)
         else:
-            self._clock = now
-        return completed
+            finish_time = now
+        self._ticket_counter += 1
+        ticket = HITGroupTicket(
+            ticket_id=self._ticket_counter,
+            group_id=group_id,
+            post_time=post_time,
+            finish_time=finish_time,
+            assignments=tuple(completed),
+            incomplete_hit_ids=frozenset(incomplete_hits),
+        )
+        self._outstanding[ticket.ticket_id] = ticket
+        self.stats.peak_outstanding_groups = max(
+            self.stats.peak_outstanding_groups, len(self._outstanding)
+        )
+        return ticket
+
+    def harvest(self, ticket: HITGroupTicket) -> list[Assignment]:
+        """Collect an outstanding group's assignments.
+
+        Folds the group's completion into the shared clock: the clock only
+        ever moves forward, to the latest harvested finish time — for a
+        serial chain of groups that is the sum of their durations, for
+        overlapped groups it is the makespan.
+        """
+        if self._outstanding.pop(ticket.ticket_id, None) is None:
+            raise ValueError(
+                f"ticket {ticket.ticket_id} (group {ticket.group_id!r}) is not "
+                "outstanding — already harvested?"
+            )
+        if ticket.finish_time > self._clock:
+            self._clock = ticket.finish_time
+        return list(ticket.assignments)
+
+    def harvest_next(self) -> HITGroupTicket | None:
+        """The outstanding ticket with the earliest virtual finish time.
+
+        Removes it from the outstanding set and advances the clock like
+        :meth:`harvest`; returns None when nothing is outstanding. Ties
+        break by submission order. The marketplace-level primitive for
+        consuming completions in virtual-time order; the executors drive
+        the same rule through :func:`repro.hits.manager.collect_pending`,
+        which sorts its specific pending batches by finish time before
+        harvesting each.
+        """
+        if not self._outstanding:
+            return None
+        ticket = min(
+            self._outstanding.values(),
+            key=lambda t: (t.finish_time, t.ticket_id),
+        )
+        self.harvest(ticket)
+        return ticket
+
+    @property
+    def outstanding_count(self) -> int:
+        """Number of submitted-but-unharvested HIT groups."""
+        return len(self._outstanding)
 
     def _dispatch_reference(
         self,

@@ -4,7 +4,8 @@ Each builder returns tables, a ground-truth oracle for the simulated crowd,
 the TASK DSL defining the crowd UDFs, and the metadata experiments need
 (true orders, match sets, expected counts). Where the paper used real images
 (IMDB headshots, Oscar photos, movie stills) we use synthetic entities with
-latent attributes — see DESIGN.md §2 for why each substitution preserves the
+latent attributes — see docs/ARCHITECTURE.md ("the virtual-clock
+determinism substitution") for why each substitution preserves the
 measured behaviour.
 """
 

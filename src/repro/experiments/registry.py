@@ -1,8 +1,8 @@
 """Experiment registry: paper artifact → reproduction entry point.
 
-The per-experiment index of DESIGN.md in executable form. Each entry names
-the paper artifact, the function regenerating it, and the benchmark file
-that wraps it.
+The per-experiment index in executable form (the generated EXPERIMENTS.md
+is its rendered counterpart). Each entry names the paper artifact, the
+function regenerating it, and the benchmark file that wraps it.
 """
 
 from __future__ import annotations

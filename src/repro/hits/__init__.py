@@ -31,7 +31,7 @@ from repro.hits.hit import (
     compare_qid,
     join_qid,
 )
-from repro.hits.manager import BatchOutcome, TaskManager
+from repro.hits.manager import BatchOutcome, PendingBatch, TaskManager
 from repro.hits.pricing import CostLedger, PricingModel
 
 __all__ = [
@@ -56,6 +56,7 @@ __all__ = [
     "RatePayload",
     "RateQuestion",
     "TaskCache",
+    "PendingBatch",
     "TaskManager",
     "Vote",
     "compare_qid",

@@ -13,6 +13,19 @@ per-group) payload bundles. The manager:
 5. consults the task cache when one is configured;
 6. records HIT/assignment counts in the cost ledger;
 7. returns per-question vote lists ready for a combiner.
+
+Posting comes in two shapes. :meth:`TaskManager.run_units` /
+:meth:`TaskManager.post_hits` are the blocking interface: post one group,
+wait (in virtual time) for it, return its :class:`BatchOutcome`.
+:meth:`TaskManager.begin_units` / :meth:`TaskManager.begin_hits` are the
+non-blocking post/poll interface: they return a :class:`PendingBatch` whose
+:meth:`PendingBatch.result` is collected later, so an operator can have
+several rounds outstanding at once. Against a plain blocking platform the
+pending batch resolves eagerly (identical to the blocking interface,
+draw-for-draw); given an explicit ``post_time`` and a platform with the
+multi-client ``submit_hit_group``/``harvest`` API (the simulated
+marketplace), the group stays outstanding until ``result()`` harvests it —
+this is what the pipelined executor's scheduler drives.
 """
 
 from __future__ import annotations
@@ -41,6 +54,16 @@ class CrowdPlatform(Protocol):
     def clock_seconds(self) -> float:
         """The platform's current (virtual) time in seconds."""
         ...  # pragma: no cover
+
+
+def platform_supports_overlap(platform: object) -> bool:
+    """Whether a platform exposes the multi-client outstanding-HIT API.
+
+    The pipelined executor needs ``submit_hit_group``/``harvest`` (the
+    simulated marketplace has them); anything else — the real MTurk shim, a
+    test double wrapping ``post_hit_group`` — gets the depth-first executor.
+    """
+    return hasattr(platform, "submit_hit_group") and hasattr(platform, "harvest")
 
 
 @dataclass
@@ -175,10 +198,55 @@ class TaskManager:
 
     def post_hits(self, hits: list[HIT], label: str = "task", strict: bool = True) -> BatchOutcome:
         """Post already-built HITs as one group and collect assignments."""
-        outcome = BatchOutcome(post_time=self.platform.clock_seconds)
+        return self.begin_hits(hits, label=label, strict=strict).result()
+
+    def begin_units(
+        self,
+        units: Sequence[Sequence[Payload]],
+        batch_size: int = 1,
+        assignments: int = 5,
+        label: str = "task",
+        strict: bool = True,
+        post_time: float | None = None,
+    ) -> "PendingBatch":
+        """Batch and post one round of work without collecting it.
+
+        See :meth:`begin_hits` for the ``post_time`` semantics.
+        """
+        hits = self.build_hits(units, batch_size, assignments, label)
+        return self.begin_hits(hits, label=label, strict=strict, post_time=post_time)
+
+    def begin_hits(
+        self,
+        hits: list[HIT],
+        label: str = "task",
+        strict: bool = True,
+        post_time: float | None = None,
+    ) -> "PendingBatch":
+        """Post already-built HITs as one group; collect via ``result()``.
+
+        With ``post_time=None`` (default) the group is posted *blocking* at
+        the platform's current clock and the returned batch is already
+        resolved — ``begin_hits(...).result()`` is ``post_hits(...)``
+        draw-for-draw, including when several begins are interleaved (each
+        posting advances the shared clock before the next, exactly like the
+        serial calls they replace).
+
+        With an explicit ``post_time`` the group is submitted outstanding at
+        that virtual time through the platform's multi-client API
+        (``submit_hit_group``; the platform must support it) and stays on
+        the marketplace until ``result()`` harvests it — several pending
+        batches may then cover overlapping virtual intervals. Accounting
+        (ledger, vote bucketing, strictness) happens at ``result()`` time
+        in both shapes; cache stores happen at posting time, so a group
+        begun while this one is outstanding sees its results.
+        """
+        outcome = BatchOutcome(
+            post_time=self.platform.clock_seconds if post_time is None else post_time
+        )
         if not hits:
             outcome.finish_time = outcome.post_time
-            return outcome
+            return PendingBatch(self, outcome, [], label, strict)
 
         to_post: list[HIT] = []
         for hit in hits:
@@ -189,21 +257,77 @@ class TaskManager:
             else:
                 to_post.append(hit)
 
+        pending = PendingBatch(self, outcome, to_post, label, strict)
         if to_post:
             group_id = self._next_group_id(label)
             for hit in to_post:
                 hit.group_id = group_id
-            completed = self.platform.post_hit_group(to_post, group_id=group_id)
-            by_hit: dict[str, list[Assignment]] = {}
-            for assignment in completed:
-                by_hit.setdefault(assignment.hit_id, []).append(assignment)
+            if post_time is None:
+                pending._completed = self.platform.post_hit_group(
+                    to_post, group_id=group_id
+                )
+                pending._finish_time = self.platform.clock_seconds
+            else:
+                pending._ticket = self.platform.submit_hit_group(
+                    to_post, group_id=group_id, post_time=post_time
+                )
+                pending._finish_time = pending._ticket.finish_time
+                if self.cache is not None:
+                    # Store now, not at harvest: a group posted while this
+                    # one is outstanding must see these results in its
+                    # cache lookup, exactly as it would after a blocking
+                    # post. (The simulation resolved the assignments at
+                    # submission; only the clock bookkeeping is deferred.)
+                    self._store_in_cache(to_post, pending._ticket.assignments)
+                    pending._cache_stored = True
+        if post_time is None:
+            # Nothing (or only cache hits) posted: resolve on the spot so the
+            # blocking shape never leaves work dangling.
+            pending.result()
+        return pending
+
+    @staticmethod
+    def _group_by_hit(
+        completed: Sequence[Assignment],
+    ) -> dict[str, list[Assignment]]:
+        """Completed assignments keyed by their HIT id."""
+        by_hit: dict[str, list[Assignment]] = {}
+        for assignment in completed:
+            by_hit.setdefault(assignment.hit_id, []).append(assignment)
+        return by_hit
+
+    def _store_in_cache(
+        self, to_post: list[HIT], completed: Sequence[Assignment]
+    ) -> None:
+        """Cache every posted HIT's completed assignments."""
+        assert self.cache is not None
+        by_hit = self._group_by_hit(completed)
+        for hit in to_post:
+            hit_assignments = by_hit.get(hit.hit_id, [])
+            if hit_assignments:
+                self.cache.store(hit, hit_assignments)
+
+    def _finalize_outcome(
+        self,
+        outcome: BatchOutcome,
+        to_post: list[HIT],
+        completed: Sequence[Assignment],
+        label: str,
+        strict: bool,
+        finish_time: float,
+        cache_stored: bool = False,
+    ) -> BatchOutcome:
+        """Fold a group's completed assignments into its outcome: per-HIT
+        bookkeeping, cache stores, ledger charges, vote buckets, strictness."""
+        if to_post:
+            by_hit = self._group_by_hit(completed)
             for hit in to_post:
                 hit_assignments = by_hit.get(hit.hit_id, [])
                 outcome.hits.append(hit)
                 outcome.assignments.extend(hit_assignments)
                 if not hit_assignments:
                     outcome.uncompleted_hit_ids.append(hit.hit_id)
-                elif self.cache is not None:
+                elif self.cache is not None and not cache_stored:
                     self.cache.store(hit, hit_assignments)
             # Only pay for work actually completed.
             self.ledger.record(
@@ -212,7 +336,7 @@ class TaskManager:
                 assignments=len(completed),
             )
 
-        outcome.finish_time = self.platform.clock_seconds
+        outcome.finish_time = finish_time
         if fastpath.enabled():
             votes = outcome.votes
             get_bucket = votes.get
@@ -237,3 +361,109 @@ class TaskManager:
                 hit_ids=list(outcome.uncompleted_hit_ids),
             )
         return outcome
+
+
+class PendingBatch:
+    """One posted-but-uncollected HIT group (the manager's poll handle).
+
+    ``finish_time`` is known from the moment of posting (the simulation
+    resolves dispatch eagerly) and is what schedulers sort by to harvest
+    completions in virtual-time order; :meth:`result` performs the actual
+    harvest plus all deferred accounting, exactly once.
+    """
+
+    __slots__ = (
+        "_manager",
+        "_outcome",
+        "_to_post",
+        "_label",
+        "_strict",
+        "_ticket",
+        "_completed",
+        "_finish_time",
+        "_resolved",
+        "_cache_stored",
+    )
+
+    def __init__(
+        self,
+        manager: TaskManager,
+        outcome: BatchOutcome,
+        to_post: list[HIT],
+        label: str,
+        strict: bool,
+    ) -> None:
+        self._manager = manager
+        self._outcome = outcome
+        self._to_post = to_post
+        self._label = label
+        self._strict = strict
+        self._ticket = None
+        self._completed: Sequence[Assignment] = ()
+        self._finish_time = outcome.post_time
+        self._resolved = False
+        self._cache_stored = False
+
+    @property
+    def post_time(self) -> float:
+        """Virtual time the group was posted."""
+        return self._outcome.post_time
+
+    @property
+    def posted(self) -> bool:
+        """Whether any HIT actually reached the platform (cache misses)."""
+        return bool(self._to_post)
+
+    @property
+    def inflight_assignments(self) -> int:
+        """Completed assignments awaiting harvest (0 once collected).
+
+        This is exactly what the ledger will charge at :meth:`result`, so
+        budget pre-flight checks can count outstanding work the way the
+        blocking interface's eager charging would have."""
+        if self._resolved or self._ticket is None:
+            return 0
+        return len(self._ticket.assignments)
+
+    @property
+    def finish_time(self) -> float:
+        """Virtual time the group resolves (peek — does not harvest)."""
+        return self._finish_time
+
+    @property
+    def done(self) -> bool:
+        """Whether :meth:`result` has already collected this batch."""
+        return self._resolved
+
+    def result(self) -> BatchOutcome:
+        """Collect the batch: harvest, account, and return its outcome.
+
+        Idempotent; the first call does the work (and may raise
+        :class:`HITUncompletedError` under ``strict``)."""
+        if self._resolved:
+            return self._outcome
+        self._resolved = True
+        completed = self._completed
+        if self._ticket is not None:
+            completed = self._manager.platform.harvest(self._ticket)
+        return self._manager._finalize_outcome(
+            self._outcome,
+            self._to_post,
+            completed,
+            self._label,
+            self._strict,
+            self._finish_time,
+            cache_stored=self._cache_stored,
+        )
+
+
+def collect_pending(pendings: Sequence[PendingBatch]) -> list[BatchOutcome]:
+    """Resolve pending batches, harvesting in virtual-time order.
+
+    Outcomes are returned in the *input* order (what callers zip against);
+    the harvests themselves run ordered by ``finish_time`` so the shared
+    clock advances the way a live marketplace would deliver completions.
+    """
+    for pending in sorted(pendings, key=lambda p: p.finish_time):
+        pending.result()
+    return [pending.result() for pending in pendings]

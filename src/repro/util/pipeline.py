@@ -1,0 +1,56 @@
+"""Global switch between the pipelined and depth-first executors.
+
+The paper's executor runs every operator concurrently with asynchronous
+input queues so HIT batches from different operators can be outstanding on
+the marketplace at the same time (§2.6). :mod:`repro.core.scheduler`
+reproduces that as a *deterministic* event loop over the marketplace's
+virtual clock; :mod:`repro.core.executor` keeps the original depth-first
+interpreter alongside it, behind this switch, for two reasons:
+
+1. ``benchmarks/bench_pipeline.py`` measures the end-to-end virtual-latency
+   improvement (and the wall-clock overhead) of the pipelined executor
+   against the depth-first interpreter in the same process;
+2. ``tests/test_scheduler.py`` runs fixed-seed queries under both executors
+   and asserts the rows, the cost ledger, and the per-qid vote stream are
+   identical — the pipelining is *latency-only*; it never moves a vote.
+
+The pipelined executor is on by default. Set ``REPRO_PIPELINE=0`` in the
+environment (or call :func:`set_enabled`) to fall back to the depth-first
+interpreter. ``ExecutionConfig.pipeline`` overrides this switch per query.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator
+
+_ENABLED: bool = os.environ.get("REPRO_PIPELINE", "1").lower() not in (
+    "0",
+    "false",
+    "no",
+    "off",
+)
+
+
+def enabled() -> bool:
+    """Whether the pipelined executor is active by default."""
+    return _ENABLED
+
+
+def set_enabled(flag: bool) -> bool:
+    """Switch the pipelined executor on/off; returns the previous setting."""
+    global _ENABLED
+    previous = _ENABLED
+    _ENABLED = bool(flag)
+    return previous
+
+
+@contextmanager
+def forced(flag: bool) -> Iterator[None]:
+    """Temporarily force the pipelined executor on or off (tests, benchmarks)."""
+    previous = set_enabled(flag)
+    try:
+        yield
+    finally:
+        set_enabled(previous)

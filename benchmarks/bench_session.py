@@ -1,0 +1,154 @@
+"""PERF — the multi-query session layer's end-to-end evidence.
+
+The session claim: running N queries as concurrent clients of one shared
+marketplace clock cuts the batch's virtual latency from the *sum* of the
+per-query spans to their *makespan*, while the shared cross-query task
+cache answers repeated questions once. This benchmark runs the
+``repro.experiments.session_workload`` variant mix (four Table-5-family
+movie plans, cycled) at 2/8/32 concurrent queries and records, per count:
+
+* **virtual latency** — the batch makespan under ``run(concurrent=True)``
+  vs ``run(concurrent=False)``; the acceptance bar is a ≥1.3x improvement
+  at 8 concurrent queries;
+* **HIT/assignment totals** — asserted identical across run modes (the
+  determinism contract: concurrency is latency-only);
+* **wall-clock throughput** — queries/second through the session loop,
+  plus the concurrent/serial wall ratio ``scripts/profile_hotpath.py
+  --check`` guards against regression (>5% over the recorded ratio fails
+  CI);
+* **sharing** — cross-query cache hits, assignments reused, dollars saved.
+
+Results land in ``benchmarks/BENCH_session.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.datasets.movie import movie_dataset
+from repro.experiments.session_workload import build_session
+
+RESULTS_PATH = Path(__file__).parent / "BENCH_session.json"
+
+QUERY_COUNTS = (2, 8, 32)
+REQUIRED_SPEEDUP_AT_8 = 1.3
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return movie_dataset(seed=0)
+
+
+def run_mode(count: int, concurrent: bool, dataset) -> dict:
+    session, market, handles = build_session(count, data=dataset)
+    start = time.perf_counter()
+    cpu_start = time.process_time()
+    outcome = session.run(concurrent=concurrent)
+    cpu = time.process_time() - cpu_start
+    wall = time.perf_counter() - start
+    assert not outcome.errors, outcome.errors
+    results = [outcome[handle] for handle in handles]
+    return {
+        "wall_seconds": round(wall, 4),
+        "cpu_seconds": round(cpu, 4),
+        "throughput_qps": round(count / wall, 2) if wall > 0 else 0.0,
+        "makespan_seconds": round(outcome.stats.makespan_seconds, 1),
+        "serial_latency_seconds": round(outcome.stats.serial_latency_seconds, 1),
+        "hits": sum(r.hit_count for r in results),
+        "assignments": sum(r.assignment_count for r in results),
+        "rows": [len(r) for r in results],
+        "cross_cache_hits": outcome.stats.cross_cache_hits,
+        "assignments_reused": outcome.stats.cross_assignments_shared,
+        "cost_saved": round(outcome.stats.cost_saved, 2),
+        "peak_outstanding_groups": market.stats.peak_outstanding_groups,
+    }
+
+
+def measure_count(count: int, dataset) -> dict:
+    serial = run_mode(count, concurrent=False, dataset=dataset)
+    concurrent = run_mode(count, concurrent=True, dataset=dataset)
+    # Concurrency is latency-only: the crowd does identical work either way.
+    assert concurrent["hits"] == serial["hits"], (count, concurrent, serial)
+    assert concurrent["assignments"] == serial["assignments"], count
+    assert concurrent["rows"] == serial["rows"], count
+    return {
+        "serial": serial,
+        "concurrent": concurrent,
+        "virtual_speedup": round(
+            serial["makespan_seconds"] / concurrent["makespan_seconds"], 3
+        )
+        if concurrent["makespan_seconds"] > 0
+        else 0.0,
+        # CPU time, not wall clock: this ratio is the baseline
+        # scripts/profile_hotpath.py --check re-measures with
+        # time.process_time(), so the two must share a methodology —
+        # wall clock on a loaded runner would skew the recorded baseline
+        # against the clean CI measurement.
+        "wall_overhead": round(
+            concurrent["cpu_seconds"] / serial["cpu_seconds"], 3
+        )
+        if serial["cpu_seconds"] > 0
+        else 0.0,
+    }
+
+
+@pytest.fixture(scope="module")
+def results(dataset) -> dict:
+    counts = {
+        str(count): measure_count(count, dataset) for count in QUERY_COUNTS
+    }
+    payload = {
+        "benchmark": "session",
+        "workload": "repro.experiments.session_workload (4 movie-plan variants, cycled)",
+        "modes": {
+            "concurrent": "EngineSession.run() — round-robin clients, one clock",
+            "serial": "EngineSession.run(concurrent=False) — one query at a time",
+        },
+        "required_virtual_speedup_at_8": REQUIRED_SPEEDUP_AT_8,
+        "counts": counts,
+    }
+    existing = {}
+    if RESULTS_PATH.exists():
+        existing = json.loads(RESULTS_PATH.read_text())
+    existing.update(payload)
+    RESULTS_PATH.write_text(json.dumps(existing, indent=1))
+    return payload
+
+
+def test_session_virtual_speedup_at_8_queries(results):
+    print()
+    print(json.dumps(results["counts"], indent=1))
+    row = results["counts"]["8"]
+    assert row["virtual_speedup"] >= REQUIRED_SPEEDUP_AT_8, row
+    # The overlap must come from genuinely outstanding client groups.
+    assert row["concurrent"]["peak_outstanding_groups"] >= 2, row
+
+
+def test_session_overlap_wins_at_every_count(results):
+    for count in QUERY_COUNTS:
+        row = results["counts"][str(count)]
+        assert row["virtual_speedup"] > 1.0, (count, row)
+
+
+def test_cross_query_sharing_scales_with_repeats(results):
+    """Repeated variants are answered from the shared cache: sharing grows
+    with the query count while posted work stays near the 4-variant base."""
+    by_count = {c: results["counts"][str(c)] for c in QUERY_COUNTS}
+    assert (
+        by_count[32]["concurrent"]["assignments_reused"]
+        > by_count[8]["concurrent"]["assignments_reused"]
+        > by_count[2]["concurrent"]["assignments_reused"]
+        > 0
+    )
+    # 32 queries cost barely more crowd work than 8: the marginal query is
+    # nearly free once its variant's answers are cached.
+    assert by_count[32]["concurrent"]["hits"] < by_count[8]["concurrent"]["hits"] * 1.5
+
+
+def test_results_recorded(results):
+    recorded = json.loads(RESULTS_PATH.read_text())
+    assert recorded["counts"]["8"]["virtual_speedup"] >= REQUIRED_SPEEDUP_AT_8

@@ -19,7 +19,14 @@ is blown:
    bookkeeping machinery started taxing the path it is supposed to merely
    re-time. Both modes run the same macro in-process (best of
    ``--check-repeats``) and the measurement is appended to
-   ``benchmarks/BENCH_pipeline.json`` under ``ci_check``.
+   ``benchmarks/BENCH_pipeline.json`` under ``ci_check``;
+3. the 8-query session's wall-clock throughput regresses more than 5%
+   against the ratio recorded in ``benchmarks/BENCH_session.json`` — the
+   session loop's round-robin bookkeeping started costing real time over
+   running the same queries serially. The comparison is the
+   concurrent/serial wall *ratio* (machine-independent), measured
+   in-process with the same hygiene as the pipeline check and appended to
+   ``BENCH_session.json`` under ``ci_check``.
 """
 
 from __future__ import annotations
@@ -45,7 +52,10 @@ from repro.util import pipeline
 CHECK_TOP_N = 5
 FORBIDDEN_IN_TOP = ("child_seed", "payload_cache_key")
 PIPELINE_OVERHEAD_LIMIT = 1.05
+SESSION_REGRESSION_LIMIT = 1.05
+SESSION_QUERY_COUNT = 8
 BENCH_PIPELINE_PATH = Path(__file__).parent.parent / "benchmarks" / "BENCH_pipeline.json"
+BENCH_SESSION_PATH = Path(__file__).parent.parent / "benchmarks" / "BENCH_session.json"
 
 
 def run_workload(scale: int = 1, seed: int = 0) -> None:
@@ -139,6 +149,83 @@ def check_pipeline_overhead(scale: int, seed: int, repeats: int) -> dict:
     return report
 
 
+def check_session_throughput(seed: int, repeats: int) -> dict | None:
+    """Measure the 8-query session's concurrent/serial wall ratio.
+
+    The recorded baseline lives in ``BENCH_session.json`` (written by
+    ``benchmarks/bench_session.py``); CI fails when the freshly measured
+    ratio exceeds the recorded one by more than
+    ``SESSION_REGRESSION_LIMIT``. Ratios rather than absolute seconds keep
+    the guard machine-independent; the recorded baseline is floored at 1.0
+    so a lucky recording cannot make an honest 1.0x measurement fail.
+    Returns None (with a warning) when no baseline has been recorded.
+    """
+    import gc
+
+    from repro.datasets.movie import movie_dataset
+    from repro.experiments.session_workload import build_session
+
+    if not BENCH_SESSION_PATH.exists():
+        print(
+            "warning: benchmarks/BENCH_session.json missing — run "
+            "`pytest benchmarks/bench_session.py` to record the session "
+            "baseline; skipping the session throughput check.",
+            file=sys.stderr,
+        )
+        return None
+    recorded = json.loads(BENCH_SESSION_PATH.read_text())
+    try:
+        baseline = recorded["counts"][str(SESSION_QUERY_COUNT)]["wall_overhead"]
+    except KeyError:
+        print(
+            "warning: BENCH_session.json has no 8-query wall_overhead — "
+            "re-run the session benchmark; skipping the check.",
+            file=sys.stderr,
+        )
+        return None
+
+    data = movie_dataset(seed=seed)
+    # Untimed warm-up of both modes.
+    build_session(SESSION_QUERY_COUNT, seed=seed, data=data)[0].run()
+    build_session(SESSION_QUERY_COUNT, seed=seed, data=data)[0].run(
+        concurrent=False
+    )
+    timings = {"serial": float("inf"), "concurrent": float("inf")}
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for _ in range(max(1, repeats)):
+            for concurrent, label in ((False, "serial"), (True, "concurrent")):
+                session, _, _ = build_session(
+                    SESSION_QUERY_COUNT, seed=seed, data=data
+                )
+                gc.collect()
+                start = time.process_time()
+                session.run(concurrent=concurrent)
+                timings[label] = min(timings[label], time.process_time() - start)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    ratio = (
+        timings["concurrent"] / timings["serial"] if timings["serial"] > 0 else 0.0
+    )
+    report = {
+        "query_count": SESSION_QUERY_COUNT,
+        "repeats": repeats,
+        "serial_seconds": round(timings["serial"], 4),
+        "concurrent_seconds": round(timings["concurrent"], 4),
+        "wall_overhead": round(ratio, 4),
+        "recorded_wall_overhead": baseline,
+        "limit": SESSION_REGRESSION_LIMIT,
+    }
+    try:
+        recorded["ci_check"] = report
+        BENCH_SESSION_PATH.write_text(json.dumps(recorded, indent=1))
+    except OSError as exc:  # CI sandboxes may mount the repo read-only
+        print(f"warning: could not record ci_check results: {exc}", file=sys.stderr)
+    return report
+
+
 def top_cumulative_entries(stats: pstats.Stats, count: int) -> list[str]:
     """Function names of the top-``count`` entries by cumulative time,
     excluding the profiler scaffolding itself."""
@@ -226,6 +313,28 @@ def main() -> int:
             f"{report['wall_overhead']:.3f}x the depth-first path "
             f"(limit {PIPELINE_OVERHEAD_LIMIT}x)"
         )
+        session_report = check_session_throughput(args.seed, args.check_repeats)
+        if session_report is not None:
+            allowed = (
+                max(session_report["recorded_wall_overhead"], 1.0)
+                * SESSION_REGRESSION_LIMIT
+            )
+            if session_report["wall_overhead"] > allowed:
+                print(
+                    "CHECK FAILED: 8-query session wall-clock is "
+                    f"{session_report['wall_overhead']:.3f}x serial, above the "
+                    f"recorded {session_report['recorded_wall_overhead']:.3f}x "
+                    f"baseline + {SESSION_REGRESSION_LIMIT - 1:.0%} headroom: "
+                    f"{session_report}",
+                    file=sys.stderr,
+                )
+                return 1
+            print(
+                "check ok: 8-query session wall-clock is "
+                f"{session_report['wall_overhead']:.3f}x serial "
+                f"(recorded {session_report['recorded_wall_overhead']:.3f}x, "
+                f"headroom {SESSION_REGRESSION_LIMIT - 1:.0%})"
+            )
     return 0
 
 

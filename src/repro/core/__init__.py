@@ -13,6 +13,7 @@ from repro.core.batch_tuner import BatchTuner, ProbeResult
 from repro.core.budget import BudgetPlan, allocate_budget
 from repro.core.context import ExecutionConfig, PipelineStats, QueryContext
 from repro.core.engine import QueryResult, Qurk
+from repro.core.session import EngineSession, SessionQuery, SessionResult, SessionStats
 from repro.core.plan import (
     ComputedFilterNode,
     CrowdPredicateNode,
@@ -31,6 +32,7 @@ __all__ = [
     "BudgetPlan",
     "ComputedFilterNode",
     "CrowdPredicateNode",
+    "EngineSession",
     "ExecutionConfig",
     "JoinNode",
     "LimitNode",
@@ -42,6 +44,9 @@ __all__ = [
     "QueryResult",
     "Qurk",
     "ScanNode",
+    "SessionQuery",
+    "SessionResult",
+    "SessionStats",
     "SortNode",
     "allocate_budget",
     "build_plan",

@@ -36,6 +36,21 @@ class OperatorEstimate:
     """Replication the configuration asked for."""
 
 
+def effective_unit_count(units: int, data_fraction: float) -> int:
+    """Units actually processed at a data fraction: the **floor** rule.
+
+    This is the single rounding rule for fractional data processing —
+    costing and data trimming must both use it. The previous
+    ``round(units * fraction)`` used banker's rounding, so at ``.5``
+    products the dollars charged could disagree by one unit-price with the
+    allocator's own trimming arithmetic (``round(8.5) == 8`` but
+    ``round(3.5) == 4``). Floor never bills a unit the fraction does not
+    cover; the epsilon absorbs binary float error so exact products like
+    ``20 * 0.85`` do not floor to 16.
+    """
+    return int(units * data_fraction + 1e-9)
+
+
 @dataclass
 class Allocation:
     """Funding decision for one operator."""
@@ -45,10 +60,14 @@ class Allocation:
     assignments: int
     data_fraction: float = 1.0
 
+    @property
+    def effective_units(self) -> int:
+        """Units funded after data trimming (:func:`effective_unit_count`)."""
+        return effective_unit_count(self.units, self.data_fraction)
+
     def cost(self, pricing: PricingModel) -> float:
         """Dollars this allocation will spend."""
-        effective_units = round(self.units * self.data_fraction)
-        return pricing.cost(effective_units * self.assignments)
+        return pricing.cost(self.effective_units * self.assignments)
 
 
 @dataclass

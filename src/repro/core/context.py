@@ -191,6 +191,9 @@ class QueryContext:
     """Whole-query pipeline telemetry (stages, makespan, serial latency,
     peak outstanding groups) when the pipelined executor ran; None under
     the depth-first interpreter."""
+    label: str = ""
+    """Which query this is, for diagnostics — a session sets its per-query
+    key here so e.g. budget aborts say which of its queries hit the cap."""
 
     def combiner_for(self, task_combiner: str) -> Combiner:
         """Instantiate the effective combiner for a task."""
@@ -200,6 +203,23 @@ class QueryContext:
     def stats_for(self, node: "PlanNode") -> OperatorStats:
         """The mutable stats bucket for a plan node."""
         return self.node_stats.setdefault(id(node), OperatorStats(label=node.label()))
+
+    def charge_budget_for_units(
+        self, units, batch_size: int, assignments: int
+    ) -> None:
+        """Pre-flight a posting round of ``units`` against ``max_budget``.
+
+        Projects through :meth:`TaskManager.projected_new_assignments`, so
+        unit batches already answered in the task cache are not counted —
+        but only when a budget is actually set: the projection re-merges
+        the units and computes cache keys, work that must stay off the
+        un-budgeted hot path.
+        """
+        if self.config.max_budget is None:
+            return
+        self.charge_budget(
+            self.manager.projected_new_assignments(units, batch_size, assignments)
+        )
 
     def charge_budget(self, upcoming_assignments: int) -> None:
         """Pre-flight budget check before posting more work.
@@ -220,7 +240,8 @@ class QueryContext:
         if projected > self.config.max_budget + 1e-9:
             from repro.errors import BudgetExceededError
 
+            prefix = f"{self.label}: " if self.label else ""
             raise BudgetExceededError(
-                f"posting {upcoming_assignments} assignments would cost "
+                f"{prefix}posting {upcoming_assignments} assignments would cost "
                 f"${projected:.2f}, exceeding the ${self.config.max_budget:.2f} budget"
             )

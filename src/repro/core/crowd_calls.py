@@ -173,7 +173,9 @@ def run_filter_call(
             label,
         )
     else:
-        ctx.charge_budget(len(units) * ctx.config.assignments)
+        ctx.charge_budget_for_units(
+            units, ctx.config.filter_batch_size, ctx.config.assignments
+        )
         outcome = ctx.manager.run_units(
             units,
             batch_size=ctx.config.filter_batch_size,
@@ -264,10 +266,11 @@ def begin_generative_units(
     frozen_items = {name: tuple(items) for name, items in task_items.items()}
     if not units:
         return PendingGenerative(tasks, frozen_items, ctx)  # type: ignore[arg-type]
-    ctx.charge_budget(len(units) * ctx.config.assignments)
+    effective_batch = batch_size or ctx.config.generative_batch_size
+    ctx.charge_budget_for_units(units, effective_batch, ctx.config.assignments)
     pending = ctx.manager.begin_units(
         units,
-        batch_size=batch_size or ctx.config.generative_batch_size,
+        batch_size=effective_batch,
         assignments=ctx.config.assignments,
         label=label,
         strict=ctx.config.strict_hits,
@@ -351,9 +354,12 @@ def adaptive_single_question_votes(
     pending = list(zip(units, qids))
     round_votes = policy.initial_votes
     while pending:
-        ctx.charge_budget(len(pending) * round_votes)
+        round_units = [unit for unit, _ in pending]
+        ctx.charge_budget_for_units(
+            round_units, ctx.config.filter_batch_size, round_votes
+        )
         outcome = ctx.manager.run_units(
-            [unit for unit, _ in pending],
+            round_units,
             batch_size=ctx.config.filter_batch_size,
             assignments=round_votes,
             label=label,

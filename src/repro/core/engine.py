@@ -36,6 +36,46 @@ from repro.relational.table import Table
 from repro.sorting.topk import pick_extreme_order
 from repro.tasks.base import task_from_definition
 from repro.tasks.rank import RankTask
+from repro.util import fastpath
+from repro.util import pipeline as pipeline_toggle
+
+
+def register_task_definitions(
+    catalog: Catalog, dsl_text: str, replace: bool = False
+) -> list[str]:
+    """Parse TASK definitions into a catalog; returns the task names.
+
+    The body of ``define()`` on both the engine and session facades.
+    """
+    names: list[str] = []
+    for statement in parse_statements(dsl_text):
+        if not isinstance(statement, TaskDefinition):
+            raise PlanError(
+                "define() accepts TASK definitions; execute queries separately"
+            )
+        task = task_from_definition(statement)
+        catalog.register_task(task, replace=replace)
+        names.append(task.name)
+    return names
+
+
+def parse_single_select(query: str | SelectQuery, catalog: Catalog) -> SelectQuery:
+    """Parse query text to exactly one SELECT, registering any TASK
+    definitions that ride along in the same text into ``catalog``.
+
+    Shared by the engine and session facades so their query-text handling
+    cannot drift apart.
+    """
+    if isinstance(query, SelectQuery):
+        return query
+    statements = parse_statements(query)
+    queries = [s for s in statements if isinstance(s, SelectQuery)]
+    for statement in statements:
+        if isinstance(statement, TaskDefinition):
+            catalog.register_task(task_from_definition(statement), replace=True)
+    if len(queries) != 1:
+        raise PlanError(f"expected exactly one SELECT, found {len(queries)}")
+    return queries[0]
 
 
 @dataclass(frozen=True)
@@ -109,11 +149,30 @@ class Qurk:
         ledger: CostLedger | None = None,
         cache: TaskCache | None = None,
     ) -> None:
+        # Honour REPRO_* environment changes made after import (the
+        # toggles' import-time capture used to swallow them silently).
+        pipeline_toggle.refresh_from_env()
+        fastpath.refresh_from_env()
         self.platform = platform
         self.config = config or ExecutionConfig()
         self.catalog = catalog or Catalog()
         self.ledger = ledger or CostLedger()
         self.manager = TaskManager(platform, ledger=self.ledger, cache=cache)
+
+    def session(self, cache: TaskCache | None = None) -> "EngineSession":
+        """A multi-query session over this engine's platform and catalog.
+
+        The session shares the engine's catalog (tables/tasks registered
+        here are visible to session queries) and default config, but keeps
+        its own per-query ledgers; pass a :class:`TaskCache` to seed the
+        session's shared cross-query cache. See
+        :class:`repro.core.session.EngineSession`.
+        """
+        from repro.core.session import EngineSession
+
+        return EngineSession(
+            self.platform, config=self.config, catalog=self.catalog, cache=cache
+        )
 
     # -- registration ------------------------------------------------------
 
@@ -129,16 +188,7 @@ class Qurk:
 
     def define(self, dsl_text: str, replace: bool = False) -> list[str]:
         """Parse and register TASK definitions; returns the task names."""
-        names: list[str] = []
-        for statement in parse_statements(dsl_text):
-            if not isinstance(statement, TaskDefinition):
-                raise PlanError(
-                    "define() accepts TASK definitions; use execute() for queries"
-                )
-            task = task_from_definition(statement)
-            self.catalog.register_task(task, replace=replace)
-            names.append(task.name)
-        return names
+        return register_task_definitions(self.catalog, dsl_text, replace=replace)
 
     # -- execution ---------------------------------------------------------
 
@@ -193,17 +243,7 @@ class Qurk:
         return render_explain(self.plan(query), {})
 
     def _parse(self, query: str | SelectQuery) -> SelectQuery:
-        if isinstance(query, SelectQuery):
-            return query
-        statements = parse_statements(query)
-        queries = [s for s in statements if isinstance(s, SelectQuery)]
-        for statement in statements:
-            if isinstance(statement, TaskDefinition):
-                task = task_from_definition(statement)
-                self.catalog.register_task(task, replace=True)
-        if len(queries) != 1:
-            raise PlanError(f"expected exactly one SELECT, found {len(queries)}")
-        return queries[0]
+        return parse_single_select(query, self.catalog)
 
     # -- aggregates ----------------------------------------------------------
 

@@ -125,3 +125,35 @@ def render_explain(
                 f", considerations_per_assignment={per_assignment:.3f}"
             )
     return "\n".join(lines)
+
+
+def render_session_summary(stats: object) -> str:
+    """The session footer: multi-query overlap and sharing economics.
+
+    ``stats`` is a :class:`~repro.core.session.SessionStats` (duck-typed
+    here to keep this module free of a session import). Reports the batch
+    makespan against the sum of per-query latencies (the overlap win) and
+    the cross-query cache traffic (the dedup win), plus per-query HIT-group
+    admission counts so starvation is visible at a glance.
+    """
+    groups = getattr(stats, "groups_posted", {}) or {}
+    admitted = " ".join(f"{key}={count}" for key, count in sorted(groups.items()))
+    lines = [
+        "session: "
+        f"mode={getattr(stats, 'mode', '?')}"
+        f", queries={getattr(stats, 'queries', 0)}"
+        f" (completed={getattr(stats, 'completed', 0)}"
+        f", failed={getattr(stats, 'failed', 0)})"
+        f", makespan={getattr(stats, 'makespan_seconds', 0.0):.0f}s"
+        f", serial_latency={getattr(stats, 'serial_latency_seconds', 0.0):.0f}s"
+        f", overlap_speedup={getattr(stats, 'overlap_speedup', 1.0):.2f}x"
+    ]
+    lines.append(
+        "session sharing: "
+        f"cross_query_cache_hits={getattr(stats, 'cross_cache_hits', 0)}"
+        f", assignments_reused={getattr(stats, 'cross_assignments_shared', 0)}"
+        f", cost_saved=${getattr(stats, 'cost_saved', 0.0):.2f}"
+    )
+    if admitted:
+        lines.append(f"session admission: groups per query: {admitted}")
+    return "\n".join(lines)

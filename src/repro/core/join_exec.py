@@ -365,7 +365,7 @@ def _run_join_interface(
         ]
         votes, outcome = adaptive_single_question_votes(units, qids, ctx, "join:pairs")
     else:
-        ctx.charge_budget(len(units) * ctx.config.assignments)
+        ctx.charge_budget_for_units(units, batch_size, ctx.config.assignments)
         outcome = ctx.manager.run_units(
             units,
             batch_size=batch_size,

@@ -275,6 +275,12 @@ class _OperatorManager:
     def build_hits(self, units, batch_size, assignments, label):
         return self._inner.build_hits(units, batch_size, assignments, label)
 
+    def merge_units(self, units, batch_size):
+        return self._inner.merge_units(units, batch_size)
+
+    def projected_new_assignments(self, units, batch_size, assignments):
+        return self._inner.projected_new_assignments(units, batch_size, assignments)
+
     @property
     def inflight_assignments(self) -> int:
         """Posted-but-unharvested assignments, scheduler-wide — what the
@@ -340,8 +346,11 @@ class PipelineScheduler:
         self._outstanding = 0
         self._peak_outstanding = 0
         self._serial_latency = 0.0
+        self._last_finish = self.epoch
         self.inflight_assignments = 0
         self._open_pendings: dict[int, tuple[object, int]] = {}
+        self._results: list[Row] = []
+        self._prepared = False
         self.root_task = self._build(root)
 
     # -- construction --------------------------------------------------
@@ -501,10 +510,21 @@ class PipelineScheduler:
         self._outstanding -= 1
         task.open_batches -= 1
         self._serial_latency += max(0.0, pending.finish_time - pending.post_time)
+        if pending.finish_time > self._last_finish:
+            self._last_finish = pending.finish_time
 
     # -- the event loop -------------------------------------------------
 
-    def run(self) -> list[Row]:
+    def prepare(self) -> None:
+        """Arm the operator generators; call once before stepping.
+
+        Split from :meth:`run` so a session can drive several queries'
+        schedulers round-robin through :meth:`step_once` instead of running
+        each to completion.
+        """
+        if self._prepared:
+            return
+        self._prepared = True
         for task in self.tasks:
             task.gen = self._generator(task)
             self.ctx.stats_for(task.node).pipeline = task.pstats
@@ -512,7 +532,57 @@ class PipelineScheduler:
         self.root_task.out_queue.capacity = None
         self.root_task.pstats.queue_capacity = 0
 
-        results: list[Row] = []
+    @property
+    def done(self) -> bool:
+        """Whether every operator task has run to completion."""
+        return all(task.finished for task in self.tasks)
+
+    def step_once(self) -> bool:
+        """Advance the lowest-rank steppable task by one effect.
+
+        The session's round-robin admission quantum: one effect (one chunk
+        moved, one crowd phase run, one gate passed) per call, so no query
+        can monopolise the loop. Returns False when nothing could step —
+        either the query is done or every task is blocked. Determinism does
+        not depend on the quantum: crowd phases are rank-gated, so the
+        posting order is the same whether a query is stepped one effect at
+        a time or run to completion.
+        """
+        progressed = False
+        for task in self.tasks:
+            if not task.finished and self._try_step(task):
+                progressed = True
+                break
+        self._drain_root()
+        return progressed
+
+    def _drain_root(self) -> None:
+        while self.root_task.out_queue.items:
+            self._results.extend(self.root_task.out_queue.get()[0])
+
+    def settle(self) -> None:
+        """Public abort hook: harvest posted-but-uncollected groups (see
+        :meth:`_settle_outstanding`) after a failed step."""
+        self._settle_outstanding()
+
+    def finish(self) -> list[Row]:
+        """Record the whole-query pipeline summary and return the rows.
+
+        ``makespan_seconds`` is the span from the query's epoch to *its
+        own* latest harvested finish — not the shared clock, which under a
+        multi-query session also moves on other queries' harvests.
+        """
+        self.ctx.pipeline_summary = {
+            "stages": float(len(self.tasks)),
+            "groups_posted": float(self._groups_posted),
+            "peak_outstanding_groups": float(self._peak_outstanding),
+            "makespan_seconds": self._last_finish - self.epoch,
+            "serial_latency_seconds": self._serial_latency,
+        }
+        return self._results
+
+    def run(self) -> list[Row]:
+        self.prepare()
         try:
             live = True
             while live:
@@ -520,8 +590,7 @@ class PipelineScheduler:
                 for task in self.tasks:
                     while not task.finished and self._try_step(task):
                         progressed = True
-                while self.root_task.out_queue.items:
-                    results.extend(self.root_task.out_queue.get()[0])
+                self._drain_root()
                 live = not all(task.finished for task in self.tasks)
                 if live and not progressed:
                     stuck = [
@@ -537,15 +606,7 @@ class PipelineScheduler:
         except BaseException:
             self._settle_outstanding()
             raise
-
-        self.ctx.pipeline_summary = {
-            "stages": float(len(self.tasks)),
-            "groups_posted": float(self._groups_posted),
-            "peak_outstanding_groups": float(self._peak_outstanding),
-            "makespan_seconds": self.ctx.manager.platform.clock_seconds - self.epoch,
-            "serial_latency_seconds": self._serial_latency,
-        }
-        return results
+        return self.finish()
 
     def _settle_outstanding(self) -> None:
         """Harvest every posted-but-uncollected group after an abort.

@@ -231,7 +231,9 @@ def begin_compare_sort(
         ]
         for group in groups
     ]
-    ctx.charge_budget(len(units) * ctx.config.assignments)
+    ctx.charge_budget_for_units(
+        units, ctx.config.compare_batch_groups, ctx.config.assignments
+    )
     batch = ctx.manager.begin_units(
         units,
         batch_size=ctx.config.compare_batch_groups,
@@ -280,7 +282,9 @@ def begin_rate_sort(
         ]
         for ref in refs
     ]
-    ctx.charge_budget(len(units) * ctx.config.assignments)
+    ctx.charge_budget_for_units(
+        units, ctx.config.rate_batch_size, ctx.config.assignments
+    )
     batch = ctx.manager.begin_units(
         units,
         batch_size=ctx.config.rate_batch_size,
@@ -359,7 +363,7 @@ def run_compare_window(
         question=task.compare_question(len(window)),
         item_html={ref: _item_html(task, ref) for ref in window},
     )
-    ctx.charge_budget(ctx.config.assignments)
+    ctx.charge_budget_for_units([[payload]], 1, ctx.config.assignments)
     outcome = ctx.manager.run_units(
         [[payload]],
         batch_size=1,

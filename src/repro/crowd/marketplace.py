@@ -31,6 +31,22 @@ outstanding. The dispatch loop has two implementations behind
 :mod:`repro.util.fastpath` — a reference one and a fast one — that consume
 identical random draws and emit bit-identical assignments;
 ``tests/test_determinism_trace.py`` enforces this.
+
+Named clients
+-------------
+A multi-query session (:class:`~repro.core.session.EngineSession`) runs
+several queries against one marketplace. Each query posts through a
+:class:`MarketplaceClient` facade carrying a ``client_id``; the marketplace
+then derives that client's group streams from a per-client child of the
+construction seed and a per-client posted-HITs counter, so one client's
+draws depend only on *its own* posting order — never on how the session
+interleaved the clients. That is what makes a query's votes independent
+of the schedule: identical for any interleaving that has the query post
+the same groups in the same order (see :mod:`repro.core.session` for the
+one caveat, cross-query cache sharing, which can change *what* a query
+posts). The default
+client (``client_id=None``) keeps the original seed-global stream, which is
+why single-query engines reproduce the pre-session golden traces exactly.
 """
 
 from __future__ import annotations
@@ -197,6 +213,8 @@ class SimulatedMarketplace:
         self._assignment_counter = 0
         self._ticket_counter = 0
         self._outstanding: dict[int, HITGroupTicket] = {}
+        self._client_rngs: dict[str, RandomSource] = {}
+        self._client_hits_posted: dict[str, int] = {}
 
     @property
     def clock_seconds(self) -> float:
@@ -231,6 +249,7 @@ class SimulatedMarketplace:
         hits: Sequence[HIT],
         group_id: str | None = None,
         post_time: float | None = None,
+        client_id: str | None = None,
     ) -> HITGroupTicket:
         """Post HITs as one outstanding group at ``post_time``.
 
@@ -242,12 +261,28 @@ class SimulatedMarketplace:
         stream keyed by the group id and the running ``hits_posted``
         counter, so a group's assignments depend on *posting order*, never
         on what else is outstanding or on ``post_time`` (timestamps aside).
+
+        With a ``client_id`` (session clients, see the module docstring)
+        the stream root is the client's own child of the seed and the
+        counter is the client's own posted-HITs count, making the draws a
+        function of that client's posting order alone.
         """
         if post_time is None:
             post_time = self._clock
         self.stats.hits_posted += len(hits)
         self.stats.groups_submitted += 1
-        rng = self._rng.child("group", group_id or "anon", self.stats.hits_posted)
+        if client_id is None:
+            stream_root = self._rng
+            counter = self.stats.hits_posted
+        else:
+            stream_root = self._client_rngs.get(client_id)
+            if stream_root is None:
+                stream_root = self._client_rngs[client_id] = self._rng.child(
+                    "client", client_id
+                )
+            counter = self._client_hits_posted.get(client_id, 0) + len(hits)
+            self._client_hits_posted[client_id] = counter
+        rng = stream_root.child("group", group_id or "anon", counter)
         trial_factor = self.latency.trial_rate_factor(rng.child("trial"))
 
         if fastpath.enabled():
@@ -518,3 +553,90 @@ class SimulatedMarketplace:
         stats.refusals += refusals
         incomplete = {slot[0].hit_id for slot in slots.alive_slots()}
         return completed, now, incomplete
+
+
+class MarketplaceClient:
+    """One named client's view of a shared :class:`SimulatedMarketplace`.
+
+    Satisfies the platform protocol the Task Manager posts through (both
+    the blocking and the multi-client shapes), routing every group to the
+    shared marketplace under this client's ``client_id`` so its dispatch
+    draws come from the client's own stream (see the module docstring).
+    Because the simulation resolves a group's assignments synchronously at
+    submission, the facade can also attribute the marketplace's aggregate
+    consideration/refusal/completion counters to the client exactly, by
+    differencing them around each submit — which is what gives a session's
+    per-query EXPLAIN footers real numbers despite the shared stats object.
+
+    ``client_id=None`` is the default client: same shared stream a plain
+    engine uses, with only the telemetry added.
+    """
+
+    def __init__(
+        self,
+        market: SimulatedMarketplace,
+        client_id: str | None = None,
+        on_submit=None,
+    ) -> None:
+        self.market = market
+        self.client_id = client_id
+        self.on_submit = on_submit
+        """Optional ``(client, ticket)`` callback fired after each submit —
+        the session's admission log hook."""
+        self.groups_posted = 0
+        self.hits_posted = 0
+        self.considerations = 0
+        self.refusals = 0
+        self.assignments_completed = 0
+        self.last_finish_time: float | None = None
+        """Latest virtual finish this client has harvested; ``None`` until
+        the first harvest. A client's makespan is this minus its epoch."""
+
+    @property
+    def clock_seconds(self) -> float:
+        """The shared marketplace clock."""
+        return self.market.clock_seconds
+
+    @property
+    def stats(self) -> MarketplaceStats:
+        """The shared marketplace counters (session-wide, not per-client)."""
+        return self.market.stats
+
+    def submit_hit_group(
+        self,
+        hits: Sequence[HIT],
+        group_id: str | None = None,
+        post_time: float | None = None,
+    ) -> HITGroupTicket:
+        """Submit under this client's stream, recording per-client deltas."""
+        shared = self.market.stats
+        considerations = shared.considerations
+        refusals = shared.refusals
+        completed = shared.assignments_completed
+        ticket = self.market.submit_hit_group(
+            hits, group_id=group_id, post_time=post_time, client_id=self.client_id
+        )
+        self.groups_posted += 1
+        self.hits_posted += len(hits)
+        self.considerations += shared.considerations - considerations
+        self.refusals += shared.refusals - refusals
+        self.assignments_completed += shared.assignments_completed - completed
+        if self.on_submit is not None:
+            self.on_submit(self, ticket)
+        return ticket
+
+    def harvest(self, ticket: HITGroupTicket) -> list[Assignment]:
+        """Harvest from the shared marketplace, tracking this client's
+        latest finish time."""
+        assignments = self.market.harvest(ticket)
+        if self.last_finish_time is None or ticket.finish_time > self.last_finish_time:
+            self.last_finish_time = ticket.finish_time
+        return assignments
+
+    def post_hit_group(
+        self, hits: Sequence[HIT], group_id: str | None = None
+    ) -> list[Assignment]:
+        """Blocking post on this client's stream (submit + harvest)."""
+        if not hits:
+            return []
+        return self.harvest(self.submit_hit_group(hits, group_id=group_id))

@@ -1,0 +1,75 @@
+"""The multi-query session workload: N movie-query variants, one market.
+
+Shared by ``benchmarks/bench_session.py`` (which records virtual-latency
+and wall-clock throughput into ``BENCH_session.json``) and
+``scripts/profile_hotpath.py --check`` (which guards the 8-query session's
+wall-clock throughput against that recording), so both measure exactly the
+same thing.
+
+The variants are four Table-5-family plans over the movie dataset that
+differ in sort method and join grid — comparable virtual spans (so overlap
+has something to win) with partially overlapping HITs (so cross-query
+dedup has something to share). Submitting ``count`` queries cycles the
+variants, which at 8 and 32 queries makes later repeats of each variant
+nearly free through the session's shared task cache — the workload-level
+optimization the Cambridge Report calls out.
+"""
+
+from __future__ import annotations
+
+from repro.core.context import ExecutionConfig
+from repro.core.session import EngineSession, SessionQuery
+from repro.crowd import SimulatedMarketplace
+from repro.datasets.movie import movie_dataset
+from repro.experiments.end_to_end import QUERY_WITH_FILTER
+from repro.joins.batching import JoinInterface
+
+
+def _base_config(**overrides) -> ExecutionConfig:
+    base = dict(
+        join_interface=JoinInterface.SMART,
+        grid_rows=5,
+        grid_cols=5,
+        use_feature_filters=True,
+        generative_batch_size=5,
+        sort_method="rate",
+        compare_group_size=5,
+        rate_batch_size=5,
+    )
+    base.update(overrides)
+    return ExecutionConfig(**base)
+
+
+def variant_configs() -> list[tuple[str, ExecutionConfig]]:
+    """The four query variants a session's submissions cycle through."""
+    return [
+        ("rate-5x5", _base_config()),
+        ("compare-5x5", _base_config(sort_method="compare")),
+        ("hybrid-5x5", _base_config(sort_method="hybrid", hybrid_iterations=8)),
+        ("rate-4x4", _base_config(grid_rows=4, grid_cols=4)),
+    ]
+
+
+def build_session(
+    count: int, seed: int = 0, data=None
+) -> tuple[EngineSession, SimulatedMarketplace, list[SessionQuery]]:
+    """A fresh marketplace + session holding ``count`` submitted queries.
+
+    ``data`` may pass a prebuilt ``movie_dataset(seed=seed)`` to amortise
+    dataset construction across measurements.
+    """
+    if data is None:
+        data = movie_dataset(seed=seed)
+    market = SimulatedMarketplace(data.truth, seed=seed)
+    session = EngineSession(platform=market)
+    session.register_table(data.actors)
+    session.register_table(data.scenes)
+    session.define(data.task_dsl)
+    variants = variant_configs()
+    handles = []
+    for index in range(count):
+        name, config = variants[index % len(variants)]
+        handles.append(
+            session.submit(QUERY_WITH_FILTER, config=config, label=name)
+        )
+    return session, market, handles

@@ -13,14 +13,36 @@ dataclasses). Callers must treat a :meth:`TaskCache.lookup` result as
 read-only; in exchange, the cache never copies on lookup or store, which
 keeps repeated cache hits allocation-free. Code that needs a mutable
 collection should build its own ``list(...)`` from the result.
+
+Cross-query sharing
+-------------------
+A multi-query session (:class:`~repro.core.session.EngineSession`) gives
+every query a :class:`TaskCacheView` over one shared :class:`TaskCache`, so
+identical units posted by different queries are asked on the marketplace
+once and fanned out. The view records which query first stored each entry,
+attributing *cross-query* hits (and the assignments they saved) to the
+borrowing query for the session's sharing stats.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Protocol, Sequence
 
 from repro.hits.hit import HIT, Assignment, Payload
+
+
+class HITCache(Protocol):
+    """What the Task Manager needs from a cache (plain or session view)."""
+
+    def lookup(self, hit: HIT) -> tuple[Assignment, ...] | None:
+        ...  # pragma: no cover
+
+    def store(self, hit: HIT, assignments: Sequence[Assignment]) -> None:
+        ...  # pragma: no cover
+
+    def contains_key(self, cache_key: str) -> bool:
+        ...  # pragma: no cover
 
 
 def payload_cache_key(payloads: tuple[Payload, ...], assignments: int) -> str:
@@ -60,6 +82,14 @@ class TaskCache:
         """Record completed assignments for future identical HITs."""
         self._store[hit.cache_key] = tuple(assignments)
 
+    def contains_key(self, cache_key: str) -> bool:
+        """Whether a key is cached, *without* touching hit/miss accounting.
+
+        Budget pre-flight peeks at keys it may never look up for real;
+        counting those probes would distort the hit-rate stats.
+        """
+        return cache_key in self._store
+
     def __len__(self) -> int:
         return len(self._store)
 
@@ -68,3 +98,47 @@ class TaskCache:
         self._store.clear()
         self.hits = 0
         self.misses = 0
+
+
+@dataclass
+class TaskCacheView:
+    """One session client's window onto a shared :class:`TaskCache`.
+
+    Lookups and stores delegate to the shared cache; ``owners`` (one dict
+    shared by every view of the same session) remembers which client first
+    stored each key, so a hit on another client's entry is counted as a
+    *cross* hit — the work one query borrowed from another. ``hits`` /
+    ``misses`` here are this client's own traffic; the shared cache keeps
+    the session-wide totals.
+    """
+
+    shared: TaskCache
+    owner: str
+    owners: dict[str, str] = field(default_factory=dict)
+    hits: int = 0
+    misses: int = 0
+    cross_hits: int = 0
+    cross_assignments: int = 0
+    """Assignments this client reused from entries stored by other clients
+    — crowd work (and dollars) the session's sharing saved this query."""
+
+    def lookup(self, hit: HIT) -> tuple[Assignment, ...] | None:
+        """Shared-cache lookup, attributing cross-client hits."""
+        cached = self.shared.lookup(hit)
+        if cached is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        if self.owners.get(hit.cache_key, self.owner) != self.owner:
+            self.cross_hits += 1
+            self.cross_assignments += len(cached)
+        return cached
+
+    def store(self, hit: HIT, assignments: Sequence[Assignment]) -> None:
+        """Store into the shared cache, claiming first ownership of the key."""
+        self.owners.setdefault(hit.cache_key, self.owner)
+        self.shared.store(hit, assignments)
+
+    def contains_key(self, cache_key: str) -> bool:
+        """Accounting-free peek (see :meth:`TaskCache.contains_key`)."""
+        return self.shared.contains_key(cache_key)

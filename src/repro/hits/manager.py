@@ -34,7 +34,7 @@ from dataclasses import dataclass, field
 from typing import Protocol, Sequence
 
 from repro.errors import HITUncompletedError, TaskError
-from repro.hits.cache import TaskCache
+from repro.hits.cache import HITCache, payload_cache_key
 from repro.util import fastpath
 from repro.hits.compiler import HITCompiler, merge_payloads
 from repro.hits.hit import HIT, Assignment, Payload, Vote
@@ -116,7 +116,7 @@ class TaskManager:
         platform: CrowdPlatform,
         ledger: CostLedger | None = None,
         compiler: HITCompiler | None = None,
-        cache: TaskCache | None = None,
+        cache: HITCache | None = None,
         reward: float = 0.01,
     ) -> None:
         self.platform = platform
@@ -149,11 +149,32 @@ class TaskManager:
         tuple). Units are merged ``batch_size`` at a time; payloads of the
         same task merge into one batched payload inside the HIT.
         """
+        hits: list[HIT] = []
+        for merged in self.merge_units(units, batch_size):
+            hit = HIT(
+                hit_id=self._next_hit_id(label),
+                payloads=merged,
+                assignments_requested=assignments,
+                reward=self.reward,
+            )
+            self.compiler.compile(hit)
+            hits.append(hit)
+        return hits
+
+    @staticmethod
+    def merge_units(
+        units: Sequence[Sequence[Payload]], batch_size: int
+    ) -> list[tuple[Payload, ...]]:
+        """The batching/merging step of :meth:`build_hits`, minting nothing.
+
+        Returns one merged payload tuple per would-be HIT (batch ``i``
+        covers ``units[i * batch_size : (i + 1) * batch_size]``). Exposed
+        separately so budget pre-flight can compute the cache keys the
+        HITs *would* have without consuming HIT ids or compiling HTML.
+        """
         if batch_size < 1:
             raise TaskError(f"batch_size must be >= 1, got {batch_size}")
-        if not units:
-            return []
-        hits: list[HIT] = []
+        batches: list[tuple[Payload, ...]] = []
         for start in range(0, len(units), batch_size):
             chunk = units[start : start + batch_size]
             by_task: dict[tuple[str, str], list[Payload]] = {}
@@ -167,16 +188,37 @@ class TaskManager:
                         by_task[key] = []
                         order.append(key)
                     by_task[key].append(payload)
-            merged = tuple(merge_payloads(by_task[key]) for key in order)
-            hit = HIT(
-                hit_id=self._next_hit_id(label),
-                payloads=merged,
-                assignments_requested=assignments,
-                reward=self.reward,
-            )
-            self.compiler.compile(hit)
-            hits.append(hit)
-        return hits
+            batches.append(tuple(merge_payloads(by_task[key]) for key in order))
+        return batches
+
+    def projected_new_assignments(
+        self,
+        units: Sequence[Sequence[Payload]],
+        batch_size: int,
+        assignments: int,
+    ) -> int:
+        """Budget pre-flight: assignments the next posting round would buy.
+
+        Projects ``assignments`` per unit — the same deliberate per-unit
+        overestimate the operators have always pre-flighted (actual charges
+        are per completed assignment of the *batched* HITs) — but skips
+        units whose merged batch is already in the task cache: work the
+        crowd already did is fanned out free of charge, which matters when
+        a session shares one cache across queries and a later query would
+        otherwise abort on a budget it will never actually spend. Without a
+        cache (or with no cached batch) this is exactly
+        ``len(units) * assignments``.
+        """
+        if not units:
+            return 0
+        if self.cache is None:
+            return len(units) * assignments
+        uncached_units = 0
+        for index, merged in enumerate(self.merge_units(units, batch_size)):
+            if not self.cache.contains_key(payload_cache_key(merged, assignments)):
+                start = index * batch_size
+                uncached_units += len(units[start : start + batch_size])
+        return uncached_units * assignments
 
     def run_units(
         self,

@@ -14,6 +14,12 @@ two reasons:
 
 The fast path is on by default. Set ``REPRO_FASTPATH=0`` in the environment
 (or call :func:`set_enabled`) to fall back to the reference implementations.
+
+The environment variable is re-read by :func:`refresh_from_env`, which the
+engine and session facades call at construction time — so exporting
+``REPRO_FASTPATH`` *after* ``import repro`` still takes effect for engines
+built afterwards, instead of being silently ignored by the value captured
+at import.
 """
 
 from __future__ import annotations
@@ -22,16 +28,37 @@ import os
 from contextlib import contextmanager
 from typing import Iterator
 
-_ENABLED: bool = os.environ.get("REPRO_FASTPATH", "1").lower() not in (
-    "0",
-    "false",
-    "no",
-    "off",
-)
+_ENV_VAR = "REPRO_FASTPATH"
+_OFF_VALUES = ("0", "false", "no", "off")
+
+
+def _parse(raw: str | None) -> bool:
+    return (raw if raw is not None else "1").lower() not in _OFF_VALUES
+
+
+_ENV_RAW: str | None = os.environ.get(_ENV_VAR)
+_ENABLED: bool = _parse(_ENV_RAW)
 
 
 def enabled() -> bool:
     """Whether the fast hot-path implementations are active."""
+    return _ENABLED
+
+
+def refresh_from_env() -> bool:
+    """Re-read ``REPRO_FASTPATH`` if it changed; returns the setting.
+
+    Called at :class:`~repro.core.engine.Qurk` /
+    :class:`~repro.core.session.EngineSession` construction. A *changed*
+    environment value wins over any programmatic :func:`set_enabled`; an
+    unchanged one leaves programmatic overrides (and :func:`forced`
+    contexts) alone, so tests toggling the switch in-process keep working.
+    """
+    global _ENABLED, _ENV_RAW
+    raw = os.environ.get(_ENV_VAR)
+    if raw != _ENV_RAW:
+        _ENV_RAW = raw
+        _ENABLED = _parse(raw)
     return _ENABLED
 
 

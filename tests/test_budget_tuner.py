@@ -57,6 +57,47 @@ def test_allocation_cost_accounts_fraction():
     assert allocation.cost(PricingModel()) == pytest.approx(50 * 2 * 0.015)
 
 
+def test_effective_units_floor_rule():
+    """One consistent rounding rule: floor, never banker's rounding.
+
+    ``round`` rounds half to even, so ``round(3.5) == 4`` but
+    ``round(2.5) == 2`` — the dollars charged could disagree by one
+    unit-price with the trimming loop's own arithmetic at .5 products.
+    """
+    from repro.core.budget import Allocation, effective_unit_count
+
+    assert effective_unit_count(7, 0.5) == 3  # round() would bill 4
+    assert effective_unit_count(5, 0.5) == 2
+    assert effective_unit_count(10, 0.25) == 2
+    assert effective_unit_count(10, 0.35) == 3  # round() would bill 4
+    # Exact products survive binary-float error (20 * 0.85 < 17.0 in FP).
+    assert effective_unit_count(20, 0.85) == 17
+    assert effective_unit_count(100, 1.0) == 100
+    assert effective_unit_count(0, 0.5) == 0
+
+    allocation = Allocation("x", units=7, assignments=1, data_fraction=0.5)
+    assert allocation.effective_units == 3
+    assert allocation.cost(PricingModel()) == pytest.approx(3 * 0.015)
+
+
+def test_trimmed_plan_cost_consistent_with_floor_rule():
+    """The trimming loop and the charged dollars use the same arithmetic:
+    every trimmed plan's total is exactly the floor-rule sum, and within
+    budget."""
+    from repro.core.budget import effective_unit_count
+
+    for budget in (5.0, 4.1, 3.3, 2.6):
+        plan = allocate_budget(estimates(), budget=budget)
+        recomputed = sum(
+            plan.pricing.cost(
+                effective_unit_count(a.units, a.data_fraction) * a.assignments
+            )
+            for a in plan.allocations
+        )
+        assert plan.total_cost == pytest.approx(recomputed, abs=1e-12)
+        assert plan.total_cost <= budget
+
+
 def test_unknown_operator_lookup():
     plan = allocate_budget(estimates(), budget=50.0)
     with pytest.raises(KeyError):

@@ -52,12 +52,15 @@ class RecordingPlatform:
         return self.inner.clock_seconds
 
 
-def collect_trace(seed: int = 0) -> dict:
+def collect_trace(seed: int = 0, through_session: bool = False) -> dict:
     """Run the fixed-seed join + sort query and trace everything observable.
 
     This is the movie query under the paper's optimized plan (numInScene
     filter + Smart 5x5 join + Rate sort), exercising generative, join-grid,
-    and rating HITs in one pass.
+    and rating HITs in one pass. With ``through_session`` the same query
+    runs as a single-query :class:`~repro.core.session.EngineSession`
+    instead of a plain engine — the session layer's fidelity contract says
+    the trace must be identical.
     """
     data = movie_dataset(seed=seed)
     market = SimulatedMarketplace(data.truth, seed=seed)
@@ -72,11 +75,23 @@ def collect_trace(seed: int = 0) -> dict:
         compare_group_size=5,
         rate_batch_size=5,
     )
-    engine = Qurk(platform=platform, config=config)
-    engine.register_table(data.actors)
-    engine.register_table(data.scenes)
-    engine.define(data.task_dsl)
-    result = engine.execute(QUERY_WITH_FILTER)
+    if through_session:
+        from repro.core.session import EngineSession
+
+        session = EngineSession(platform=platform, config=config)
+        session.register_table(data.actors)
+        session.register_table(data.scenes)
+        session.define(data.task_dsl)
+        handle = session.submit(QUERY_WITH_FILTER)
+        result = session.run()[handle]
+        ledger = handle.ledger
+    else:
+        engine = Qurk(platform=platform, config=config)
+        engine.register_table(data.actors)
+        engine.register_table(data.scenes)
+        engine.define(data.task_dsl)
+        result = engine.execute(QUERY_WITH_FILTER)
+        ledger = engine.ledger
     votes = []
     for assignment in platform.completed:
         for qid, value in assignment.answers.items():
@@ -87,9 +102,9 @@ def collect_trace(seed: int = 0) -> dict:
         "votes": votes,
         "clock_seconds": market.clock_seconds,
         "ledger": {
-            "total_hits": engine.ledger.total_hits,
-            "total_assignments": engine.ledger.total_assignments,
-            "total_cost": round(engine.ledger.total_cost, 10),
+            "total_hits": ledger.total_hits,
+            "total_assignments": ledger.total_assignments,
+            "total_cost": round(ledger.total_cost, 10),
         },
         "stats": {
             "hits_posted": market.stats.hits_posted,
@@ -127,6 +142,14 @@ def test_reference_path_matches_golden():
     """The retained reference implementations still reproduce the golden."""
     with fastpath.forced(False):
         trace = collect_trace(seed=0)
+    golden = json.loads(GOLDEN_PATH.read_text())
+    assert trace == golden
+
+
+def test_single_query_session_reproduces_golden_trace():
+    """A one-query EngineSession is the plain engine, bit for bit: same
+    votes, clock, ledger, and marketplace counters as the golden trace."""
+    trace = collect_trace(seed=0, through_session=True)
     golden = json.loads(GOLDEN_PATH.read_text())
     assert trace == golden
 

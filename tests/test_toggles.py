@@ -1,0 +1,118 @@
+"""The REPRO_PIPELINE / REPRO_FASTPATH toggles' environment contract.
+
+Both toggles used to read their environment variable once, at import, so
+``os.environ["REPRO_PIPELINE"] = "0"`` after ``import repro`` was silently
+ignored. They now re-read the variable at engine/session construction
+(:func:`refresh_from_env`); a *changed* environment value wins, while an
+unchanged environment leaves programmatic ``set_enabled`` / ``forced``
+overrides alone.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core.engine import Qurk
+from repro.core.session import EngineSession
+from repro.crowd import SimulatedMarketplace
+from repro.datasets import animals_dataset
+from repro.util import fastpath, pipeline
+
+
+def _require_unset(var: str) -> str | None:
+    previous = os.environ.get(var)
+    if previous is not None:
+        pytest.skip(f"{var} is set in this environment; test assumes defaults")
+    return previous
+
+
+def _restore(var: str, previous: str | None) -> None:
+    if previous is None:
+        os.environ.pop(var, None)
+    else:
+        os.environ[var] = previous
+    pipeline.refresh_from_env()
+    fastpath.refresh_from_env()
+
+
+def animals_engine():
+    data = animals_dataset()
+    market = SimulatedMarketplace(data.truth, seed=1)
+    engine = Qurk(platform=market)
+    engine.register_table(data.table)
+    return engine, data
+
+
+def test_pipeline_env_set_after_import_takes_effect_at_engine_construction():
+    previous = _require_unset("REPRO_PIPELINE")
+    try:
+        os.environ["REPRO_PIPELINE"] = "0"
+        assert pipeline.enabled()  # not yet re-read: construction does that
+        engine, _ = animals_engine()
+        assert not pipeline.enabled()
+        result = engine.execute("SELECT a.name FROM animals a")
+        assert result.pipeline_summary is None  # ran depth-first
+    finally:
+        _restore("REPRO_PIPELINE", previous)
+    engine, _ = animals_engine()
+    assert pipeline.enabled()
+    assert engine.execute("SELECT a.name FROM animals a").pipeline_summary is not None
+
+
+def test_pipeline_env_honored_by_session_construction():
+    previous = _require_unset("REPRO_PIPELINE")
+    try:
+        os.environ["REPRO_PIPELINE"] = "0"
+        data = animals_dataset()
+        session = EngineSession(platform=SimulatedMarketplace(data.truth, seed=1))
+        assert not pipeline.enabled()
+        session.register_table(data.table)
+        query = "SELECT a.name FROM animals a"
+        h0, h1 = session.submit(query), session.submit(query)
+        outcome = session.run()
+        assert outcome[h0].pipeline_summary is None
+        assert outcome[h1].pipeline_summary is None
+        # With nothing pipelinable there is nothing to interleave: the
+        # session must report the serial execution that actually happened.
+        assert outcome.stats.mode == "serial"
+    finally:
+        _restore("REPRO_PIPELINE", previous)
+
+
+def test_fastpath_env_set_after_import_takes_effect_at_engine_construction():
+    previous = _require_unset("REPRO_FASTPATH")
+    try:
+        os.environ["REPRO_FASTPATH"] = "0"
+        assert fastpath.enabled()
+        animals_engine()
+        assert not fastpath.enabled()
+    finally:
+        _restore("REPRO_FASTPATH", previous)
+    animals_engine()
+    assert fastpath.enabled()
+
+
+def test_refresh_does_not_clobber_programmatic_overrides():
+    """An unchanged environment must leave forced()/set_enabled() alone —
+    constructing an engine inside a forced(False) block keeps it off."""
+    with pipeline.forced(False):
+        animals_engine()
+        assert not pipeline.enabled()
+    assert pipeline.enabled()
+    with fastpath.forced(False):
+        animals_engine()
+        assert not fastpath.enabled()
+    assert fastpath.enabled()
+
+
+def test_env_change_overrides_programmatic_setting():
+    previous = os.environ.get("REPRO_FASTPATH")
+    try:
+        fastpath.set_enabled(False)
+        os.environ["REPRO_FASTPATH"] = "1"
+        assert fastpath.refresh_from_env()  # changed env wins
+        assert fastpath.enabled()
+    finally:
+        _restore("REPRO_FASTPATH", previous)

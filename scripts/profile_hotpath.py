@@ -26,7 +26,13 @@ is blown:
    running the same queries serially. The comparison is the
    concurrent/serial wall *ratio* (machine-independent), measured
    in-process with the same hygiene as the pipeline check and appended to
-   ``BENCH_session.json`` under ``ci_check``.
+   ``BENCH_session.json`` under ``ci_check``;
+4. the adaptive optimizer's wall-clock on the macro workload exceeds the
+   static rewriter's (``REPRO_ADAPT=0``) by more than 5% — the
+   plan-fusion, cost-model, and selectivity-book machinery started
+   taxing queries it has nothing to adapt. Same interleaved best-of
+   measurement; the result is appended to ``benchmarks/BENCH_adaptive.json``
+   under ``ci_check``.
 """
 
 from __future__ import annotations
@@ -47,15 +53,18 @@ from repro.datasets.movie import movie_dataset
 from repro.experiments.end_to_end import QUERY_WITH_FILTER
 from repro.hits.cache import TaskCache
 from repro.joins.batching import JoinInterface
+from repro.util import adapt
 from repro.util import pipeline
 
 CHECK_TOP_N = 5
 FORBIDDEN_IN_TOP = ("child_seed", "payload_cache_key")
 PIPELINE_OVERHEAD_LIMIT = 1.05
 SESSION_REGRESSION_LIMIT = 1.05
+ADAPTIVE_OVERHEAD_LIMIT = 1.05
 SESSION_QUERY_COUNT = 8
 BENCH_PIPELINE_PATH = Path(__file__).parent.parent / "benchmarks" / "BENCH_pipeline.json"
 BENCH_SESSION_PATH = Path(__file__).parent.parent / "benchmarks" / "BENCH_session.json"
+BENCH_ADAPTIVE_PATH = Path(__file__).parent.parent / "benchmarks" / "BENCH_adaptive.json"
 
 
 def run_workload(scale: int = 1, seed: int = 0) -> None:
@@ -89,63 +98,121 @@ def profile(scale: int, seed: int) -> pstats.Stats:
     return pstats.Stats(profiler)
 
 
+def _interleaved_best_of(modes, repeats: int) -> dict[str, float]:
+    """Best-of CPU timings per mode, interleaved, with GC hygiene.
+
+    ``modes`` is a list of ``(label, thunk)`` pairs; each thunk performs
+    one complete run of its mode (including any toggle context or setup).
+    Measurement hygiene, because a 5% bound demands it: CPU time instead
+    of wall clock (immune to preemption on shared runners), the garbage
+    collector paused and drained around each timed run (GC pauses are
+    bimodal noise bigger than the bound), and modes interleaved so
+    neither systematically runs on a warmer cache.
+    """
+    import gc
+
+    timings = {label: float("inf") for label, _ in modes}
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for _ in range(max(1, repeats)):
+            for label, thunk in modes:
+                gc.collect()
+                start = time.process_time()
+                thunk()
+                timings[label] = min(
+                    timings[label], time.process_time() - start
+                )
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    return timings
+
+
+def _append_ci_check(path: Path, report: dict) -> None:
+    """Record a check's measurement under ``ci_check`` in a bench JSON."""
+    try:
+        recorded = json.loads(path.read_text()) if path.exists() else {}
+        recorded["ci_check"] = report
+        path.write_text(json.dumps(recorded, indent=1))
+    except OSError as exc:  # CI sandboxes may mount the repo read-only
+        print(f"warning: could not record ci_check results: {exc}", file=sys.stderr)
+
+
+def _toggle_overhead_report(
+    toggle, labels: tuple[str, str], scale: int, seed: int, repeats: int, limit: float
+) -> dict:
+    """Macro workload timed with a toggle off (baseline) vs. on.
+
+    ``labels`` is ``(baseline, treatment)``; ``wall_overhead`` is
+    treatment / baseline best-of CPU time. A scale floor keeps the
+    dispatch work being compared well above timer resolution.
+    """
+    scale = max(scale, 4)
+    run_workload(scale=scale, seed=seed)  # untimed warm-up
+    baseline, treatment = labels
+
+    def macro_under(flag: bool):
+        def thunk() -> None:
+            with toggle.forced(flag):
+                run_workload(scale=scale, seed=seed)
+
+        return thunk
+
+    timings = _interleaved_best_of(
+        [(baseline, macro_under(False)), (treatment, macro_under(True))],
+        repeats,
+    )
+    overhead = (
+        timings[treatment] / timings[baseline] if timings[baseline] > 0 else 0.0
+    )
+    return {
+        "scale": scale,
+        "repeats": repeats,
+        f"{baseline}_seconds": round(timings[baseline], 4),
+        f"{treatment}_seconds": round(timings[treatment], 4),
+        "wall_overhead": round(overhead, 4),
+        "limit": limit,
+    }
+
+
 def check_pipeline_overhead(scale: int, seed: int, repeats: int) -> dict:
     """Run the macro workload in both pipeline modes; measure the ratio.
 
     The depth-first path is the baseline the tentpole refactor must not
     regress: ``wall_overhead`` is pipelined / depth-first best-of CPU
     time, and values above ``PIPELINE_OVERHEAD_LIMIT`` fail CI.
-
-    Measurement hygiene, because a 5% bound demands it: CPU time instead
-    of wall clock (immune to preemption on shared runners), the garbage
-    collector paused and drained around each timed run (GC pauses are
-    bimodal noise bigger than the bound), modes interleaved so neither
-    systematically runs on a warmer cache, and a scale floor so the
-    dispatch work being compared dwarfs timer resolution.
     """
-    import gc
-
-    scale = max(scale, 4)
-    run_workload(scale=scale, seed=seed)  # untimed warm-up
-    timings = {"depth_first": float("inf"), "pipelined": float("inf")}
-    gc_was_enabled = gc.isenabled()
-    gc.disable()
-    try:
-        for _ in range(max(1, repeats)):
-            for mode, label in ((False, "depth_first"), (True, "pipelined")):
-                with pipeline.forced(mode):
-                    gc.collect()
-                    start = time.process_time()
-                    run_workload(scale=scale, seed=seed)
-                    timings[label] = min(
-                        timings[label], time.process_time() - start
-                    )
-    finally:
-        if gc_was_enabled:
-            gc.enable()
-    overhead = (
-        timings["pipelined"] / timings["depth_first"]
-        if timings["depth_first"] > 0
-        else 0.0
+    report = _toggle_overhead_report(
+        pipeline,
+        ("depth_first", "pipelined"),
+        scale,
+        seed,
+        repeats,
+        PIPELINE_OVERHEAD_LIMIT,
     )
-    report = {
-        "scale": scale,
-        "repeats": repeats,
-        "depth_first_seconds": round(timings["depth_first"], 4),
-        "pipelined_seconds": round(timings["pipelined"], 4),
-        "wall_overhead": round(overhead, 4),
-        "limit": PIPELINE_OVERHEAD_LIMIT,
-    }
-    try:
-        recorded = (
-            json.loads(BENCH_PIPELINE_PATH.read_text())
-            if BENCH_PIPELINE_PATH.exists()
-            else {}
-        )
-        recorded["ci_check"] = report
-        BENCH_PIPELINE_PATH.write_text(json.dumps(recorded, indent=1))
-    except OSError as exc:  # CI sandboxes may mount the repo read-only
-        print(f"warning: could not record ci_check results: {exc}", file=sys.stderr)
+    _append_ci_check(BENCH_PIPELINE_PATH, report)
+    return report
+
+
+def check_adaptive_overhead(scale: int, seed: int, repeats: int) -> dict:
+    """Run the macro workload with the adaptive optimizer on vs. off.
+
+    The Table 5 macro has a single-conjunct plan — nothing to adapt — so
+    the measured ratio is the pure overhead of the adaptive machinery
+    (toggle resolution, plan fusion scan, cost-model forecast, book
+    lookups) on a workload it leaves untouched. Values above
+    ``ADAPTIVE_OVERHEAD_LIMIT`` fail CI.
+    """
+    report = _toggle_overhead_report(
+        adapt,
+        ("static", "adaptive"),
+        scale,
+        seed,
+        repeats,
+        ADAPTIVE_OVERHEAD_LIMIT,
+    )
+    _append_ci_check(BENCH_ADAPTIVE_PATH, report)
     return report
 
 
@@ -190,6 +257,9 @@ def check_session_throughput(seed: int, repeats: int) -> dict | None:
     build_session(SESSION_QUERY_COUNT, seed=seed, data=data)[0].run(
         concurrent=False
     )
+    # Sessions are one-shot, so each timed run needs a fresh build — kept
+    # *outside* the timed region (matching the recorded baseline's
+    # semantics), which is why this check cannot share _interleaved_best_of.
     timings = {"serial": float("inf"), "concurrent": float("inf")}
     gc_was_enabled = gc.isenabled()
     gc.disable()
@@ -218,11 +288,7 @@ def check_session_throughput(seed: int, repeats: int) -> dict | None:
         "recorded_wall_overhead": baseline,
         "limit": SESSION_REGRESSION_LIMIT,
     }
-    try:
-        recorded["ci_check"] = report
-        BENCH_SESSION_PATH.write_text(json.dumps(recorded, indent=1))
-    except OSError as exc:  # CI sandboxes may mount the repo read-only
-        print(f"warning: could not record ci_check results: {exc}", file=sys.stderr)
+    _append_ci_check(BENCH_SESSION_PATH, report)
     return report
 
 
@@ -312,6 +378,23 @@ def main() -> int:
             "check ok: pipelined executor wall-clock is "
             f"{report['wall_overhead']:.3f}x the depth-first path "
             f"(limit {PIPELINE_OVERHEAD_LIMIT}x)"
+        )
+        adaptive_report = check_adaptive_overhead(
+            args.scale, args.seed, args.check_repeats
+        )
+        if adaptive_report["wall_overhead"] > ADAPTIVE_OVERHEAD_LIMIT:
+            print(
+                "CHECK FAILED: adaptive optimizer wall-clock is "
+                f"{adaptive_report['wall_overhead']:.3f}x the static "
+                f"rewriter (limit {ADAPTIVE_OVERHEAD_LIMIT}x) on the macro "
+                f"workload: {adaptive_report}",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            "check ok: adaptive optimizer wall-clock is "
+            f"{adaptive_report['wall_overhead']:.3f}x the static rewriter "
+            f"(limit {ADAPTIVE_OVERHEAD_LIMIT}x)"
         )
         session_report = check_session_throughput(args.seed, args.check_repeats)
         if session_report is not None:

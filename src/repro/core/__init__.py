@@ -5,16 +5,26 @@ define tasks in the TASK DSL, and execute SELECT queries whose filters,
 joins, and sorts run on a crowd platform. Execution is handled by the
 event-driven pipelined scheduler (:mod:`repro.core.scheduler`, default) or
 the depth-first interpreter (:mod:`repro.core.executor`,
-``REPRO_PIPELINE=0``) — identical results, different latency; see
+``REPRO_PIPELINE=0``) — identical results, different latency. Plans pass
+the static rewriter plus, by default, the cost-based adaptive re-optimizer
+(:mod:`repro.core.adaptive`, ``REPRO_ADAPT=0`` to disable); see
 docs/ARCHITECTURE.md.
 """
 
+from repro.core.adaptive import AdaptiveState, ReplanEvent, SelectivityBook
 from repro.core.batch_tuner import BatchTuner, ProbeResult
-from repro.core.budget import BudgetPlan, allocate_budget
+from repro.core.budget import BudgetPlan, PreflightReport, allocate_budget, plan_preflight
 from repro.core.context import ExecutionConfig, PipelineStats, QueryContext
+from repro.core.cost_model import (
+    OperatorCost,
+    PlanCostEstimate,
+    estimate_plan_cost,
+    operator_estimates,
+)
 from repro.core.engine import QueryResult, Qurk
 from repro.core.session import EngineSession, SessionQuery, SessionResult, SessionStats
 from repro.core.plan import (
+    AdaptiveFilterNode,
     ComputedFilterNode,
     CrowdPredicateNode,
     JoinNode,
@@ -28,6 +38,8 @@ from repro.core.planner import build_plan
 from repro.core.optimizer import optimize
 
 __all__ = [
+    "AdaptiveFilterNode",
+    "AdaptiveState",
     "BatchTuner",
     "BudgetPlan",
     "ComputedFilterNode",
@@ -36,19 +48,27 @@ __all__ = [
     "ExecutionConfig",
     "JoinNode",
     "LimitNode",
+    "OperatorCost",
     "PipelineStats",
+    "PlanCostEstimate",
     "PlanNode",
+    "PreflightReport",
     "ProbeResult",
     "ProjectNode",
     "QueryContext",
     "QueryResult",
     "Qurk",
+    "ReplanEvent",
     "ScanNode",
+    "SelectivityBook",
     "SessionQuery",
     "SessionResult",
     "SessionStats",
     "SortNode",
     "allocate_budget",
     "build_plan",
+    "estimate_plan_cost",
+    "operator_estimates",
     "optimize",
+    "plan_preflight",
 ]

@@ -41,13 +41,30 @@ class BatchTuner:
 
         ``probe`` posts a probe round at the given size. A size is
         acceptable when it completes, accuracy stays above the floor, and
-        latency under the ceiling. Classic binary search over [min, max].
+        latency under the ceiling. The minimum batch is probed first: if
+        even it fails, :class:`~repro.errors.BatchTuningError` is raised
+        (carrying the failing probe) — the old behaviour silently returned
+        ``min_batch``, so callers could not tell "the minimum works" from
+        "the crowd refused everything". The rest is classic binary search
+        over (min, max].
         """
         if self.min_batch < 1 or self.max_batch < self.min_batch:
             raise ValueError("invalid batch-size bounds")
-        low = self.min_batch
+        floor_result = probe(self.min_batch)
+        self.history.append(floor_result)
+        if not self._acceptable(floor_result):
+            from repro.errors import BatchTuningError
+
+            raise BatchTuningError(
+                f"even the minimum batch size {self.min_batch} failed its "
+                f"probe (completed={floor_result.completed}, "
+                f"accuracy={floor_result.accuracy:.2f}, "
+                f"latency={floor_result.latency_seconds:.0f}s)",
+                probe=floor_result,
+            )
+        best = self.min_batch
+        low = self.min_batch + 1
         high = self.max_batch
-        best = 0
         while low <= high:
             mid = (low + high) // 2
             result = probe(mid)
@@ -57,10 +74,6 @@ class BatchTuner:
                 low = mid + 1
             else:
                 high = mid - 1
-        if best == 0:
-            # Even the minimum batch failed; report the floor and let the
-            # caller decide whether to raise pay or abandon the task.
-            return self.min_batch
         return best
 
     def _acceptable(self, result: ProbeResult) -> bool:

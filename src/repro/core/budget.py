@@ -23,6 +23,12 @@ from dataclasses import dataclass, field
 from repro.errors import BudgetExceededError
 from repro.hits.pricing import PricingModel
 
+TRIM_STEP_PERCENT = 5
+"""Data-fraction trimming step, in percent (one trim = 5% of the data)."""
+
+TRIM_FLOOR_PERCENT = 10
+"""Smallest data fraction the allocator will trim to, in percent."""
+
 
 @dataclass(frozen=True)
 class OperatorEstimate:
@@ -112,25 +118,35 @@ def allocate_budget(
 
     if plan.total_cost > budget:
         # Minimum replication is unaffordable: trim the data fraction,
-        # largest operator first, down to a 10% floor.
-        fractions = [1.0 for _ in estimates]
+        # largest operator first, down to a 10% floor. Trimming counts
+        # *integer steps* and derives each fraction from its step count:
+        # repeatedly subtracting 0.05 in binary floating point accumulates
+        # error (20 × 0.05 ≠ 1.0 exactly), so the old ``fraction -= 0.05``
+        # loop's floor check fired a step early or late depending on the
+        # drift's sign. Fractions are now exact multiples of 0.05 and the
+        # floor comparison is integer arithmetic; effective_unit_count
+        # stays the single rounding rule for the resulting unit counts.
+        steps = [0 for _ in estimates]
+        max_steps = (100 - TRIM_FLOOR_PERCENT) // TRIM_STEP_PERCENT
         order = sorted(
             range(len(estimates)), key=lambda i: -estimates[i].units
         )
-        step = 0.05
         while plan.total_cost > budget:
             trimmed = False
             for index in order:
-                if fractions[index] - step >= 0.1:
-                    fractions[index] -= step
-                    plan.allocations[index].data_fraction = fractions[index]
+                if steps[index] < max_steps:
+                    steps[index] += 1
+                    plan.allocations[index].data_fraction = (
+                        100 - TRIM_STEP_PERCENT * steps[index]
+                    ) / 100.0
                     trimmed = True
                     if plan.total_cost <= budget:
                         break
             if not trimmed:
                 raise BudgetExceededError(
                     f"budget ${budget:.2f} cannot fund even 1 assignment over "
-                    f"10% of the data (minimum ${plan.total_cost:.2f})"
+                    f"{TRIM_FLOOR_PERCENT}% of the data "
+                    f"(minimum ${plan.total_cost:.2f})"
                 )
         return plan
 
@@ -153,3 +169,72 @@ def allocate_budget(
                 improved = True
                 break
     return plan
+
+
+@dataclass(frozen=True)
+class PreflightReport:
+    """Whole-plan budget forecast before the first HIT is posted.
+
+    Produced by :func:`plan_preflight` from the adaptive cost model's
+    per-operator estimates (:func:`repro.core.cost_model.operator_estimates`).
+    ``projected_cost`` is the full-replication forecast minus
+    ``cached_assignments`` — a hook for callers that already know how much
+    of the plan the task cache will serve for free. The engine and session
+    pass 0 (cache contents are only knowable per-batch, at posting time);
+    the *precise* cache-aware gate remains the per-round pre-flight in
+    :meth:`TaskManager.projected_new_assignments`, which is why the
+    whole-plan abort is opt-in (``ExecutionConfig.budget_preflight``).
+    ``fits_trimmed`` reports whether *any* allocation (down to 1
+    assignment over the trimming floor) fits; when it is False the query
+    cannot complete under the budget no matter how execution adapts.
+    """
+
+    budget: float
+    projected_cost: float
+    cached_assignments: int = 0
+    fits_trimmed: bool = True
+
+    @property
+    def fits(self) -> bool:
+        """Whether the full-replication forecast fits the budget."""
+        return self.projected_cost <= self.budget + 1e-9
+
+    def as_signals(self) -> dict[str, float]:
+        """EXPLAIN-friendly rendering of the forecast."""
+        return {
+            "budget": self.budget,
+            "projected_cost": round(self.projected_cost, 4),
+            "fits": 1.0 if self.fits else 0.0,
+        }
+
+
+def plan_preflight(
+    estimates: list[OperatorEstimate],
+    budget: float,
+    pricing: PricingModel | None = None,
+    cached_assignments: int = 0,
+) -> PreflightReport:
+    """Forecast a plan's spend against a budget without posting anything.
+
+    Unlike :func:`allocate_budget` this never raises: it reports. The
+    engine runs it when the adaptive optimizer is active and a
+    ``max_budget`` is set, surfacing the forecast in EXPLAIN and — with
+    ``ExecutionConfig.budget_preflight`` — aborting hopeless queries
+    before the first HIT group is posted instead of midway through.
+    """
+    pricing = pricing or PricingModel()
+    full = sum(
+        pricing.cost(e.units * e.requested_assignments) for e in estimates
+    )
+    projected = max(0.0, full - pricing.cost(cached_assignments))
+    try:
+        allocate_budget(estimates, budget, pricing)
+        fits_trimmed = True
+    except BudgetExceededError:
+        fits_trimmed = False
+    return PreflightReport(
+        budget=budget,
+        projected_cost=projected,
+        cached_assignments=cached_assignments,
+        fits_trimmed=fits_trimmed,
+    )

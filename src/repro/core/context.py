@@ -108,6 +108,29 @@ class ExecutionConfig:
     """Bounded capacity (in chunks) of each inter-operator queue; a full
     queue stalls the producer (back-pressure)."""
 
+    adapt: bool | None = None
+    """Force the cost-based adaptive re-optimizer on/off for this query;
+    None defers to the ``REPRO_ADAPT`` toggle (:mod:`repro.util.adapt`).
+    When active, adjacent crowd WHERE conjuncts fuse into an adaptive
+    filter that orders them by observed selectivity and re-plans after
+    every crowd round (:mod:`repro.core.adaptive`)."""
+
+    adaptive_pilot_fraction: float = 0.2
+    """Fraction of a fused chain's input rows the pilot pass samples to
+    measure each conjunct's selectivity before ordering the cascade."""
+
+    adaptive_min_pilot: int = 5
+    """Smallest worthwhile pilot sample; inputs below twice this skip the
+    pilot and cascade in observed-estimate order directly."""
+
+    budget_preflight: bool = False
+    """With ``max_budget`` set and the adaptive optimizer active, abort
+    before posting *anything* when the cost model's whole-plan forecast
+    says even a trimmed allocation cannot fit (see
+    :func:`repro.core.budget.plan_preflight`). Off by default: the
+    per-round pre-flight in ``charge_budget_for_units`` remains the
+    precise, cache-aware gate."""
+
     def __post_init__(self) -> None:
         if self.sort_method not in ("compare", "rate", "hybrid"):
             raise PlanError(f"unknown sort method {self.sort_method!r}")
@@ -119,6 +142,10 @@ class ExecutionConfig:
             raise PlanError("pipeline_chunk_size must be >= 1")
         if self.pipeline_queue_chunks < 1:
             raise PlanError("pipeline_queue_chunks must be >= 1")
+        if not 0.0 < self.adaptive_pilot_fraction <= 1.0:
+            raise PlanError("adaptive_pilot_fraction must be in (0, 1]")
+        if self.adaptive_min_pilot < 1:
+            raise PlanError("adaptive_min_pilot must be >= 1")
 
     def with_overrides(self, **kwargs) -> "ExecutionConfig":
         """A copy with some fields replaced (experiment sweeps)."""
@@ -194,6 +221,12 @@ class QueryContext:
     label: str = ""
     """Which query this is, for diagnostics — a session sets its per-query
     key here so e.g. budget aborts say which of its queries hit the cap."""
+
+    adapt: object | None = None
+    """The query's :class:`~repro.core.adaptive.AdaptiveState` (selectivity
+    book, re-plan event log, cost forecast) when the adaptive optimizer is
+    active; None under ``REPRO_ADAPT=0``. Typed loosely to keep this module
+    import-light; the engine and session construct it."""
 
     def combiner_for(self, task_combiner: str) -> Combiner:
         """Instantiate the effective combiner for a task."""

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
+from repro.core.adaptive import SelectivityBook, build_state, preflight
 from repro.core.context import ExecutionConfig, OperatorStats, QueryContext
 from repro.core.executor import run_plan
 from repro.core.explain import render_explain
@@ -36,6 +37,7 @@ from repro.relational.table import Table
 from repro.sorting.topk import pick_extreme_order
 from repro.tasks.base import task_from_definition
 from repro.tasks.rank import RankTask
+from repro.util import adapt as adapt_toggle
 from repro.util import fastpath
 from repro.util import pipeline as pipeline_toggle
 
@@ -116,6 +118,10 @@ class QueryResult:
     pipeline_summary: dict[str, float] | None = None
     """Whole-query overlap telemetry when the pipelined executor ran
     (stages, groups, peak outstanding, makespan vs serial latency)."""
+    adaptive_summary: dict[str, object] | None = None
+    """Re-plan telemetry when the adaptive optimizer ran: replan/round
+    counts, predicted vs. actual HITs and dollars, and the event log;
+    None under ``REPRO_ADAPT=0``."""
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -135,6 +141,7 @@ class QueryResult:
             self.node_stats,
             marketplace_stats=self.marketplace_stats,
             pipeline_summary=self.pipeline_summary,
+            adaptive_summary=self.adaptive_summary,
         )
 
 
@@ -153,11 +160,16 @@ class Qurk:
         # toggles' import-time capture used to swallow them silently).
         pipeline_toggle.refresh_from_env()
         fastpath.refresh_from_env()
+        adapt_toggle.refresh_from_env()
         self.platform = platform
         self.config = config or ExecutionConfig()
         self.catalog = catalog or Catalog()
         self.ledger = ledger or CostLedger()
         self.manager = TaskManager(platform, ledger=self.ledger, cache=cache)
+        self.book = SelectivityBook()
+        """The engine's online selectivity estimates, shared across its
+        (serial) queries: a repeated workload's later queries start from
+        the pass rates the earlier ones observed."""
 
     def session(self, cache: TaskCache | None = None) -> "EngineSession":
         """A multi-query session over this engine's platform and catalog.
@@ -193,19 +205,34 @@ class Qurk:
     # -- execution ---------------------------------------------------------
 
     def plan(self, query: str | SelectQuery) -> PlanNode:
-        """Parse, plan, and optimize a query without running it."""
-        parsed = self._parse(query)
-        return optimize(build_plan(parsed, self.catalog))
+        """Parse, plan, and optimize a query without running it.
+
+        Reflects the adaptive optimizer's plan-time decisions (crowd
+        conjunct fusion) under the engine's default config; the throwaway
+        state shares the engine's selectivity book but records nothing.
+        """
+        return self._optimized(query, build_state(self.config, book=self.book))
+
+    def _optimized(self, query: str | SelectQuery, state) -> PlanNode:
+        """The one plan-construction pipeline ``plan`` and ``execute`` share."""
+        return optimize(
+            build_plan(self._parse(query), self.catalog), adapt=state
+        )
 
     def execute(
         self, query: str | SelectQuery, config: ExecutionConfig | None = None
     ) -> QueryResult:
         """Run a query against the crowd platform."""
-        plan = self.plan(query)
+        effective = config or self.config
+        state = build_state(effective, book=self.book)
+        plan = self._optimized(query, state)
+        if state is not None:
+            preflight(state, plan, self.catalog, effective, self.ledger.pricing)
         ctx = QueryContext(
             catalog=self.catalog,
             manager=self.manager,
-            config=config or self.config,
+            config=effective,
+            adapt=state,
         )
         hits_before = self.ledger.total_hits
         assignments_before = self.ledger.total_assignments
@@ -236,6 +263,12 @@ class Qurk:
             node_stats=ctx.node_stats,
             marketplace_stats=snapshot,
             pipeline_summary=ctx.pipeline_summary,
+            adaptive_summary=state.summary(
+                actual_hits=self.ledger.total_hits - hits_before,
+                actual_cost=self.ledger.total_cost - cost_before,
+            )
+            if state is not None
+            else None,
         )
 
     def explain(self, query: str | SelectQuery) -> str:

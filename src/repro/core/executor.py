@@ -32,6 +32,7 @@ from repro.core.context import QueryContext
 from repro.core.crowd_calls import evaluate_with_crowd, run_predicate_calls
 from repro.core.join_exec import execute_join
 from repro.core.plan import (
+    AdaptiveFilterNode,
     ComputedFilterNode,
     CrowdPredicateNode,
     JoinNode,
@@ -75,6 +76,12 @@ def run_plan_depth_first(node: PlanNode, ctx: QueryContext) -> list[Row]:
         )
     if isinstance(node, CrowdPredicateNode):
         return crowd_filter_rows(
+            node, run_plan_depth_first(node.inputs[0], ctx), ctx
+        )
+    if isinstance(node, AdaptiveFilterNode):
+        from repro.core.adaptive import adaptive_filter_rows
+
+        return adaptive_filter_rows(
             node, run_plan_depth_first(node.inputs[0], ctx), ctx
         )
     if isinstance(node, JoinNode):

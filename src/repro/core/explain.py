@@ -65,6 +65,7 @@ def render_explain(
     node_stats: dict[int, OperatorStats],
     marketplace_stats: object | None = None,
     pipeline_summary: Mapping[str, float] | None = None,
+    adaptive_summary: Mapping[str, object] | None = None,
 ) -> str:
     """Render the plan tree annotated with collected operator signals.
 
@@ -74,9 +75,22 @@ def render_explain(
     refusal-loop overhead the dispatch fast path targets. When
     ``pipeline_summary`` is provided (the query ran pipelined), a second
     footer reports the overlap economics and each node carries its
-    pipeline column.
+    pipeline column. When ``adaptive_summary`` is provided (the adaptive
+    optimizer ran), a third footer reports predicted vs. actual HIT
+    counts and the re-plan event log; fused conjunct chains additionally
+    render each member conjunct with its estimated vs. observed
+    selectivity.
     """
     lines: list[str] = []
+
+    def emit_stats(stats: OperatorStats | None, indent: str) -> None:
+        if stats is None:
+            return
+        pipeline_note = _pipeline_note(stats)
+        if pipeline_note is not None:
+            lines.append(f"{indent}    ~ {pipeline_note}")
+        for note in _signal_notes(stats):
+            lines.append(f"{indent}    ~ {note}")
 
     def visit(node: PlanNode, depth: int) -> None:
         indent = "  " * depth
@@ -88,16 +102,50 @@ def render_explain(
                 f", hits={stats.hits}, assignments={stats.assignments}]"
             )
         lines.append(header)
-        if stats is not None:
-            pipeline_note = _pipeline_note(stats)
-            if pipeline_note is not None:
-                lines.append(f"{indent}    ~ {pipeline_note}")
-            for note in _signal_notes(stats):
-                lines.append(f"{indent}    ~ {note}")
+        emit_stats(stats, indent)
+        # Fused adaptive chains carry their original conjuncts as
+        # ``members`` (not plan inputs); render each with its own stats so
+        # estimated vs. observed selectivity stays per-conjunct.
+        for member in getattr(node, "members", ()):
+            member_stats = node_stats.get(id(member))
+            member_header = f"{indent}  · {member.label()}"
+            if member_stats is not None and (
+                member_stats.hits or member_stats.rows_in
+            ):
+                member_header += (
+                    f"  [rows {member_stats.rows_in}->{member_stats.rows_out}"
+                    f", hits={member_stats.hits}"
+                    f", assignments={member_stats.assignments}]"
+                )
+            lines.append(member_header)
+            emit_stats(member_stats, indent + "  ")
         for child in node.inputs:
             visit(child, depth + 1)
 
     visit(plan, 0)
+    if adaptive_summary is not None:
+        parts = [
+            f"replans={adaptive_summary.get('replans', 0)}",
+            f"rounds={adaptive_summary.get('rounds', 0)}",
+            f"fused_chains={adaptive_summary.get('fused_chains', 0)}",
+        ]
+        if "predicted_hits" in adaptive_summary:
+            parts.append(f"predicted_hits={adaptive_summary['predicted_hits']}")
+        if "actual_hits" in adaptive_summary:
+            parts.append(f"actual_hits={adaptive_summary['actual_hits']}")
+        if "predicted_cost" in adaptive_summary:
+            parts.append(f"predicted_cost=${adaptive_summary['predicted_cost']}")
+        if "actual_cost" in adaptive_summary:
+            parts.append(f"actual_cost=${adaptive_summary['actual_cost']}")
+        preflight = adaptive_summary.get("preflight")
+        if isinstance(preflight, Mapping):
+            parts.append(
+                f"preflight=${preflight.get('projected_cost', 0.0)}"
+                f"/${preflight.get('budget', 0.0)}"
+            )
+        lines.append("adaptive: " + ", ".join(parts))
+        for event in adaptive_summary.get("events", []) or []:
+            lines.append(f"  ~ replan log: {event}")
     if pipeline_summary is not None:
         makespan = pipeline_summary.get("makespan_seconds", 0.0)
         serial = pipeline_summary.get("serial_latency_seconds", 0.0)

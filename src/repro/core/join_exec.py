@@ -166,6 +166,25 @@ def execute_join(
             features = {name: features[name] for name in report.kept}
             stats.signals["features_kept"] = float(len(report.kept))
             stats.signals["features_dropped"] = float(len(report.dropped))
+            if ctx.adapt is not None:
+                # Feature keep/drop is a re-plan decision: the UNKNOWN-aware
+                # σ just measured decides whether the feature stays in the
+                # remaining subtree's plan.
+                from repro.core.adaptive import ReplanEvent
+
+                for decision in report.decisions:
+                    if decision.keep:
+                        continue
+                    ctx.adapt.note_event(
+                        ReplanEvent(
+                            round=ctx.adapt.next_round(),
+                            phase="feature-drop",
+                            subject=f"{decision.name}: {decision.reason}",
+                            estimate_before=decision.selectivity,
+                            observed=decision.selectivity,
+                            reordered=True,
+                        )
+                    )
 
     if features:
         candidates = filter_candidates(
@@ -178,6 +197,22 @@ def execute_join(
     stats.signals["cross_product"] = float(cross)
     if cross:
         stats.signals["filter_selectivity"] = len(candidates) / cross
+        if ctx.adapt is not None:
+            # Feed the observed per-feature selectivity back into the
+            # query's estimate book under the same keys the cost model
+            # reads: later re-plans (and later queries on an engine
+            # sharing the book) see the measured pass rates.
+            from repro.core.cost_model import feature_key
+            from repro.joins.selectivity import estimate_selectivity as _est
+
+            for key, (left_values, right_values) in features.items():
+                sigma = _est(
+                    list(left_values.values()) or [UNKNOWN],
+                    list(right_values.values()) or [UNKNOWN],
+                )
+                ctx.adapt.book.record_fraction(
+                    feature_key(key), sigma, weight=float(len(left_values))
+                )
 
     matches = _run_join_interface(task, candidates, left_refs, right_refs, ctx, node)
 
@@ -255,6 +290,8 @@ def _run_feature_extraction(
         stats.signals[f"{call.name}.selectivity"] = (
             len(kept) / len(refs) if refs else 1.0
         )
+        if ctx.adapt is not None and refs:
+            ctx.adapt.book.observe(f"unary:{call.name}", len(refs), len(kept))
 
     features: dict[str, tuple[dict[str, object], dict[str, object]]] = {}
     corpora: dict[str, dict] = {}
@@ -311,6 +348,59 @@ def _evaluate_unary(expr: Expression, call: UDFCall, value: object) -> bool:
     return bool(substituted.evaluate(empty_row, {}))
 
 
+def _choose_grid_orientation(
+    left_count: int,
+    right_count: int,
+    ctx: QueryContext,
+    stats,
+) -> tuple[int, int]:
+    """Cost-based join-side choice for SmartBatch grids (adaptive only).
+
+    With an asymmetric r×c grid the HIT count depends on which side of the
+    join rides the rows: ``ceil(|L|/r)·ceil(|R|/c)`` vs the transposed
+    assignment. This is a mid-query re-plan — the side cardinalities used
+    are the *observed* post-filter ref counts, not estimates. With a
+    square grid (the default 5×5) or ``REPRO_ADAPT=0`` the configured
+    orientation is kept, bit-identical to the static plan.
+    """
+    import math
+
+    rows_dim, cols_dim = ctx.config.grid_rows, ctx.config.grid_cols
+    if ctx.adapt is None or rows_dim == cols_dim:
+        return rows_dim, cols_dim
+    default_hits = math.ceil(left_count / rows_dim) * math.ceil(
+        right_count / cols_dim
+    )
+    swapped_hits = math.ceil(left_count / cols_dim) * math.ceil(
+        right_count / rows_dim
+    )
+    if swapped_hits < default_hits:
+        from repro.core.adaptive import ReplanEvent
+
+        state = ctx.adapt
+        # predicted = what the configured (static) orientation would have
+        # spent; actual = what the chosen orientation posts — so the log's
+        # "hits predicted->actual" arrow reads as the reduction it is.
+        state.note_event(
+            ReplanEvent(
+                round=state.next_round(),
+                phase="join",
+                subject=(
+                    f"grid {rows_dim}x{cols_dim} -> {cols_dim}x{rows_dim} "
+                    f"for |L|={left_count}, |R|={right_count}"
+                ),
+                rows_in=left_count + right_count,
+                rows_out=left_count + right_count,
+                predicted_hits=default_hits,
+                actual_hits=swapped_hits,
+                reordered=True,
+            )
+        )
+        stats.signals["grid_swapped"] = 1.0
+        return cols_dim, rows_dim
+    return rows_dim, cols_dim
+
+
 def _run_join_interface(
     task: EquiJoinTask,
     candidates: list[tuple[str, str]],
@@ -339,9 +429,14 @@ def _run_join_interface(
     else:
         full_cross = len(candidates) == len(left_refs) * len(right_refs)
         if full_cross:
-            grids = smart_grids(
-                left_refs, right_refs, ctx.config.grid_rows, ctx.config.grid_cols
+            # The block-count formula the swap decision rests on is exact
+            # only when grids cover the full cross product; candidate-
+            # pruned grids are packed per-left-block, where a transposed
+            # orientation has no predictable win.
+            grid_rows, grid_cols = _choose_grid_orientation(
+                len(left_refs), len(right_refs), ctx, stats
             )
+            grids = smart_grids(left_refs, right_refs, grid_rows, grid_cols)
         else:
             grids = smart_grids_for_candidates(
                 candidates, ctx.config.grid_rows, ctx.config.grid_cols
@@ -393,6 +488,10 @@ def _run_join_interface(
         if (left_ref, right_ref) in candidate_set:
             matches.append((left_ref, right_ref))
     matches.sort()
+    if ctx.adapt is not None and candidates:
+        from repro.core.cost_model import join_key
+
+        ctx.adapt.book.observe(join_key(task.name), len(candidates), len(matches))
     agreements = [
         max(sum(1 for v in vs if v.value), sum(1 for v in vs if not v.value)) / len(vs)
         for vs in corpus.values()

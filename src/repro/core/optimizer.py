@@ -13,13 +13,27 @@ rewrites:
   join operators": a crowd predicate confined to one join side runs before
   the join so the cross product shrinks.
 * **Filter ordering** — computed filters run before crowd filters at the
-  same level; crowd conjuncts keep their query order relative to each other
-  (Qurk has no selectivity estimation).
+  same level; under the *static* rewriter crowd conjuncts keep their query
+  order relative to each other (the paper's Qurk has no selectivity
+  estimation).
+
+The cost-based adaptive layer (``REPRO_ADAPT``, on by default) goes
+further: when an :class:`~repro.core.adaptive.AdaptiveState` is supplied,
+adjacent crowd conjuncts are fused into one
+:class:`~repro.core.plan.AdaptiveFilterNode` whose executor orders them by
+*observed* selectivity — a pilot pass estimates each conjunct's pass rate,
+and the engine re-plans the remaining cascade after every crowd round (see
+:mod:`repro.core.adaptive` and :mod:`repro.core.cost_model`). With the
+toggle off (or no state passed) plans are bit-identical to the static
+rewriter's.
 """
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.core.plan import (
+    AdaptiveFilterNode,
     ComputedFilterNode,
     CrowdPredicateNode,
     JoinNode,
@@ -29,15 +43,62 @@ from repro.core.plan import (
 )
 from repro.relational.expressions import Expression
 
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.adaptive import AdaptiveState
 
-def optimize(plan: PlanNode) -> PlanNode:
-    """Apply rewrites until a fixpoint (bounded by tree size)."""
-    for _ in range(64):
+
+def optimize(plan: PlanNode, adapt: "AdaptiveState | None" = None) -> PlanNode:
+    """Apply rewrites until a fixpoint, then (optionally) the adaptive pass.
+
+    The fixpoint bound is derived from the plan's node count, not a
+    constant: one bottom-up pass sinks a predicate through at most one
+    join, so a left-deep stack of k joins needs k passes — the old
+    hard-coded 64 silently stopped early on deeper plans
+    (``tests/test_planner_optimizer.py`` pins the regression). A full
+    cascade through filter/sort swaps resolves within a single pass, so
+    node count (≥ the join depth) passes always suffice.
+    """
+    node_count = sum(1 for _ in plan.walk())
+    for _ in range(max(1, node_count)):
         rewritten, changed = _push_down_once(plan)
         plan = rewritten
         if not changed:
             break
+    if adapt is not None and adapt.enabled:
+        plan = _fuse_crowd_chains(plan, adapt)
     return plan
+
+
+def _fuse_crowd_chains(node: PlanNode, adapt: "AdaptiveState") -> PlanNode:
+    """Fuse runs of ≥2 adjacent crowd predicates into adaptive filters.
+
+    Single crowd predicates are left untouched — there is nothing to
+    reorder, and leaving them alone keeps every single-conjunct workload
+    (including the pinned golden trace) bit-identical with the adaptive
+    optimizer enabled.
+    """
+    chain: list[CrowdPredicateNode] = []
+    cursor: PlanNode = node
+    while isinstance(cursor, CrowdPredicateNode):
+        chain.append(cursor)
+        cursor = cursor.inputs[0]
+    below = _rewrite_inputs(cursor, adapt)
+    if len(chain) >= 2:
+        adapt.note_fusion(len(chain))
+        # ``chain`` was collected top-down; members are kept in execution
+        # (query) order, i.e. deepest conjunct first.
+        return AdaptiveFilterNode(members=tuple(reversed(chain)), inputs=(below,))
+    if chain:
+        chain[0].inputs = (below,)
+        return chain[0]
+    return below
+
+
+def _rewrite_inputs(node: PlanNode, adapt: "AdaptiveState") -> PlanNode:
+    node.inputs = tuple(
+        _fuse_crowd_chains(child, adapt) for child in node.inputs
+    )
+    return node
 
 
 def _aliases_in(node: PlanNode) -> set[str]:

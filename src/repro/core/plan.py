@@ -76,6 +76,38 @@ class CrowdPredicateNode(PlanNode):
 
 
 @dataclass
+class AdaptiveFilterNode(PlanNode):
+    """A fused chain of crowd predicates executed adaptively.
+
+    Built by the optimizer when the adaptive re-optimizer (``REPRO_ADAPT``)
+    is active and two or more :class:`CrowdPredicateNode`\\ s sit adjacent
+    in a plan: instead of a fixed query-order cascade, the fused operator
+    runs the estimate-observe-replan loop in
+    :mod:`repro.core.adaptive` — a pilot pass samples each conjunct's
+    selectivity, then the remaining rows cascade through the conjuncts in
+    ascending observed-selectivity order, re-planning after every crowd
+    round. ``members`` keeps the original predicate nodes (in query order)
+    so EXPLAIN can attribute per-conjunct stats and estimated-vs-observed
+    selectivities to them.
+
+    The surviving row set is order-independent at the *answer* level (the
+    conjuncts AND together), so whenever each question's combined answer
+    is stable across posting orders — noise-free or high-margin votes —
+    the fused operator emits exactly the rows the static cascade would,
+    in the same input order, and only the HIT spend differs. With very
+    noisy workers a borderline majority can land differently because
+    reordering shifts which dispatch stream answers which question, just
+    as re-running a static plan against a different crowd would.
+    """
+
+    members: tuple[CrowdPredicateNode, ...] = ()
+
+    def label(self) -> str:
+        rendered = " AND ".join(str(m.predicate) for m in self.members)
+        return f"AdaptiveCrowdFilter({len(self.members)} conjuncts: {rendered})"
+
+
+@dataclass
 class JoinNode(PlanNode):
     """Crowd equijoin of the two inputs with POSSIBLY feature clauses."""
 

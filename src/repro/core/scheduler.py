@@ -62,6 +62,7 @@ from repro.core.executor import (
     scan_rows,
 )
 from repro.core.plan import (
+    AdaptiveFilterNode,
     ComputedFilterNode,
     CrowdPredicateNode,
     JoinNode,
@@ -391,6 +392,8 @@ class PipelineScheduler:
             return self._materialize_gen(
                 task, lambda rows, c: crowd_filter_rows(node, rows, c)
             )
+        if isinstance(node, AdaptiveFilterNode):
+            return self._adaptive_gen(task, node)
         if isinstance(node, SortNode):
             return self._materialize_gen(
                 task, lambda rows, c: execute_sort(node, rows, c)
@@ -462,6 +465,36 @@ class PipelineScheduler:
             task.advance_to(got[1])
         yield _GATE
         out = run(rows, self._operator_ctx(task))
+        for chunk in self._chunks(out):
+            yield _Emit(chunk, task.local_time)
+
+    def _adaptive_gen(self, task: OperatorTask, node: AdaptiveFilterNode):
+        """The fused crowd-conjunct chain: one crowd round per step.
+
+        Drains its input and passes the crowd gate like any materialising
+        crowd operator, then drives the estimate-observe-replan loop
+        (:class:`~repro.core.adaptive.AdaptiveChainRun`) one posting round
+        at a time, yielding between rounds — these are the re-plan points
+        between steppable scheduler rounds, so under a multi-query session
+        sibling queries get admission turns while this chain re-orders its
+        remaining conjuncts around fresh observations.
+        """
+        from repro.core.adaptive import AdaptiveChainRun
+
+        rows: list[Row] = []
+        while True:
+            got = yield _Need(0)
+            if got is None:
+                break
+            rows.extend(got[0])
+            task.advance_to(got[1])
+        yield _GATE
+        run = AdaptiveChainRun(node, rows, self._operator_ctx(task))
+        while run.step():
+            # Re-plan point: the gate is already open (lower ranks have
+            # finished), so this costs one scheduler effect, not a stall.
+            yield _GATE
+        out = run.finish()
         for chunk in self._chunks(out):
             yield _Emit(chunk, task.local_time)
 

@@ -52,6 +52,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable
 
+from repro.core.adaptive import AdaptiveState, build_state
 from repro.core.context import ExecutionConfig, QueryContext
 from repro.core.engine import (
     MarketplaceSnapshot,
@@ -73,6 +74,7 @@ from repro.hits.pricing import CostLedger
 from repro.language.ast import SelectQuery
 from repro.relational.catalog import Catalog
 from repro.relational.table import Table
+from repro.util import adapt as adapt_toggle
 from repro.util import fastpath
 from repro.util import pipeline as pipeline_toggle
 
@@ -103,6 +105,12 @@ class SessionQuery:
     cache_view: TaskCacheView | None = None
     client: MarketplaceClient | None = None
     ctx: QueryContext | None = None
+    adapt_state: AdaptiveState | None = None
+    """The query's own adaptive-optimizer state. Estimate state is
+    strictly per-query under concurrency: each query's selectivity book
+    sees only its own observations, so its re-planning is a deterministic
+    function of its own progress, never of how far siblings happen to have
+    advanced in the round-robin."""
     epoch: float = 0.0
     _sched: PipelineScheduler | None = None
     _stats_before: tuple[int, int, int] | None = None
@@ -262,6 +270,7 @@ class EngineSession:
         # toggles' import-time capture used to swallow them silently).
         pipeline_toggle.refresh_from_env()
         fastpath.refresh_from_env()
+        adapt_toggle.refresh_from_env()
         self.platform = platform
         self.config = config or ExecutionConfig()
         self.catalog = catalog or Catalog()
@@ -353,11 +362,13 @@ class EngineSession:
                 ledger=handle.ledger,
                 cache=handle.cache_view,
             )
+            handle.adapt_state = build_state(handle.config)
             handle.ctx = QueryContext(
                 catalog=handle.catalog,
                 manager=manager,
                 config=handle.config,
                 label=handle.key,
+                adapt=handle.adapt_state,
             )
 
         if stats.mode == "concurrent":
@@ -399,7 +410,23 @@ class EngineSession:
 
     def _plan(self, handle: SessionQuery) -> PlanNode:
         parsed = parse_single_select(handle.query, handle.catalog)
-        return optimize(build_plan(parsed, handle.catalog))
+        plan = optimize(
+            build_plan(parsed, handle.catalog), adapt=handle.adapt_state
+        )
+        if handle.adapt_state is not None:
+            from repro.core.adaptive import preflight
+
+            # Same forecast + whole-plan budget pre-flight as the engine;
+            # a budget_preflight abort raises here and lands on this
+            # query's handle, before it posts anything.
+            preflight(
+                handle.adapt_state,
+                plan,
+                handle.catalog,
+                handle.config,
+                handle.ledger.pricing,
+            )
+        return plan
 
     def _run_serial(self, stats: SessionStats) -> None:
         """Each query to completion, in submission order (the baseline)."""
@@ -512,4 +539,10 @@ class EngineSession:
             node_stats=handle.ctx.node_stats,
             marketplace_stats=self._snapshot(handle),
             pipeline_summary=handle.ctx.pipeline_summary,
+            adaptive_summary=handle.adapt_state.summary(
+                actual_hits=handle.ledger.total_hits,
+                actual_cost=handle.ledger.total_cost,
+            )
+            if handle.adapt_state is not None
+            else None,
         )

@@ -69,5 +69,19 @@ class BudgetExceededError(QurkError):
     """A query or operator would exceed its allocated budget."""
 
 
+class BatchTuningError(QurkError):
+    """Batch-size tuning found no acceptable size — even the minimum batch
+    failed its probe.
+
+    Carries the failing :class:`~repro.core.batch_tuner.ProbeResult` so the
+    caller can tell refusal from an accuracy or latency violation and decide
+    whether to raise pay or abandon the task.
+    """
+
+    def __init__(self, message: str, probe=None):
+        super().__init__(message)
+        self.probe = probe
+
+
 class CombinerError(QurkError):
     """Answer combination failed (e.g. no votes to combine)."""

@@ -27,6 +27,8 @@ from repro.joins.feature_filter import (
 from repro.joins.selectivity import (
     estimate_selectivity,
     feature_selectivity,
+    unknown_aware_selectivity,
+    unknown_share,
     value_distribution,
 )
 
@@ -43,4 +45,6 @@ __all__ = [
     "leave_one_out",
     "naive_batches",
     "smart_grids",
+    "unknown_aware_selectivity",
+    "unknown_share",
 ]

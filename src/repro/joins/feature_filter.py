@@ -187,6 +187,11 @@ def evaluate_features(
     """
     report = FeatureFilterReport()
     for name, (left_values, right_values) in features.items():
+        # σ is UNKNOWN-aware (see repro.joins.selectivity): UNKNOWN never
+        # prunes, so a mostly-UNKNOWN feature has σ near 1 and fails the
+        # "ineffective" threshold below even when its few concrete values
+        # are perfectly selective — the crowd pass would cost more than
+        # the comparisons it saves.
         sigma = estimate_selectivity(
             [left_values.get(item, UNKNOWN) for item in left_items],
             [right_values.get(item, UNKNOWN) for item in right_items],

@@ -1,11 +1,26 @@
 """Selectivity algebra for POSSIBLY feature filters (§3.2).
 
-With feature i taking value j with probability ρ_ij in each table, the
-probability two random tuples agree on feature i is
+With feature i taking *concrete* value j with probability ρ_ij in each
+table, the probability two random tuples agree on a concrete feature is
 
-    σᵢ = Σ_j ρ^S_ij × ρ^R_ij
+    σ_concrete = Σ_j ρ^S_ij × ρ^R_ij
 
-and, assuming independent features, the POSSIBLY clauses pass a fraction
+UNKNOWN needs its own term: :func:`~repro.joins.feature_filter.pair_passes`
+treats UNKNOWN as a wildcard that **never prunes**, so a pair survives the
+feature whenever *either* side is UNKNOWN, and only concrete-vs-concrete
+pairs are actually tested. With u_L / u_R the UNKNOWN shares of the two
+sides, the pass probability is therefore
+
+    σᵢ = u_L + u_R − u_L·u_R + (1 − u_L)(1 − u_R) · σ_concrete
+
+(equivalently ``1 − (1−u_L)(1−u_R)(1−σ_concrete)``). The previous
+implementation dropped UNKNOWNs from the distribution entirely, so a
+feature that is 90% UNKNOWN looked highly selective while pruning almost
+nothing — :func:`~repro.joins.feature_filter.evaluate_features` then kept
+ineffective features whose crowd pass cost more than the comparisons it
+saved.
+
+Assuming independent features, the POSSIBLY clauses pass a fraction
 
     Sel = Π σᵢ
 
@@ -23,7 +38,14 @@ from repro.relational.expressions import UNKNOWN
 
 
 def value_distribution(values: Sequence[object]) -> dict[object, float]:
-    """Empirical value distribution, ignoring UNKNOWNs (they never prune)."""
+    """Empirical distribution over the *concrete* (non-UNKNOWN) values.
+
+    This is the ρ_ij input to :func:`feature_selectivity` — the
+    concrete-vs-concrete term only. Callers that need the full
+    UNKNOWN-aware pass rate combine it with :func:`unknown_share` through
+    :func:`unknown_aware_selectivity` (or use :func:`estimate_selectivity`,
+    which does all three).
+    """
     concrete = [value for value in values if value is not UNKNOWN]
     if not concrete:
         raise QurkError("no concrete feature values to build a distribution")
@@ -32,15 +54,46 @@ def value_distribution(values: Sequence[object]) -> dict[object, float]:
     return {value: count / total for value, count in counts.items()}
 
 
+def unknown_share(values: Sequence[object]) -> float:
+    """Fraction of a sampled value list that is UNKNOWN."""
+    if not values:
+        raise QurkError("no feature values to measure the UNKNOWN share of")
+    return sum(1 for value in values if value is UNKNOWN) / len(values)
+
+
 def feature_selectivity(
     left_distribution: Mapping[object, float],
     right_distribution: Mapping[object, float],
 ) -> float:
-    """σᵢ: probability a random cross-product pair agrees on the feature."""
+    """σ_concrete: probability two random *concrete* values agree."""
     return sum(
         probability * right_distribution.get(value, 0.0)
         for value, probability in left_distribution.items()
     )
+
+
+def unknown_aware_selectivity(
+    unknown_left: float, unknown_right: float, concrete_sigma: float
+) -> float:
+    """σᵢ = u_L + u_R − u_L·u_R + (1−u_L)(1−u_R)·σ_concrete.
+
+    The pass probability of one feature under the wildcard semantics of
+    ``pair_passes``: a pair survives when either side is UNKNOWN, or both
+    are concrete and agree. Monotone non-decreasing in each argument and
+    always within [0, 1] (``tests/test_property_based.py``).
+    """
+    for name, value in (
+        ("unknown_left", unknown_left),
+        ("unknown_right", unknown_right),
+        ("concrete_sigma", concrete_sigma),
+    ):
+        if not 0.0 <= value <= 1.0:
+            raise QurkError(f"{name} {value} outside [0, 1]")
+    wildcard = unknown_left + unknown_right - unknown_left * unknown_right
+    concrete_mass = (1.0 - unknown_left) * (1.0 - unknown_right)
+    # Clamp: the algebra is closed over [0, 1] but binary float products
+    # can land epsilon outside it, which combined_selectivity rejects.
+    return min(1.0, max(0.0, wildcard + concrete_mass * concrete_sigma))
 
 
 def combined_selectivity(selectivities: Sequence[float]) -> float:
@@ -56,7 +109,20 @@ def combined_selectivity(selectivities: Sequence[float]) -> float:
 def estimate_selectivity(
     left_values: Sequence[object], right_values: Sequence[object]
 ) -> float:
-    """σᵢ estimated from observed (sampled) feature values of both tables."""
-    return feature_selectivity(
+    """σᵢ estimated from observed (sampled) feature values of both tables.
+
+    UNKNOWN-aware: the wildcard mass of both sides contributes its full
+    pass probability, and only the concrete remainder is weighted by the
+    concrete agreement probability. A side that is entirely UNKNOWN makes
+    the feature pass everything (σ = 1).
+    """
+    if not left_values or not right_values:
+        raise QurkError("no feature values to estimate selectivity from")
+    u_left = unknown_share(left_values)
+    u_right = unknown_share(right_values)
+    if u_left == 1.0 or u_right == 1.0:
+        return 1.0
+    concrete = feature_selectivity(
         value_distribution(left_values), value_distribution(right_values)
     )
+    return unknown_aware_selectivity(u_left, u_right, concrete)

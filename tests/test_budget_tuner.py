@@ -3,8 +3,8 @@
 import pytest
 
 from repro.core.batch_tuner import BatchTuner, ProbeResult
-from repro.core.budget import OperatorEstimate, allocate_budget
-from repro.errors import BudgetExceededError
+from repro.core.budget import OperatorEstimate, allocate_budget, plan_preflight
+from repro.errors import BatchTuningError, BudgetExceededError
 from repro.hits.pricing import PricingModel
 
 
@@ -98,6 +98,47 @@ def test_trimmed_plan_cost_consistent_with_floor_rule():
         assert plan.total_cost <= budget
 
 
+def test_trimming_fractions_are_exact_multiples():
+    """Float-drift regression: the trimming loop now counts integer steps,
+    so every data fraction is an *exact* multiple of 0.05 and the 10%
+    floor is reached exactly — repeated ``fraction -= 0.05`` accumulated
+    binary error and fired the floor check a step early or late."""
+    # Tiny budget: both operators must trim all the way to the floor
+    # before the allocator gives up — or stop exactly at budget.
+    plan = allocate_budget(estimates(), budget=0.80)
+    fractions = sorted(a.data_fraction for a in plan.allocations)
+    for fraction in fractions:
+        steps = fraction * 20  # exact when fraction is a multiple of 0.05
+        assert steps == int(steps), f"drifted fraction {fraction!r}"
+        assert fraction >= 0.1
+    # The floor itself is representable and reached exactly, not 0.0999…
+    assert fractions[0] == 0.1
+
+
+def test_trimming_floor_boundary_exact():
+    """A budget that only fits with every operator exactly at the 10%
+    floor must allocate (old drift made the floor check refuse the final
+    step); one cent less must raise."""
+    ests = [OperatorEstimate("only", units=200, requested_assignments=1)]
+    floor_cost = PricingModel().cost(20)  # 200 × 0.1 = 20 units × 1 asg
+    plan = allocate_budget(ests, budget=floor_cost)
+    assert plan.allocations[0].data_fraction == 0.1
+    assert plan.total_cost <= floor_cost
+    with pytest.raises(BudgetExceededError):
+        allocate_budget(ests, budget=floor_cost - 0.01)
+
+
+def test_plan_preflight_reports_without_raising():
+    report = plan_preflight(estimates(), budget=50.0)
+    assert report.fits and report.fits_trimmed
+    assert report.projected_cost == pytest.approx(37.5)
+    hopeless = plan_preflight(estimates(), budget=0.10)
+    assert not hopeless.fits and not hopeless.fits_trimmed
+    cached = plan_preflight(estimates(), budget=50.0, cached_assignments=1000)
+    assert cached.projected_cost == pytest.approx(37.5 - 15.0)
+    assert cached.as_signals()["fits"] == 1.0
+
+
 def test_unknown_operator_lookup():
     plan = allocate_budget(estimates(), budget=50.0)
     with pytest.raises(KeyError):
@@ -144,9 +185,32 @@ def test_tuner_respects_latency_ceiling():
     assert tuner.tune(probe) <= 5
 
 
-def test_tuner_everything_fails_returns_minimum():
+def test_tuner_everything_fails_raises():
+    """The old behaviour silently returned ``min_batch`` when even the
+    minimum probe failed — a lying int callers could not distinguish from
+    "the minimum works". The failure now surfaces explicitly, carrying the
+    failing probe."""
     tuner = BatchTuner(min_batch=1, max_batch=8)
-    assert tuner.tune(refusal_wall_probe(wall=0)) == 1
+    with pytest.raises(BatchTuningError) as excinfo:
+        tuner.tune(refusal_wall_probe(wall=0))
+    assert excinfo.value.probe is not None
+    assert excinfo.value.probe.batch_size == 1
+    assert not excinfo.value.probe.completed
+    # Exactly one probe was spent discovering the failure: min first.
+    assert [r.batch_size for r in tuner.history] == [1]
+
+
+def test_tuner_probes_minimum_first():
+    tuner = BatchTuner(min_batch=2, max_batch=16)
+    tuner.tune(refusal_wall_probe(wall=9))
+    assert tuner.history[0].batch_size == 2
+
+
+def test_tuner_min_equals_max():
+    tuner = BatchTuner(min_batch=3, max_batch=3)
+    assert tuner.tune(refusal_wall_probe(wall=10)) == 3
+    with pytest.raises(BatchTuningError):
+        BatchTuner(min_batch=3, max_batch=3).tune(refusal_wall_probe(wall=2))
 
 
 def test_tuner_history_recorded():

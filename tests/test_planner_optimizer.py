@@ -180,6 +180,92 @@ def test_cross_side_predicate_stays_above_join(catalog):
     assert isinstance(optimized.inputs[0], ComputedFilterNode)
 
 
+def test_optimizer_fixpoint_bound_scales_with_plan_depth():
+    """Deep-plan regression: the pushdown loop's pass bound derives from
+    the node count. A predicate sinks through one join per pass, so a
+    left-deep stack of ~80 joins needs ~80 passes — the old hard-coded 64
+    stranded the filter mid-stack while the docstring claimed the bound
+    followed the tree size."""
+    from repro.relational.expressions import ColumnRef, Comparison, Literal
+
+    depth = 80  # > the old constant 64
+    node: "ScanNode | JoinNode" = ScanNode(table_name="t0", alias="a0")
+    for i in range(1, depth + 1):
+        node = JoinNode(
+            inputs=(node, ScanNode(table_name=f"t{i}", alias=f"a{i}"))
+        )
+    predicate = Comparison(
+        op="=", left=ColumnRef(name="x", qualifier="a0"), right=Literal(1)
+    )
+    plan = ComputedFilterNode(predicate=predicate, inputs=(node,))
+    optimized = optimize(plan)
+    filters = [
+        n for n in optimized.walk() if isinstance(n, ComputedFilterNode)
+    ]
+    assert len(filters) == 1
+    child = filters[0].inputs[0]
+    assert isinstance(child, ScanNode) and child.alias == "a0"
+
+
+def test_adaptive_pass_fuses_crowd_conjunct_chains(catalog):
+    """With an AdaptiveState, adjacent crowd conjuncts fuse into one
+    AdaptiveFilterNode (members in query order); computed filters still
+    sink below it, and single crowd conjuncts stay unfused."""
+    from repro.core.adaptive import AdaptiveState
+    from repro.core.plan import AdaptiveFilterNode
+
+    plan = build_plan(
+        parse_query(
+            "SELECT c.name FROM celeb c "
+            "WHERE isFemale(c) AND isFemale(c.img) AND c.name != 'x'"
+        ),
+        catalog,
+    )
+    state = AdaptiveState()
+    optimized = optimize(plan, adapt=state)
+    fused = [n for n in optimized.walk() if isinstance(n, AdaptiveFilterNode)]
+    assert len(fused) == 1
+    assert [str(m.predicate) for m in fused[0].members] == [
+        "isFemale(c)",
+        "isFemale(c.img)",
+    ]
+    assert state.fused_chains == 1 and state.fused_conjuncts == 2
+    # The computed conjunct sank below the fused chain.
+    order = [type(n).__name__ for n in optimized.walk()]
+    assert order.index("AdaptiveFilterNode") < order.index("ComputedFilterNode")
+    # No crowd predicate nodes remain in the tree proper.
+    assert not any(isinstance(n, CrowdPredicateNode) for n in optimized.walk())
+
+
+def test_adaptive_pass_leaves_single_conjuncts_alone(catalog):
+    from repro.core.adaptive import AdaptiveState
+    from repro.core.plan import AdaptiveFilterNode
+
+    plan = build_plan(
+        parse_query("SELECT c.name FROM celeb c WHERE isFemale(c)"), catalog
+    )
+    optimized = optimize(plan, adapt=AdaptiveState())
+    assert not any(
+        isinstance(n, AdaptiveFilterNode) for n in optimized.walk()
+    )
+    assert any(isinstance(n, CrowdPredicateNode) for n in optimized.walk())
+
+
+def test_no_adapt_state_means_static_plan(catalog):
+    from repro.core.plan import AdaptiveFilterNode
+
+    plan = build_plan(
+        parse_query(
+            "SELECT c.name FROM celeb c WHERE isFemale(c) AND isFemale(c.img)"
+        ),
+        catalog,
+    )
+    optimized = optimize(plan)  # no state: the paper's static rewriter
+    assert not any(
+        isinstance(n, AdaptiveFilterNode) for n in optimized.walk()
+    )
+
+
 def test_plan_tree_lines_renders(catalog):
     plan = build_plan(parse_query("SELECT c.name FROM celeb c"), catalog)
     lines = plan_tree_lines(plan)

@@ -211,3 +211,63 @@ def test_unanimous_corpus_survives_dawid_skene(seed):
         return
     result = dawid_skene(corpus)
     assert result.hard_labels() == truth
+
+
+# ---------------------------------------------------------------------------
+# UNKNOWN-aware selectivity algebra (joins/selectivity.py)
+# ---------------------------------------------------------------------------
+
+unit = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+@given(unit, unit, unit)
+@settings(max_examples=120, deadline=None)
+def test_unknown_aware_sigma_within_unit_interval(u_left, u_right, concrete):
+    from repro.joins.selectivity import unknown_aware_selectivity
+
+    sigma = unknown_aware_selectivity(u_left, u_right, concrete)
+    assert 0.0 <= sigma <= 1.0
+    # The wildcard mass alone is a lower bound: UNKNOWN pairs always pass.
+    wildcard = u_left + u_right - u_left * u_right
+    assert sigma >= wildcard - 1e-12
+
+
+@given(unit, unit, unit, unit)
+@settings(max_examples=120, deadline=None)
+def test_unknown_aware_sigma_monotone_in_unknown_share(u_low, u_high, u_other, concrete):
+    """More UNKNOWN mass can only make the feature pass more pairs."""
+    from repro.joins.selectivity import unknown_aware_selectivity
+
+    lo, hi = min(u_low, u_high), max(u_low, u_high)
+    assert unknown_aware_selectivity(lo, u_other, concrete) <= (
+        unknown_aware_selectivity(hi, u_other, concrete) + 1e-12
+    )
+    # Symmetric in the two sides.
+    assert unknown_aware_selectivity(lo, u_other, concrete) == pytest.approx(
+        unknown_aware_selectivity(u_other, lo, concrete)
+    )
+
+
+@given(
+    st.lists(st.sampled_from(["a", "b", "c", None]), min_size=1, max_size=30),
+    st.lists(st.sampled_from(["a", "b", "c", None]), min_size=1, max_size=30),
+)
+@settings(max_examples=120, deadline=None)
+def test_estimate_selectivity_equals_empirical_pass_rate(left_raw, right_raw):
+    """σ from sampled values is exactly the cross-product pass fraction of
+    pair_passes over those samples (None stands in for UNKNOWN)."""
+    from repro.joins.feature_filter import pair_passes
+    from repro.joins.selectivity import estimate_selectivity
+    from repro.relational.expressions import UNKNOWN
+
+    left = [UNKNOWN if v is None else v for v in left_raw]
+    right = [UNKNOWN if v is None else v for v in right_raw]
+    left_map = {f"l{i}": v for i, v in enumerate(left)}
+    right_map = {f"r{i}": v for i, v in enumerate(right)}
+    passed = sum(
+        pair_passes(l, r, [(left_map, right_map)])
+        for l in left_map
+        for r in right_map
+    )
+    empirical = passed / (len(left) * len(right))
+    assert estimate_selectivity(left, right) == pytest.approx(empirical)

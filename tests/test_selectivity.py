@@ -7,6 +7,8 @@ from repro.joins.selectivity import (
     combined_selectivity,
     estimate_selectivity,
     feature_selectivity,
+    unknown_aware_selectivity,
+    unknown_share,
     value_distribution,
 )
 from repro.relational.expressions import UNKNOWN
@@ -55,5 +57,80 @@ def test_combined_selectivity_validation():
 def test_estimate_selectivity_from_samples():
     left = ["m"] * 5 + ["f"] * 5
     right = ["m"] * 8 + ["f"] * 2
-    # σ = 0.5×0.8 + 0.5×0.2 = 0.5
+    # No UNKNOWNs: σ = σ_concrete = 0.5×0.8 + 0.5×0.2 = 0.5
     assert estimate_selectivity(left, right) == pytest.approx(0.5)
+
+
+def test_unknown_share():
+    assert unknown_share(["a", UNKNOWN, "b", UNKNOWN]) == pytest.approx(0.5)
+    assert unknown_share(["a"]) == 0.0
+    with pytest.raises(QurkError):
+        unknown_share([])
+
+
+def test_estimate_selectivity_counts_unknown_wildcards():
+    """UNKNOWN never prunes, so its mass must count toward σ.
+
+    A feature that is 90% UNKNOWN used to look highly selective (the
+    UNKNOWNs were silently dropped); under the corrected algebra it passes
+    nearly everything: σ = u_L + u_R − u_L·u_R + (1−u_L)(1−u_R)·σ_c.
+    """
+    left = [UNKNOWN] * 9 + ["a"]
+    right = [UNKNOWN] * 9 + ["b"]
+    # σ_concrete = 0 (disjoint supports), u = 0.9 each:
+    # σ = 0.9 + 0.9 − 0.81 = 0.99.
+    assert estimate_selectivity(left, right) == pytest.approx(0.99)
+
+
+def test_estimate_selectivity_matches_pair_pass_rate():
+    """σ must equal the empirical pass fraction of ``pair_passes`` over the
+    cross product of the sampled values — the quantity it estimates."""
+    from repro.joins.feature_filter import pair_passes
+
+    left = ["a", "a", UNKNOWN, "b"]
+    right = ["a", UNKNOWN, "b", "c"]
+    left_map = {f"l{i}": v for i, v in enumerate(left)}
+    right_map = {f"r{i}": v for i, v in enumerate(right)}
+    passed = sum(
+        pair_passes(l, r, [(left_map, right_map)])
+        for l in left_map
+        for r in right_map
+    )
+    empirical = passed / (len(left) * len(right))
+    assert estimate_selectivity(left, right) == pytest.approx(empirical)
+
+
+def test_estimate_selectivity_all_unknown_side_passes_everything():
+    assert estimate_selectivity([UNKNOWN, UNKNOWN], ["a", "b"]) == 1.0
+    assert estimate_selectivity(["a"], [UNKNOWN]) == 1.0
+    with pytest.raises(QurkError):
+        estimate_selectivity([], ["a"])
+
+
+def test_unknown_aware_selectivity_bounds_and_validation():
+    assert unknown_aware_selectivity(0.0, 0.0, 0.5) == pytest.approx(0.5)
+    assert unknown_aware_selectivity(1.0, 0.0, 0.0) == 1.0
+    assert unknown_aware_selectivity(0.3, 0.4, 1.0) == pytest.approx(1.0)
+    with pytest.raises(QurkError):
+        unknown_aware_selectivity(1.2, 0.0, 0.5)
+    with pytest.raises(QurkError):
+        unknown_aware_selectivity(0.0, 0.0, -0.1)
+
+
+def test_mostly_unknown_feature_flagged_ineffective():
+    """The evaluate_features 'ineffective' test now sees the corrected σ:
+    a 90%-UNKNOWN feature is dropped even when its concrete values are
+    perfectly selective."""
+    from repro.joins.feature_filter import evaluate_features
+
+    left_items = [f"l{i}" for i in range(10)]
+    right_items = [f"r{i}" for i in range(10)]
+    left_values = {item: UNKNOWN for item in left_items}
+    right_values = {item: UNKNOWN for item in right_items}
+    left_values["l0"] = "x"
+    right_values["r0"] = "y"  # concrete values never agree: σ_concrete = 0
+    report = evaluate_features(
+        left_items, right_items, {"sparse": (left_values, right_values)}, {}
+    )
+    assert report.dropped == ["sparse"]
+    assert "ineffective" in report.decisions[0].reason

@@ -18,7 +18,7 @@ from repro.core.engine import Qurk
 from repro.core.session import EngineSession
 from repro.crowd import SimulatedMarketplace
 from repro.datasets import animals_dataset
-from repro.util import fastpath, pipeline
+from repro.util import adapt, fastpath, pipeline
 
 
 def _require_unset(var: str) -> str | None:
@@ -35,6 +35,7 @@ def _restore(var: str, previous: str | None) -> None:
         os.environ[var] = previous
     pipeline.refresh_from_env()
     fastpath.refresh_from_env()
+    adapt.refresh_from_env()
 
 
 def animals_engine():
@@ -92,6 +93,41 @@ def test_fastpath_env_set_after_import_takes_effect_at_engine_construction():
         _restore("REPRO_FASTPATH", previous)
     animals_engine()
     assert fastpath.enabled()
+
+
+def test_adapt_env_set_after_import_takes_effect_at_engine_construction():
+    previous = _require_unset("REPRO_ADAPT")
+    try:
+        os.environ["REPRO_ADAPT"] = "0"
+        assert adapt.enabled()  # not yet re-read: construction does that
+        engine, _ = animals_engine()
+        assert not adapt.enabled()
+        result = engine.execute("SELECT a.name FROM animals a")
+        assert result.adaptive_summary is None  # static rewriter ran
+    finally:
+        _restore("REPRO_ADAPT", previous)
+    engine, _ = animals_engine()
+    assert adapt.enabled()
+    assert (
+        engine.execute("SELECT a.name FROM animals a").adaptive_summary
+        is not None
+    )
+
+
+def test_adapt_config_overrides_toggle():
+    from repro.core.context import ExecutionConfig
+
+    engine, _ = animals_engine()
+    with adapt.forced(True):
+        result = engine.execute(
+            "SELECT a.name FROM animals a", config=ExecutionConfig(adapt=False)
+        )
+        assert result.adaptive_summary is None
+    with adapt.forced(False):
+        result = engine.execute(
+            "SELECT a.name FROM animals a", config=ExecutionConfig(adapt=True)
+        )
+        assert result.adaptive_summary is not None
 
 
 def test_refresh_does_not_clobber_programmatic_overrides():

@@ -44,6 +44,11 @@ from repro.joins.batching import JoinInterface
 from repro.util import fastpath
 from repro.util.rng import RandomSource, child_seed
 
+# The whole module rides on one >30s measurement fixture
+# (test_micro_speedups et al.); the registered `slow` marker lets tier-1
+# deselect it locally with -m "not slow" without changing default runs.
+pytestmark = pytest.mark.slow
+
 RESULTS_PATH = Path(__file__).parent / "BENCH_perf_hotpath.json"
 
 MACRO_SCALES = (1, 4, 16)

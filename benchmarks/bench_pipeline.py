@@ -38,6 +38,12 @@ from repro.experiments.end_to_end import QUERY_NO_FILTER, QUERY_WITH_FILTER
 from repro.joins.batching import JoinInterface
 from repro.util import pipeline
 
+# The whole module rides on one >30s measurement fixture
+# (test_pipeline_cuts_virtual_latency_at_16x et al.); the registered
+# `slow` marker lets tier-1 deselect it locally with -m "not slow"
+# without changing default runs.
+pytestmark = pytest.mark.slow
+
 RESULTS_PATH = Path(__file__).parent / "BENCH_pipeline.json"
 
 MACRO_SCALES = (1, 4, 16)

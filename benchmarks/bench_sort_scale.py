@@ -1,0 +1,203 @@
+"""PERF — the scale-out sort engine's end-to-end evidence.
+
+Two claims, both measured against the retained reference implementations
+(``REPRO_SORTSCALE=0``) on the scalable squares workload
+(``repro.experiments.sort_workload``):
+
+1. **graph_order wall-clock.** Building the comparison graph, breaking its
+   planted cycles, and topologically sorting N ∈ {40, 200, 1000} squares
+   must be ≥5x faster at N=1000 under the scale path (indexed adjacency,
+   incremental per-component SCC recomputation, heap-based Kahn) than
+   under the reference (full Tarjan + all-edge victim scans per sweep,
+   re-sorting ready queue). The produced orders — and the removed-edge
+   *sets* — are asserted bit-identical between modes at every N.
+2. **LIMIT tournament HIT reduction.** ``ORDER BY rank(...) DESC LIMIT 5``
+   on the steep-latent squares setup must spend materially fewer crowd
+   HITs through the successive best-of-batch tournament path than the full
+   C(N, 2) Compare coverage, at N ≥ 200, while returning the identical
+   leading rows.
+
+Results land in ``benchmarks/BENCH_sort.json``; ``scripts/profile_hotpath.py
+--check`` guards the recorded graph_order ratio against regression.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core.context import ExecutionConfig
+from repro.core.engine import Qurk
+from repro.crowd import SimulatedMarketplace
+from repro.experiments.sort_workload import (
+    SCALES,
+    comparison_corpus,
+    limit_sort_setup,
+)
+from repro.sorting.graph import ComparisonGraph, break_cycles, graph_order
+from repro.util import sortscale
+
+RESULTS_PATH = Path(__file__).parent / "BENCH_sort.json"
+
+REQUIRED_SPEEDUP_AT_1000 = 5.0
+LIMIT_N = 200
+LIMIT_K = 5
+LIMIT_QUERY = (
+    f"SELECT squares.label FROM squares "
+    f"ORDER BY squareSorter(img) DESC LIMIT {LIMIT_K}"
+)
+
+
+def _best_of(thunk, repeats: int) -> float:
+    """Best-of CPU seconds with the GC paused (same hygiene as
+    ``scripts/profile_hotpath.py``: process time is immune to preemption,
+    GC pauses are bimodal noise bigger than the margins measured here)."""
+    best = float("inf")
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for _ in range(max(1, repeats)):
+            gc.collect()
+            start = time.process_time()
+            thunk()
+            best = min(best, time.process_time() - start)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    return best
+
+
+def measure_graph_order(n: int, seed: int = 0, repeats: int = 2) -> dict:
+    items, corpus = comparison_corpus(n, seed=seed)
+    orders: dict[bool, list[str]] = {}
+    removed: dict[bool, frozenset] = {}
+    timings: dict[bool, float] = {}
+    # Interleave modes so neither systematically runs on a warmer cache.
+    for attempt in range(max(1, repeats)):
+        for flag in (False, True):
+            with sortscale.forced(flag):
+                timings[flag] = min(
+                    timings.get(flag, float("inf")),
+                    _best_of(lambda: graph_order(items, corpus), 1),
+                )
+    for flag in (False, True):
+        with sortscale.forced(flag):
+            orders[flag] = graph_order(items, corpus)
+            graph = ComparisonGraph.from_votes(items, corpus)
+            removed[flag] = frozenset(break_cycles(graph))
+    assert orders[True] == orders[False], f"orders diverged at n={n}"
+    assert removed[True] == removed[False], f"removed-edge sets diverged at n={n}"
+    speedup = (
+        timings[False] / timings[True] if timings[True] > 0 else float("inf")
+    )
+    return {
+        "items": n,
+        "pairs": len(corpus),
+        "edges_removed": len(removed[True]),
+        "reference_seconds": round(timings[False], 4),
+        "scale_seconds": round(timings[True], 4),
+        "wall_speedup": round(speedup, 2),
+        "orders_identical": True,
+        "removed_edge_sets_identical": True,
+    }
+
+
+def run_limit_query(flag: bool, n: int, seed: int = 0) -> dict:
+    data = limit_sort_setup(n, seed=seed)
+    market = SimulatedMarketplace(data.truth, seed=seed)
+    engine = Qurk(platform=market, config=ExecutionConfig(sort_method="compare"))
+    engine.register_table(data.table)
+    engine.define(data.task_dsl)
+    with sortscale.forced(flag):
+        start = time.perf_counter()
+        result = engine.execute(LIMIT_QUERY)
+        wall = time.perf_counter() - start
+    return {
+        "hits": result.hit_count,
+        "assignments": result.assignment_count,
+        "cost": round(result.total_cost, 2),
+        "wall_seconds": round(wall, 4),
+        "rows": result.column("squares.label"),
+    }
+
+
+def measure_limit_path(n: int, seed: int = 0) -> dict:
+    full = run_limit_query(False, n, seed=seed)
+    tournament = run_limit_query(True, n, seed=seed)
+    assert tournament["rows"] == full["rows"], (tournament, full)
+    return {
+        "items": n,
+        "k": LIMIT_K,
+        "query": LIMIT_QUERY,
+        "full_sort": {key: full[key] for key in ("hits", "assignments", "cost")},
+        "tournament": {
+            key: tournament[key] for key in ("hits", "assignments", "cost")
+        },
+        "hit_reduction": round(full["hits"] / tournament["hits"], 2)
+        if tournament["hits"]
+        else 0.0,
+        "rows_identical": True,
+        "rows": full["rows"],
+    }
+
+
+@pytest.fixture(scope="module")
+def results() -> dict:
+    graph_rows = {
+        str(40 * scale): measure_graph_order(40 * scale) for scale in SCALES
+    }
+    payload = {
+        "benchmark": "sort_scale",
+        "workload": "repro.experiments.sort_workload (planted-cycle squares corpora)",
+        "modes": {
+            "reference": "REPRO_SORTSCALE=0 — full Tarjan per sweep, list-scan graph",
+            "scale": "REPRO_SORTSCALE=1 — indexed adjacency, incremental SCCs, heap topo",
+        },
+        "required_speedup_at_1000": REQUIRED_SPEEDUP_AT_1000,
+        "graph_order": graph_rows,
+        "limit_path": {str(LIMIT_N): measure_limit_path(LIMIT_N)},
+    }
+    existing = {}
+    if RESULTS_PATH.exists():
+        existing = json.loads(RESULTS_PATH.read_text())
+    existing.update(payload)
+    RESULTS_PATH.write_text(json.dumps(existing, indent=1))
+    return payload
+
+
+def test_graph_order_speedup_at_1000(results):
+    print()
+    print(json.dumps(results["graph_order"], indent=1))
+    row = results["graph_order"]["1000"]
+    assert row["wall_speedup"] >= REQUIRED_SPEEDUP_AT_1000, row
+
+
+def test_graph_order_identical_at_every_scale(results):
+    for n, row in results["graph_order"].items():
+        assert row["orders_identical"], n
+        assert row["removed_edge_sets_identical"], n
+        assert row["edges_removed"] > 0, n  # the workload actually plants cycles
+
+
+def test_limit_path_cuts_hits(results):
+    row = results["limit_path"][str(LIMIT_N)]
+    print()
+    print(json.dumps(row, indent=1))
+    assert row["rows_identical"], row
+    assert row["tournament"]["hits"] < row["full_sort"]["hits"], row
+    # O(N·k/b) vs O(N²/b²): at N=200, k=5 the tournament should be several
+    # times cheaper, not marginally.
+    assert row["hit_reduction"] >= 3.0, row
+
+
+def test_results_recorded(results):
+    recorded = json.loads(RESULTS_PATH.read_text())
+    assert (
+        recorded["graph_order"]["1000"]["wall_speedup"]
+        >= REQUIRED_SPEEDUP_AT_1000
+    )
+    assert recorded["limit_path"][str(LIMIT_N)]["rows_identical"]

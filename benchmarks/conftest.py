@@ -26,6 +26,17 @@ TIMINGS_PATH = Path(__file__).parent / "BENCH_timings.json"
 _timings: dict[str, float] = {}
 
 
+def pytest_configure(config):
+    # Registered here (the only place the marker is used) so plain
+    # `pytest` keeps running everything while `-m "not slow"` can deselect
+    # the >30s artifacts locally — including under --strict-markers.
+    config.addinivalue_line(
+        "markers",
+        "slow: benchmark measurement taking >30s wall; deselect locally "
+        'with -m "not slow"',
+    )
+
+
 def run_once(benchmark, fn, *args, **kwargs):
     """Run an experiment exactly once under pytest-benchmark timing."""
     return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -32,7 +32,14 @@ is blown:
    plan-fusion, cost-model, and selectivity-book machinery started
    taxing queries it has nothing to adapt. Same interleaved best-of
    measurement; the result is appended to ``benchmarks/BENCH_adaptive.json``
-   under ``ci_check``.
+   under ``ci_check``;
+5. the scale-out sort path's graph_order wall-clock regresses more than 5%
+   against the speedup ratio recorded in ``benchmarks/BENCH_sort.json``
+   (written by ``benchmarks/bench_sort_scale.py``) — the indexed graph /
+   incremental-SCC machinery stopped paying for itself on the planted-cycle
+   workload. Ratios (scale vs. ``REPRO_SORTSCALE=0``, same process) keep
+   the guard machine-independent; the measurement is appended to
+   ``BENCH_sort.json`` under ``ci_check``.
 """
 
 from __future__ import annotations
@@ -55,16 +62,20 @@ from repro.hits.cache import TaskCache
 from repro.joins.batching import JoinInterface
 from repro.util import adapt
 from repro.util import pipeline
+from repro.util import sortscale
 
 CHECK_TOP_N = 5
 FORBIDDEN_IN_TOP = ("child_seed", "payload_cache_key")
 PIPELINE_OVERHEAD_LIMIT = 1.05
 SESSION_REGRESSION_LIMIT = 1.05
 ADAPTIVE_OVERHEAD_LIMIT = 1.05
+SORT_SCALE_REGRESSION_LIMIT = 1.05
 SESSION_QUERY_COUNT = 8
+SORT_SCALE_CHECK_ITEMS = 200
 BENCH_PIPELINE_PATH = Path(__file__).parent.parent / "benchmarks" / "BENCH_pipeline.json"
 BENCH_SESSION_PATH = Path(__file__).parent.parent / "benchmarks" / "BENCH_session.json"
 BENCH_ADAPTIVE_PATH = Path(__file__).parent.parent / "benchmarks" / "BENCH_adaptive.json"
+BENCH_SORT_PATH = Path(__file__).parent.parent / "benchmarks" / "BENCH_sort.json"
 
 
 def run_workload(scale: int = 1, seed: int = 0) -> None:
@@ -292,6 +303,73 @@ def check_session_throughput(seed: int, repeats: int) -> dict | None:
     return report
 
 
+def check_sort_scale(seed: int, repeats: int) -> dict | None:
+    """Measure graph_order's scale/reference wall ratio vs. the recording.
+
+    Runs the planted-cycle sort workload at ``SORT_SCALE_CHECK_ITEMS``
+    items under both ``REPRO_SORTSCALE`` modes in-process (interleaved
+    best-of CPU time, GC paused) and compares the scale/reference ratio
+    against the one implied by ``BENCH_sort.json``'s recorded speedup; CI
+    fails when the fresh ratio exceeds the recorded one by more than
+    ``SORT_SCALE_REGRESSION_LIMIT``. Returns None (with a warning) when no
+    baseline has been recorded.
+    """
+    from repro.experiments.sort_workload import comparison_corpus
+    from repro.sorting.graph import graph_order
+
+    if not BENCH_SORT_PATH.exists():
+        print(
+            "warning: benchmarks/BENCH_sort.json missing — run "
+            "`pytest benchmarks/bench_sort_scale.py` to record the sort "
+            "baseline; skipping the sort-scale check.",
+            file=sys.stderr,
+        )
+        return None
+    recorded = json.loads(BENCH_SORT_PATH.read_text())
+    try:
+        recorded_speedup = recorded["graph_order"][str(SORT_SCALE_CHECK_ITEMS)][
+            "wall_speedup"
+        ]
+    except KeyError:
+        print(
+            f"warning: BENCH_sort.json has no {SORT_SCALE_CHECK_ITEMS}-item "
+            "graph_order speedup — re-run the sort benchmark; skipping the "
+            "check.",
+            file=sys.stderr,
+        )
+        return None
+
+    items, corpus = comparison_corpus(SORT_SCALE_CHECK_ITEMS, seed=seed)
+    graph_order(items, corpus)  # untimed warm-up
+
+    def mode(flag: bool):
+        def thunk() -> None:
+            with sortscale.forced(flag):
+                graph_order(items, corpus)
+
+        return thunk
+
+    timings = _interleaved_best_of(
+        [("reference", mode(False)), ("scale", mode(True))], repeats
+    )
+    ratio = (
+        timings["scale"] / timings["reference"]
+        if timings["reference"] > 0
+        else 0.0
+    )
+    report = {
+        "items": SORT_SCALE_CHECK_ITEMS,
+        "repeats": repeats,
+        "reference_seconds": round(timings["reference"], 4),
+        "scale_seconds": round(timings["scale"], 4),
+        "wall_ratio": round(ratio, 4),
+        "recorded_wall_ratio": round(1.0 / max(recorded_speedup, 1e-9), 4),
+        "limit": SORT_SCALE_REGRESSION_LIMIT,
+    }
+    _append_ci_check(BENCH_SORT_PATH, report)
+    return report
+
+
 def top_cumulative_entries(stats: pstats.Stats, count: int) -> list[str]:
     """Function names of the top-``count`` entries by cumulative time,
     excluding the profiler scaffolding itself."""
@@ -396,6 +474,27 @@ def main() -> int:
             f"{adaptive_report['wall_overhead']:.3f}x the static rewriter "
             f"(limit {ADAPTIVE_OVERHEAD_LIMIT}x)"
         )
+        sort_report = check_sort_scale(args.seed, args.check_repeats)
+        if sort_report is not None:
+            allowed = (
+                sort_report["recorded_wall_ratio"] * SORT_SCALE_REGRESSION_LIMIT
+            )
+            if sort_report["wall_ratio"] > allowed:
+                print(
+                    "CHECK FAILED: scale-out graph_order wall-clock is "
+                    f"{sort_report['wall_ratio']:.3f}x the reference path, "
+                    f"above the recorded {sort_report['recorded_wall_ratio']:.3f}x "
+                    f"+ {SORT_SCALE_REGRESSION_LIMIT - 1:.0%} headroom: "
+                    f"{sort_report}",
+                    file=sys.stderr,
+                )
+                return 1
+            print(
+                "check ok: scale-out graph_order wall-clock is "
+                f"{sort_report['wall_ratio']:.3f}x the reference path "
+                f"(recorded {sort_report['recorded_wall_ratio']:.3f}x, "
+                f"headroom {SORT_SCALE_REGRESSION_LIMIT - 1:.0%})"
+            )
         session_report = check_session_throughput(args.seed, args.check_repeats)
         if session_report is not None:
             allowed = (

@@ -26,7 +26,6 @@ from repro.core.plan import PlanNode
 from repro.core.planner import build_plan
 from repro.errors import PlanError
 from repro.hits.cache import TaskCache
-from repro.hits.hit import PickBestPayload
 from repro.hits.manager import CrowdPlatform, TaskManager
 from repro.hits.pricing import CostLedger
 from repro.language.ast import SelectQuery, TaskDefinition
@@ -40,6 +39,7 @@ from repro.tasks.rank import RankTask
 from repro.util import adapt as adapt_toggle
 from repro.util import fastpath
 from repro.util import pipeline as pipeline_toggle
+from repro.util import sortscale as sortscale_toggle
 
 
 def register_task_definitions(
@@ -161,6 +161,7 @@ class Qurk:
         pipeline_toggle.refresh_from_env()
         fastpath.refresh_from_env()
         adapt_toggle.refresh_from_env()
+        sortscale_toggle.refresh_from_env()
         self.platform = platform
         self.config = config or ExecutionConfig()
         self.catalog = catalog or Catalog()
@@ -292,33 +293,21 @@ class Qurk:
 
         Returns (winning item ref, HITs spent).
         """
+        from repro.core.sort_exec import pick_best_payload, tally_pick_votes
+
         task = self.catalog.task(task_name)
         if not isinstance(task, RankTask):
             raise PlanError(f"extreme() needs a Rank task, got {type(task).__name__}")
         votes_requested = assignments or self.config.assignments
-        direction = task.most_name if most else task.least_name
 
         def pick(batch: Sequence[str]) -> str:
-            payload = PickBestPayload(
-                task_name=task.name,
-                items=tuple(batch),
-                question=(
-                    f"Which of these {task.plural_name} is the {direction} "
-                    f"by {task.order_dimension_name}?"
-                ),
-                pick_most=most,
-            )
+            payload = pick_best_payload(task, batch, most)
             outcome = self.manager.run_units(
                 [[payload]],
                 batch_size=1,
                 assignments=votes_requested,
                 label="aggregate:extreme",
             )
-            from collections import Counter
-
-            votes = outcome.votes.get(payload.qid(), [])
-            counts = Counter(str(v.value) for v in votes)
-            winner, _ = max(counts.items(), key=lambda kv: (kv[1], kv[0]))
-            return winner
+            return tally_pick_votes(payload, outcome.votes.get(payload.qid(), []))
 
         return pick_extreme_order(items, pick, batch_size=batch_size)

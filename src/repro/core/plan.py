@@ -125,6 +125,13 @@ class SortNode(PlanNode):
 
     order_items: tuple[OrderItem, ...] = ()
 
+    limit_hint: int | None = None
+    """Set by the planner when a ``LIMIT k`` caps this sort through
+    row-preserving operators only (a crowd-free projection): the sort may
+    then produce just the leading k rows. The scale-out sort path
+    (``REPRO_SORTSCALE``) routes a hinted single-group Compare sort through
+    best-of-batch tournaments instead of full pair coverage."""
+
     def label(self) -> str:
         rendered = ", ".join(str(item) for item in self.order_items)
         return f"Sort({rendered})"

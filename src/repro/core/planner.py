@@ -73,16 +73,40 @@ def build_plan(query: SelectQuery, catalog: Catalog) -> PlanNode:
         else:
             node = ComputedFilterNode(predicate=conjunct, inputs=(node,))
 
+    sort_node: SortNode | None = None
     if query.order_by:
-        node = SortNode(order_items=tuple(query.order_by), inputs=(node,))
+        sort_node = SortNode(order_items=tuple(query.order_by), inputs=(node,))
+        node = sort_node
 
     node = ProjectNode(
         items=tuple(query.select), star=query.select_star, inputs=(node,)
     )
 
     if query.limit is not None:
+        if sort_node is not None and _projection_is_row_preserving(query, catalog):
+            # The operators between the sort and the limit map rows 1:1
+            # without crowd work, so only the sort's leading k rows can
+            # survive — record that on the node as a pure hint (the sort
+            # still may produce more rows; LimitNode always truncates).
+            sort_node.limit_hint = query.limit
         node = LimitNode(count=query.limit, inputs=(node,))
     return node
+
+
+def _projection_is_row_preserving(query: SelectQuery, catalog: Catalog) -> bool:
+    """Whether the select list needs no crowd work (LIMIT pushes through).
+
+    Generative select items batch HITs over their whole input, so limiting
+    the sort's output early would change which rows those batches cover;
+    the limit hint is only safe when projection is a pure per-row mapping.
+    """
+    if query.select_star:
+        return True
+    return not any(
+        _is_crowd_call(call, catalog)
+        for item in query.select
+        for call in item.expr.udf_calls()
+    )
 
 
 def _join_condition(expr: Expression, catalog: Catalog) -> UDFCall:

@@ -77,6 +77,7 @@ from repro.relational.table import Table
 from repro.util import adapt as adapt_toggle
 from repro.util import fastpath
 from repro.util import pipeline as pipeline_toggle
+from repro.util import sortscale as sortscale_toggle
 
 
 @dataclass
@@ -271,6 +272,7 @@ class EngineSession:
         pipeline_toggle.refresh_from_env()
         fastpath.refresh_from_env()
         adapt_toggle.refresh_from_env()
+        sortscale_toggle.refresh_from_env()
         self.platform = platform
         self.config = config or ExecutionConfig()
         self.catalog = catalog or Catalog()

@@ -18,6 +18,7 @@ repair loop.
 
 from __future__ import annotations
 
+from collections import Counter
 from typing import Mapping, Sequence
 
 from repro.core.context import QueryContext
@@ -28,6 +29,7 @@ from repro.hits.hit import (
     CompareGroup,
     ComparePayload,
     Payload,
+    PickBestPayload,
     RatePayload,
     RateQuestion,
 )
@@ -46,7 +48,9 @@ from repro.sorting.hybrid import (
     WindowStrategy,
 )
 from repro.sorting.rating import RatingSummary, order_by_rating, summarize_ratings
+from repro.sorting.topk import tournament_top_k
 from repro.tasks.rank import RankTask
+from repro.util import sortscale
 from repro.util.rng import RandomSource
 
 
@@ -104,6 +108,31 @@ def execute_sort(node: SortNode, rows: Sequence[Row], ctx: QueryContext) -> list
             group_order.append(key)
         groups[key].append(row)
     group_order.sort()
+
+    # LIMIT-aware fast path: a single-group Compare sort capped by a
+    # row-preserving LIMIT k only ever surfaces its leading k items, so a
+    # tournament extracts them directly instead of covering every pair.
+    if (
+        not plain_items
+        and len(group_order) == 1
+        and _limit_tournament_applies(node, ctx)
+    ):
+        ref_map = {}
+        for row in groups[group_order[0]]:
+            ref = call_item_ref(call, row, env)
+            ref_map.setdefault(ref, []).append(row)
+        refs = list(ref_map)
+        k = node.limit_hint
+        assert k is not None
+        if 1 <= k < len(refs):
+            leading = limit_tournament_refs(
+                task, refs, k, ctx, node, most=not crowd_item.ascending
+            )
+            ordered_rows = []
+            for ref in leading:
+                ordered_rows.extend(ref_map[ref])
+            stats.rows_out = len(ordered_rows)
+            return ordered_rows
 
     # Phase 1: post every group's sort HITs (begin); phase 2: harvest in
     # virtual-finish order; phase 3: combine per group. Hybrid groups (and
@@ -170,6 +199,108 @@ class _Reversible:
 
     def __hash__(self) -> int:
         return hash(self.value)
+
+
+# ---------------------------------------------------------------------------
+# LIMIT-aware tournament sort (scale-out path)
+# ---------------------------------------------------------------------------
+
+
+def _limit_tournament_applies(node: SortNode, ctx: QueryContext) -> bool:
+    """Whether this sort may satisfy its LIMIT hint with tournaments.
+
+    Requires the planner's hint, the Compare method (Rate is already O(N)
+    HITs; Hybrid's repair loop needs the whole order), and the tournament
+    switch: ``ExecutionConfig.limit_sort_tournament`` when set, else the
+    ``REPRO_SORTSCALE`` toggle.
+    """
+    if node.limit_hint is None or ctx.config.sort_method != "compare":
+        return False
+    active = ctx.config.limit_sort_tournament
+    if active is None:
+        active = sortscale.enabled()
+    return bool(active)
+
+
+def pick_best_payload(
+    task: RankTask, batch: Sequence[str], most: bool
+) -> PickBestPayload:
+    """The best-of-batch HIT payload (§2.3), shared question wording.
+
+    Used by both :meth:`repro.core.engine.Qurk.extreme` and the LIMIT
+    tournament path so the MAX/MIN interface's HIT text cannot drift
+    between the aggregate and sort entry points.
+    """
+    direction = task.most_name if most else task.least_name
+    return PickBestPayload(
+        task_name=task.name,
+        items=tuple(batch),
+        question=(
+            f"Which of these {task.plural_name} is the {direction} "
+            f"by {task.order_dimension_name}?"
+        ),
+        pick_most=most,
+    )
+
+
+def tally_pick_votes(payload: PickBestPayload, votes: Sequence) -> str:
+    """Majority winner of one pick-best question (shared tie-break).
+
+    Ties break toward the higher vote count, then the larger item
+    reference — the same rule for the engine's ``extreme()`` aggregate and
+    the sort tournament, so tied crowds cannot rank differently depending
+    on which entry point asked.
+    """
+    counts = Counter(str(vote.value) for vote in votes)
+    if not counts:
+        raise PlanError(
+            f"no votes for pick batch {list(payload.items)!r} — cannot rank"
+        )
+    winner, _ = max(counts.items(), key=lambda kv: (kv[1], kv[0]))
+    return winner
+
+
+def limit_tournament_refs(
+    task: RankTask,
+    refs: Sequence[str],
+    k: int,
+    ctx: QueryContext,
+    node: SortNode | None = None,
+    most: bool = True,
+) -> list[str]:
+    """The leading k refs via successive best-of-batch tournaments (§2.3).
+
+    Spends ≈ k·N/(b−1) pick HITs instead of the full comparison sort's
+    C(N, 2)/C(b, 2) group coverage. Returns the winners best-first in the
+    pick direction — which is the final output's leading direction for
+    both DESC (``most=True``) and ASC (``most=False``) — so rows emitted
+    in this order truncate correctly under the LimitNode above.
+    """
+    batch_size = min(ctx.config.limit_pick_batch_size, len(refs))
+
+    def pick(batch: Sequence[str]) -> str:
+        payload = pick_best_payload(task, batch, most)
+        ctx.charge_budget_for_units([[payload]], 1, ctx.config.assignments)
+        outcome = ctx.manager.run_units(
+            [[payload]],
+            batch_size=1,
+            assignments=ctx.config.assignments,
+            label="sort:limit",
+            strict=ctx.config.strict_hits,
+        )
+        if node is not None:
+            stats = ctx.stats_for(node)
+            stats.hits += outcome.hit_count
+            stats.assignments += outcome.assignment_count
+            stats.elapsed_seconds += outcome.elapsed_seconds
+        return tally_pick_votes(payload, outcome.votes.get(payload.qid(), []))
+
+    winners, hits = tournament_top_k(refs, pick, k, batch_size=batch_size)
+    if node is not None:
+        signals = ctx.stats_for(node).signals
+        signals["limit_tournament_hits"] = float(hits)
+        signals["limit_tournament_k"] = float(k)
+    return winners
 
 
 # ---------------------------------------------------------------------------

@@ -57,9 +57,24 @@ class SquaresDataset:
 
 
 def squares_dataset(
-    n: int = 40, smallest: int = 20, step: int = 3, seed: int = 0
+    n: int = 40,
+    smallest: int = 20,
+    step: int = 3,
+    seed: int = 0,
+    scale: int = 1,
+    comparison_ambiguity: float | None = None,
+    rating_ambiguity: float | None = None,
 ) -> SquaresDataset:
-    """Build the synthetic squares dataset of size ``n``."""
+    """Build the synthetic squares dataset of size ``n·scale``.
+
+    ``scale`` multiplies the paper's 40-square default for the scale-out
+    sort workloads (``repro.experiments.sort_workload``); the ambiguity
+    overrides let those workloads model sharper or fuzzier judgements than
+    the paper's defaults without rebuilding the ground truth by hand.
+    """
+    if scale < 1:
+        raise ValueError("scale must be >= 1")
+    n = n * scale
     if n < 2:
         raise ValueError("need at least two squares")
     schema = Schema.of("label text", "img url")
@@ -78,8 +93,12 @@ def squares_dataset(
     truth.add_rank_task(
         SORT_TASK,
         latents,
-        comparison_ambiguity=COMPARISON_AMBIGUITY,
-        rating_ambiguity=RATING_AMBIGUITY,
+        comparison_ambiguity=(
+            COMPARISON_AMBIGUITY if comparison_ambiguity is None else comparison_ambiguity
+        ),
+        rating_ambiguity=(
+            RATING_AMBIGUITY if rating_ambiguity is None else rating_ambiguity
+        ),
     )
     return SquaresDataset(
         table=table,

@@ -22,7 +22,11 @@ from repro.sorting.graph import (
     topological_order,
 )
 from repro.sorting.groups import covering_groups, pairs_covered
-from repro.sorting.head_to_head import head_to_head_order, pair_winners_from_votes
+from repro.sorting.head_to_head import (
+    WinCountIndex,
+    head_to_head_order,
+    pair_winners_from_votes,
+)
 from repro.sorting.hybrid import (
     ConfidenceStrategy,
     HybridSorter,
@@ -31,7 +35,7 @@ from repro.sorting.hybrid import (
     WindowStrategy,
 )
 from repro.sorting.rating import RatingSummary, order_by_rating, summarize_ratings
-from repro.sorting.topk import pick_extreme_order, top_k
+from repro.sorting.topk import pick_extreme_order, top_k, tournament_top_k
 
 __all__ = [
     "ComparisonGraph",
@@ -40,6 +44,7 @@ __all__ = [
     "RandomStrategy",
     "RatingSummary",
     "SlidingWindowStrategy",
+    "WinCountIndex",
     "WindowStrategy",
     "break_cycles",
     "covering_groups",
@@ -52,4 +57,5 @@ __all__ = [
     "summarize_ratings",
     "top_k",
     "topological_order",
+    "tournament_top_k",
 ]

@@ -9,15 +9,36 @@ Cycle breaking deletes, within each strongly connected component, the edge
 with the weakest support (vote margin) until the graph is acyclic. SCCs are
 found with Tarjan's algorithm, implemented from scratch (iteratively, to
 dodge recursion limits).
+
+Two implementations share this module, switched by the ``REPRO_SORTSCALE``
+toggle (:mod:`repro.util.sortscale`):
+
+* the **reference** path — full Tarjan over the whole graph on every
+  edge-removal sweep, victim scans over a fresh ``edges`` dict copy, and a
+  re-sorting Kahn queue — kept verbatim so the scale-out claims stay
+  measurable and the seed behaviour reproducible;
+* the **scale** path — after deleting an SCC's weakest edge, SCCs are
+  recomputed only within that component's node set, the victim scan walks
+  the component's own adjacency instead of every edge in the graph, and
+  the topological sort drains a heap.
+
+Both paths produce the same orders and the same removed-edge *set*; only
+the removal *sequence* (interleaving across independent components) and
+the wall-clock differ (``tests/test_sort_scale.py``). The graph itself is
+always indexed — a maintained item set kills ``add_edge``'s old O(n) list
+scan, and forward adjacency makes ``successors`` allocation-free — because
+those fixes are observationally identical to the seed structure.
 """
 
 from __future__ import annotations
 
+import heapq
 from collections import Counter
-from typing import Mapping, Sequence
+from typing import Iterable, Mapping, Sequence
 
 from repro.errors import QurkError
 from repro.hits.hit import Vote
+from repro.util import sortscale
 
 
 class ComparisonGraph:
@@ -25,7 +46,13 @@ class ComparisonGraph:
 
     def __init__(self, items: Sequence[str]) -> None:
         self.items = list(dict.fromkeys(items))
+        self._item_set: set[str] = set(self.items)
         self._edges: dict[tuple[str, str], float] = {}
+        # Forward adjacency: winner → {loser: margin}, maintained alongside
+        # _edges. Per-winner dicts preserve edge insertion order, so
+        # successors() enumerates losers exactly as the old all-edges scan
+        # did.
+        self._succ: dict[str, dict[str, float]] = {item: {} for item in self.items}
 
     @classmethod
     def from_votes(
@@ -52,26 +79,54 @@ class ComparisonGraph:
         if winner == loser:
             raise QurkError("self-comparison edge")
         for node in (winner, loser):
-            if node not in self.items:
+            if node not in self._item_set:
+                self._item_set.add(node)
                 self.items.append(node)
-        self._edges[(winner, loser)] = self._edges.get((winner, loser), 0.0) + weight
+                self._succ[node] = {}
+        total = self._edges.get((winner, loser), 0.0) + weight
+        self._edges[(winner, loser)] = total
+        self._succ[winner][loser] = total
 
     @property
     def edges(self) -> dict[tuple[str, str], float]:
-        """Edge map (winner, loser) → margin."""
+        """Edge map (winner, loser) → margin (a defensive copy)."""
         return dict(self._edges)
 
     def successors(self, node: str) -> list[str]:
         """Nodes this node beats."""
-        return [loser for (winner, loser) in self._edges if winner == node]
+        return list(self._succ.get(node, ()))
 
     def remove_edge(self, winner: str, loser: str) -> None:
         """Delete one edge."""
         del self._edges[(winner, loser)]
+        del self._succ[winner][loser]
 
 
 def strongly_connected_components(graph: ComparisonGraph) -> list[list[str]]:
-    """Tarjan's SCC algorithm (iterative)."""
+    """Tarjan's SCC algorithm (iterative), over the whole graph.
+
+    This is the reference entry point (it rebuilds adjacency from the
+    copying ``edges`` accessor); the scale path runs the same algorithm
+    through :func:`_tarjan_components` on the graph's live index instead.
+    """
+    adjacency: dict[str, list[str]] = {node: [] for node in graph.items}
+    for winner, loser in graph.edges:
+        adjacency[winner].append(loser)
+    return _tarjan_components(graph.items, adjacency, None)
+
+
+def _tarjan_components(
+    roots: Sequence[str],
+    adjacency: Mapping[str, Iterable[str]],
+    members: set[str] | None,
+) -> list[list[str]]:
+    """Iterative Tarjan over ``roots``, optionally restricted to ``members``.
+
+    With ``members`` set, only nodes inside it are visited and edges
+    leaving the set are ignored — recomputing the SCCs of one component's
+    induced subgraph without touching the rest of the graph. Components
+    are emitted in completion order, matching the original implementation.
+    """
     index_counter = 0
     indices: dict[str, int] = {}
     lowlinks: dict[str, int] = {}
@@ -79,11 +134,7 @@ def strongly_connected_components(graph: ComparisonGraph) -> list[list[str]]:
     stack: list[str] = []
     components: list[list[str]] = []
 
-    adjacency: dict[str, list[str]] = {node: [] for node in graph.items}
-    for winner, loser in graph.edges:
-        adjacency[winner].append(loser)
-
-    for root in graph.items:
+    for root in roots:
         if root in indices:
             continue
         work = [(root, iter(adjacency[root]))]
@@ -95,6 +146,8 @@ def strongly_connected_components(graph: ComparisonGraph) -> list[list[str]]:
             node, successors = work[-1]
             advanced = False
             for succ in successors:
+                if members is not None and succ not in members:
+                    continue
                 if succ not in indices:
                     indices[succ] = lowlinks[succ] = index_counter
                     index_counter += 1
@@ -128,7 +181,15 @@ def break_cycles(graph: ComparisonGraph) -> list[tuple[str, str]]:
 
     Returns the removed edges. Low-margin edges are the least trustworthy
     comparisons, so sacrificing them first preserves the most crowd signal.
+
+    Components evolve independently (removing edges only ever *splits*
+    SCCs), so the reference sweep — one weakest edge per cyclic component,
+    then full Tarjan again — and the scale path's per-component worklist
+    remove the same edge *set*; they interleave independent components
+    differently, so the returned order may differ between toggle modes.
     """
+    if sortscale.enabled():
+        return _break_cycles_scale(graph)
     removed: list[tuple[str, str]] = []
     while True:
         cyclic = [
@@ -150,13 +211,55 @@ def break_cycles(graph: ComparisonGraph) -> list[tuple[str, str]]:
             removed.append(victim)
 
 
+def _break_cycles_scale(graph: ComparisonGraph) -> list[tuple[str, str]]:
+    """Incremental cycle breaking over the graph's live adjacency index.
+
+    One full Tarjan seeds a worklist of cyclic components; thereafter each
+    victim deletion recomputes SCCs only inside the affected component's
+    node set, and the victim scan enumerates the component's own adjacency
+    rows (its per-component edge index) instead of sweeping every edge in
+    the graph. The weakest-edge choice within a component is the same
+    (margin, edge) minimum the reference takes, so per-component removal
+    sequences — and therefore the removed-edge set — are identical.
+    """
+    succ = graph._succ
+    removed: list[tuple[str, str]] = []
+    work = [
+        component
+        for component in _tarjan_components(graph.items, succ, None)
+        if len(component) > 1
+    ]
+    while work:
+        component = work.pop()
+        members = set(component)
+        internal = [
+            ((winner, loser), weight)
+            for winner in component
+            for loser, weight in succ[winner].items()
+            if loser in members
+        ]
+        victim = min(internal, key=lambda pair: (pair[1], pair[0]))[0]
+        graph.remove_edge(*victim)
+        removed.append(victim)
+        for sub in _tarjan_components(component, succ, members):
+            if len(sub) > 1:
+                work.append(sub)
+    return removed
+
+
 def topological_order(graph: ComparisonGraph) -> list[str]:
     """Kahn topological sort, least → most.
 
     An edge winner → loser means the winner is *greater*, so nodes with no
     incoming edges are maxima; we compute the standard order and reverse it.
     Raises :class:`QurkError` if the graph still has cycles.
+
+    Both the reference (re-sorted ready list) and the scale path (min-heap)
+    always emit the lexicographically smallest ready node next, so their
+    orders are identical.
     """
+    if sortscale.enabled():
+        return _topological_order_heap(graph)
     in_degree: dict[str, int] = {node: 0 for node in graph.items}
     for _, loser in graph.edges:
         in_degree[loser] += 1
@@ -173,6 +276,29 @@ def topological_order(graph: ComparisonGraph) -> list[str]:
             if in_degree[succ] == 0:
                 ready.append(succ)
         ready.sort()
+    if len(order) != len(graph.items):
+        raise QurkError("graph has cycles; run break_cycles first")
+    order.reverse()
+    return order
+
+
+def _topological_order_heap(graph: ComparisonGraph) -> list[str]:
+    """Kahn with a min-heap ready queue over the live adjacency index."""
+    succ = graph._succ
+    in_degree: dict[str, int] = {node: 0 for node in graph.items}
+    for targets in succ.values():
+        for loser in targets:
+            in_degree[loser] += 1
+    ready = [node for node, degree in in_degree.items() if degree == 0]
+    heapq.heapify(ready)
+    order: list[str] = []
+    while ready:
+        node = heapq.heappop(ready)
+        order.append(node)
+        for target in succ[node]:
+            in_degree[target] -= 1
+            if in_degree[target] == 0:
+                heapq.heappush(ready, target)
     if len(order) != len(graph.items):
         raise QurkError("graph has cycles; run break_cycles first")
     order.reverse()

@@ -45,6 +45,38 @@ def pair_winners_from_votes(
     return winners
 
 
+class WinCountIndex:
+    """Maintained per-item win tallies over a stream of pair outcomes.
+
+    The win-count side of :func:`head_to_head_order`, factored out as a
+    maintained index: callers that *accumulate* outcomes — folding in one
+    comparison group's winners at a time instead of materialising the
+    whole winners map first — pay O(1) per outcome and can read the
+    current order (or just the extremes) at any point. Ordering ties
+    break by item reference, matching :func:`head_to_head_order` exactly.
+    """
+
+    def __init__(self, items: Sequence[str]) -> None:
+        self._wins: dict[str, int] = {item: 0 for item in items}
+
+    def record(self, a: str, b: str, winner: str) -> None:
+        """Fold in one pair outcome (winner must be one of the two sides)."""
+        if winner not in (a, b):
+            raise QurkError(
+                f"winner {winner!r} is neither side of the pair ({a!r}, {b!r})"
+            )
+        if winner in self._wins:
+            self._wins[winner] += 1
+
+    def wins(self, item: str) -> int:
+        """Current win count (0 for unknown items)."""
+        return self._wins.get(item, 0)
+
+    def order(self) -> list[str]:
+        """Items ascending by (wins, item) — least → most."""
+        return sorted(self._wins, key=lambda item: (self._wins[item], item))
+
+
 def head_to_head_order(
     items: Sequence[str],
     winners: Mapping[tuple[str, str], str],
@@ -55,15 +87,12 @@ def head_to_head_order(
     Items never appearing in a pair score zero. Win-count ties break by item
     reference for determinism.
     """
-    wins: dict[str, int] = {item: 0 for item in items}
+    index = WinCountIndex(items)
     for (a, b), winner in winners.items():
-        if winner not in (a, b):
-            raise QurkError(
-                f"winner {winner!r} is neither side of the pair ({a!r}, {b!r})"
-            )
-        if winner in wins:
-            wins[winner] += 1
-    return sorted(items, key=lambda item: (wins[item], item))
+        index.record(a, b, winner)
+    # Sort the caller's sequence (not the index keys) so pathological
+    # duplicate inputs keep their historical behaviour.
+    return sorted(items, key=lambda item: (index.wins(item), item))
 
 
 def win_fractions(

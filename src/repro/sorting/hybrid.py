@@ -24,6 +24,7 @@ from typing import Callable, Mapping, Sequence
 from repro.errors import QurkError
 from repro.sorting.head_to_head import head_to_head_order
 from repro.sorting.rating import RatingSummary, order_by_rating
+from repro.util import sortscale
 from repro.util.rng import RandomSource
 
 CompareFunction = Callable[[Sequence[str]], Mapping[tuple[str, str], str]]
@@ -96,15 +97,67 @@ class ConfidenceStrategy(WindowStrategy):
     ) -> list[int]:
         size = min(self.window_size, len(order))
         if self._ranked_starts is None:
-            scores: list[tuple[float, int]] = []
-            for start in range(0, len(order) - size + 1):
-                window_items = [order[start + k] for k in range(size)]
-                scores.append((self.window_overlap(window_items, summaries), start))
+            if sortscale.enabled():
+                scores = _window_scores_indexed(order, summaries, size)
+            else:
+                scores = []
+                for start in range(0, len(order) - size + 1):
+                    window_items = [order[start + k] for k in range(size)]
+                    scores.append(
+                        (self.window_overlap(window_items, summaries), start)
+                    )
             scores.sort(key=lambda pair: (-pair[0], pair[1]))
             self._ranked_starts = [start for _, start in scores]
         starts = self._ranked_starts
         start = starts[iteration % len(starts)]
         return list(range(start, start + size))
+
+
+def _window_scores_indexed(
+    order: Sequence[str],
+    summaries: Mapping[str, RatingSummary],
+    size: int,
+) -> list[tuple[float, int]]:
+    """Every consecutive window's Rᵢ via a sliding pair-contribution index.
+
+    The reference recomputes :meth:`ConfidenceStrategy.window_overlap` from
+    the summaries for each of the N−S+1 windows — O(S²) mean/σ lookups and
+    ``max`` evaluations per window, with the same pair re-derived in up to
+    S−1 neighbouring windows. Here each qualifying ordered pair (p, q)
+    within sliding distance (|p−q| < S) is scored exactly once — advancing
+    the window by one position only ever introduces the S−1 pairs that end
+    at the entering item — and windows then *sum* their pairs from the
+    index. Sums deliberately re-add the S² table entries per window in the
+    reference's (p, q) iteration order rather than sliding the float total
+    itself: float addition is not associative, and a drifting running sum
+    could re-rank windows whose reference scores tie exactly (the ranked
+    order feeds the hybrid repair trajectory, which must be bit-identical
+    under both toggle modes).
+    """
+    n = len(order)
+    means = [summaries[item].mean for item in order]
+    stds = [summaries[item].std for item in order]
+    rows: list[list[tuple[int, float]]] = []
+    for p in range(n):
+        row: list[tuple[int, float]] = []
+        for q in range(max(0, p - size + 1), min(n, p + size)):
+            if q == p:
+                continue
+            if means[p] < means[q] or (means[p] == means[q] and p < q):
+                row.append(
+                    (q, max(means[p] + stds[p] - (means[q] - stds[q]), 0.0))
+                )
+        rows.append(row)
+    scores: list[tuple[float, int]] = []
+    for start in range(0, n - size + 1):
+        end = start + size
+        total = 0.0
+        for p in range(start, end):
+            for q, value in rows[p]:
+                if start <= q < end:
+                    total += value
+        scores.append((total, start))
+    return scores
 
 
 class SlidingWindowStrategy(WindowStrategy):

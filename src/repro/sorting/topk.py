@@ -56,3 +56,35 @@ def pick_extreme_order(
             next_round.append(winner)
         remaining = next_round
     return remaining[0], hits
+
+
+def tournament_top_k(
+    items: Sequence[str],
+    pick: PickFunction,
+    k: int,
+    batch_size: int = 5,
+) -> tuple[list[str], int]:
+    """Successive best-of-batch tournaments for the leading k items.
+
+    Runs :func:`pick_extreme_order` k times, removing each round's winner,
+    so the ``ORDER BY rank(...) LIMIT k`` path spends
+    ≈ k·N/(b−1) HITs instead of a full sort's C(N, 2)/C(b, 2) pair
+    coverage — O(N·k/b) versus O(N²). Returns (winners in pick order —
+    best first — and the HITs spent). The extremeness direction is the
+    ``pick`` function's: hand it a max-picker for DESC, a min-picker for
+    ASC.
+    """
+    if k < 1:
+        raise QurkError("k must be positive")
+    remaining = list(items)
+    winners: list[str] = []
+    hits = 0
+    for _ in range(min(k, len(remaining))):
+        if len(remaining) == 1:
+            winners.append(remaining.pop())
+            break
+        best, spent = pick_extreme_order(remaining, pick, batch_size=batch_size)
+        hits += spent
+        winners.append(best)
+        remaining.remove(best)
+    return winners, hits

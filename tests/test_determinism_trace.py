@@ -154,6 +154,18 @@ def test_single_query_session_reproduces_golden_trace():
     assert trace == golden
 
 
+def test_sortscale_reference_matches_golden():
+    """REPRO_SORTSCALE=0 reverts bit-identically: the golden query's rate
+    sort goes through the same graph/ordering layer entry points, and the
+    reference implementations must reproduce the pinned trace."""
+    from repro.util import sortscale
+
+    with sortscale.forced(False):
+        trace = collect_trace(seed=0)
+    golden = json.loads(GOLDEN_PATH.read_text())
+    assert trace == golden
+
+
 def test_fast_and_reference_agree_on_other_seeds(fast_trace):
     """Fast vs reference equality on a seed the golden does not cover."""
     with fastpath.forced(True):

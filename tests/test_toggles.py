@@ -18,7 +18,7 @@ from repro.core.engine import Qurk
 from repro.core.session import EngineSession
 from repro.crowd import SimulatedMarketplace
 from repro.datasets import animals_dataset
-from repro.util import adapt, fastpath, pipeline
+from repro.util import adapt, fastpath, pipeline, sortscale
 
 
 def _require_unset(var: str) -> str | None:
@@ -36,6 +36,7 @@ def _restore(var: str, previous: str | None) -> None:
     pipeline.refresh_from_env()
     fastpath.refresh_from_env()
     adapt.refresh_from_env()
+    sortscale.refresh_from_env()
 
 
 def animals_engine():
@@ -112,6 +113,30 @@ def test_adapt_env_set_after_import_takes_effect_at_engine_construction():
         engine.execute("SELECT a.name FROM animals a").adaptive_summary
         is not None
     )
+
+
+def test_sortscale_env_set_after_import_takes_effect_at_engine_construction():
+    previous = _require_unset("REPRO_SORTSCALE")
+    try:
+        os.environ["REPRO_SORTSCALE"] = "0"
+        assert sortscale.enabled()  # not yet re-read: construction does that
+        animals_engine()
+        assert not sortscale.enabled()
+    finally:
+        _restore("REPRO_SORTSCALE", previous)
+    animals_engine()
+    assert sortscale.enabled()
+
+
+def test_sortscale_env_honored_by_session_construction():
+    previous = _require_unset("REPRO_SORTSCALE")
+    try:
+        os.environ["REPRO_SORTSCALE"] = "0"
+        data = animals_dataset()
+        EngineSession(platform=SimulatedMarketplace(data.truth, seed=1))
+        assert not sortscale.enabled()
+    finally:
+        _restore("REPRO_SORTSCALE", previous)
 
 
 def test_adapt_config_overrides_toggle():

@@ -39,7 +39,13 @@ is blown:
    incremental-SCC machinery stopped paying for itself on the planted-cycle
    workload. Ratios (scale vs. ``REPRO_SORTSCALE=0``, same process) keep
    the guard machine-independent; the measurement is appended to
-   ``BENCH_sort.json`` under ``ci_check``.
+   ``BENCH_sort.json`` under ``ci_check``;
+6. the resilience layer's fault-free macro wall-clock exceeds the
+   ``REPRO_RESILIENCE=0`` baseline's by more than 5% — the retry/repost
+   machinery is gated off entirely on marketplaces without a fault plan,
+   so any measurable overhead means the gate leaked onto the dispatch
+   path. Same interleaved best-of measurement; the result is appended to
+   ``benchmarks/BENCH_resilience.json`` under ``ci_check``.
 """
 
 from __future__ import annotations
@@ -62,6 +68,7 @@ from repro.hits.cache import TaskCache
 from repro.joins.batching import JoinInterface
 from repro.util import adapt
 from repro.util import pipeline
+from repro.util import resilience
 from repro.util import sortscale
 
 CHECK_TOP_N = 5
@@ -70,12 +77,16 @@ PIPELINE_OVERHEAD_LIMIT = 1.05
 SESSION_REGRESSION_LIMIT = 1.05
 ADAPTIVE_OVERHEAD_LIMIT = 1.05
 SORT_SCALE_REGRESSION_LIMIT = 1.05
+RESILIENCE_OVERHEAD_LIMIT = 1.05
 SESSION_QUERY_COUNT = 8
 SORT_SCALE_CHECK_ITEMS = 200
 BENCH_PIPELINE_PATH = Path(__file__).parent.parent / "benchmarks" / "BENCH_pipeline.json"
 BENCH_SESSION_PATH = Path(__file__).parent.parent / "benchmarks" / "BENCH_session.json"
 BENCH_ADAPTIVE_PATH = Path(__file__).parent.parent / "benchmarks" / "BENCH_adaptive.json"
 BENCH_SORT_PATH = Path(__file__).parent.parent / "benchmarks" / "BENCH_sort.json"
+BENCH_RESILIENCE_PATH = (
+    Path(__file__).parent.parent / "benchmarks" / "BENCH_resilience.json"
+)
 
 
 def run_workload(scale: int = 1, seed: int = 0) -> None:
@@ -224,6 +235,27 @@ def check_adaptive_overhead(scale: int, seed: int, repeats: int) -> dict:
         ADAPTIVE_OVERHEAD_LIMIT,
     )
     _append_ci_check(BENCH_ADAPTIVE_PATH, report)
+    return report
+
+
+def check_resilience_overhead(scale: int, seed: int, repeats: int) -> dict:
+    """Run the macro workload with the resilience layer armed vs. off.
+
+    The macro's marketplace carries no :class:`~repro.crowd.faults.FaultPlan`,
+    so ``build_resilience`` declines to arm and the measured ratio is the
+    pure cost of the gating itself (toggle resolution plus the duck-typed
+    fault-plan walk per query). Values above ``RESILIENCE_OVERHEAD_LIMIT``
+    fail CI.
+    """
+    report = _toggle_overhead_report(
+        resilience,
+        ("resilience_off", "resilience_on"),
+        scale,
+        seed,
+        repeats,
+        RESILIENCE_OVERHEAD_LIMIT,
+    )
+    _append_ci_check(BENCH_RESILIENCE_PATH, report)
     return report
 
 
@@ -473,6 +505,23 @@ def main() -> int:
             "check ok: adaptive optimizer wall-clock is "
             f"{adaptive_report['wall_overhead']:.3f}x the static rewriter "
             f"(limit {ADAPTIVE_OVERHEAD_LIMIT}x)"
+        )
+        resilience_report = check_resilience_overhead(
+            args.scale, args.seed, args.check_repeats
+        )
+        if resilience_report["wall_overhead"] > RESILIENCE_OVERHEAD_LIMIT:
+            print(
+                "CHECK FAILED: resilience layer (fault-free) wall-clock is "
+                f"{resilience_report['wall_overhead']:.3f}x the disabled "
+                f"baseline (limit {RESILIENCE_OVERHEAD_LIMIT}x) on the macro "
+                f"workload: {resilience_report}",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            "check ok: resilience layer (fault-free) wall-clock is "
+            f"{resilience_report['wall_overhead']:.3f}x the disabled baseline "
+            f"(limit {RESILIENCE_OVERHEAD_LIMIT}x)"
         )
         sort_report = check_sort_scale(args.seed, args.check_repeats)
         if sort_report is not None:

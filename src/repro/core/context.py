@@ -151,6 +151,32 @@ class ExecutionConfig:
     per-round pre-flight in ``charge_budget_for_units`` remains the
     precise, cache-aware gate."""
 
+    resilience: bool | None = None
+    """Force the fault-injection/resilience layer on/off for this query;
+    None defers to the ``REPRO_RESILIENCE`` toggle
+    (:mod:`repro.util.resilience`). Even when on, the layer only arms
+    against a platform carrying an active
+    :class:`~repro.crowd.faults.FaultPlan` — fault-free marketplaces keep
+    the strict historical behaviour bit-for-bit."""
+
+    retry_deadline: float | None = None
+    """Virtual-seconds retry budget per HIT group (from its original post
+    time): reposts whose backoff would start past this are skipped and the
+    group degrades instead. None = no deadline; only ``max_reposts`` caps
+    the fight."""
+
+    max_reposts: int = 2
+    """Maximum repost rounds per HIT group when slots go unfilled."""
+
+    backoff_base: float = 120.0
+    """Virtual seconds of backoff before the first repost round; round n
+    waits ``backoff_base * 2^(n-1)``."""
+
+    degrade_quorum: float = 0.5
+    """Fraction of requested assignments below which a HIT that exhausted
+    its retries is flagged degraded in ``degradation_summary`` (combiners
+    accept whatever k-of-n votes arrived either way)."""
+
     def __post_init__(self) -> None:
         if self.sort_method not in ("compare", "rate", "hybrid"):
             raise PlanError(f"unknown sort method {self.sort_method!r}")
@@ -168,6 +194,14 @@ class ExecutionConfig:
             raise PlanError("adaptive_pilot_fraction must be in (0, 1]")
         if self.adaptive_min_pilot < 1:
             raise PlanError("adaptive_min_pilot must be >= 1")
+        if self.max_reposts < 0:
+            raise PlanError("max_reposts must be >= 0")
+        if self.backoff_base <= 0:
+            raise PlanError("backoff_base must be > 0")
+        if not 0.0 < self.degrade_quorum <= 1.0:
+            raise PlanError("degrade_quorum must be in (0, 1]")
+        if self.retry_deadline is not None and self.retry_deadline <= 0:
+            raise PlanError("retry_deadline must be > 0 when set")
 
     def with_overrides(self, **kwargs) -> "ExecutionConfig":
         """A copy with some fields replaced (experiment sweeps)."""

@@ -24,10 +24,11 @@ from repro.core.explain import render_explain
 from repro.core.optimizer import optimize
 from repro.core.plan import PlanNode
 from repro.core.planner import build_plan
-from repro.errors import PlanError
+from repro.errors import BudgetExceededError, MarketplaceError, PlanError
 from repro.hits.cache import TaskCache
 from repro.hits.manager import CrowdPlatform, TaskManager
 from repro.hits.pricing import CostLedger
+from repro.hits.resilience import build_resilience
 from repro.language.ast import SelectQuery, TaskDefinition
 from repro.language.parser import parse_statements
 from repro.relational.catalog import Catalog
@@ -39,6 +40,7 @@ from repro.tasks.rank import RankTask
 from repro.util import adapt as adapt_toggle
 from repro.util import fastpath
 from repro.util import pipeline as pipeline_toggle
+from repro.util import resilience as resilience_toggle
 from repro.util import sortscale as sortscale_toggle
 
 
@@ -78,6 +80,17 @@ def parse_single_select(query: str | SelectQuery, catalog: Catalog) -> SelectQue
     if len(queries) != 1:
         raise PlanError(f"expected exactly one SELECT, found {len(queries)}")
     return queries[0]
+
+
+_FAULT_COUNTERS = (
+    "abandoned_assignments",
+    "expired_slots",
+    "spam_assignments",
+    "straggler_assignments",
+    "transient_errors",
+)
+"""Marketplace fault-injection counters snapshotted per query for the
+degradation summary."""
 
 
 @dataclass(frozen=True)
@@ -122,6 +135,12 @@ class QueryResult:
     """Re-plan telemetry when the adaptive optimizer ran: replan/round
     counts, predicted vs. actual HITs and dollars, and the event log;
     None under ``REPRO_ADAPT=0``."""
+    degradation_summary: dict[str, object] | None = None
+    """What the resilience layer did for this query (transient retries,
+    reposts, recovered/unfilled slots, degraded operators, injected-fault
+    counts, and ``aborted`` when the query was cut short and completed
+    with partial rows); None when the layer was inert — toggle off or a
+    fault-free platform."""
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -142,6 +161,7 @@ class QueryResult:
             marketplace_stats=self.marketplace_stats,
             pipeline_summary=self.pipeline_summary,
             adaptive_summary=self.adaptive_summary,
+            degradation_summary=self.degradation_summary,
         )
 
 
@@ -162,6 +182,7 @@ class Qurk:
         fastpath.refresh_from_env()
         adapt_toggle.refresh_from_env()
         sortscale_toggle.refresh_from_env()
+        resilience_toggle.refresh_from_env()
         self.platform = platform
         self.config = config or ExecutionConfig()
         self.catalog = catalog or Catalog()
@@ -229,6 +250,8 @@ class Qurk:
         plan = self._optimized(query, state)
         if state is not None:
             preflight(state, plan, self.catalog, effective, self.ledger.pricing)
+        res_state = build_resilience(effective, self.platform)
+        self.manager.resilience = res_state
         ctx = QueryContext(
             catalog=self.catalog,
             manager=self.manager,
@@ -244,7 +267,31 @@ class Qurk:
             considerations_before = getattr(live_stats, "considerations", 0)
             refusals_before = getattr(live_stats, "refusals", 0)
             completed_before = getattr(live_stats, "assignments_completed", 0)
-        rows = run_plan(plan, ctx)
+            faults_before = {
+                name: getattr(live_stats, name, 0) for name in _FAULT_COUNTERS
+            }
+        try:
+            rows = run_plan(plan, ctx)
+        except (BudgetExceededError, MarketplaceError) as exc:
+            # Graceful query-level degradation: with the resilience layer
+            # armed, a budget/platform failure completes the query with
+            # whatever rows were produced (none, for the all-or-nothing
+            # depth-first interpreter) instead of raising; the summary says
+            # why. Without it, today's strict raise is preserved.
+            if res_state is None:
+                raise
+            res_state.aborted = f"{type(exc).__name__}: {exc}"
+            rows = []
+        degradation = None
+        if res_state is not None:
+            degradation = res_state.summary.as_dict()
+            if live_stats is not None:
+                for name in _FAULT_COUNTERS:
+                    degradation[name] = (
+                        getattr(live_stats, name, 0) - faults_before[name]
+                    )
+            if res_state.aborted is not None:
+                degradation["aborted"] = res_state.aborted
         snapshot = None
         if live_stats is not None:
             snapshot = MarketplaceSnapshot(
@@ -270,6 +317,7 @@ class Qurk:
             )
             if state is not None
             else None,
+            degradation_summary=degradation,
         )
 
     def explain(self, query: str | SelectQuery) -> str:

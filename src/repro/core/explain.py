@@ -66,6 +66,7 @@ def render_explain(
     marketplace_stats: object | None = None,
     pipeline_summary: Mapping[str, float] | None = None,
     adaptive_summary: Mapping[str, object] | None = None,
+    degradation_summary: Mapping[str, object] | None = None,
 ) -> str:
     """Render the plan tree annotated with collected operator signals.
 
@@ -79,7 +80,11 @@ def render_explain(
     optimizer ran), a third footer reports predicted vs. actual HIT
     counts and the re-plan event log; fused conjunct chains additionally
     render each member conjunct with its estimated vs. observed
-    selectivity.
+    selectivity. When ``degradation_summary`` is provided (the resilience
+    layer was armed) and anything actually happened — retries, reposts,
+    injected faults, degraded operators, an absorbed abort — a
+    ``resilience:`` footer itemises it; a fault-free resilient run emits
+    no footer, keeping golden EXPLAIN output unchanged.
     """
     lines: list[str] = []
 
@@ -160,6 +165,33 @@ def render_explain(
             f", serial_latency={serial:.0f}s"
             f"{overlap}"
         )
+    if degradation_summary is not None:
+        counters = [
+            (name, degradation_summary.get(name, 0))
+            for name in (
+                "transient_retries",
+                "reposts",
+                "reposted_hits",
+                "recovered_assignments",
+                "unfilled_assignments",
+                "degraded_groups",
+                "circuit_opens",
+                "abandoned_assignments",
+                "expired_slots",
+                "spam_assignments",
+                "straggler_assignments",
+                "transient_errors",
+            )
+        ]
+        operators = degradation_summary.get("degraded_operators") or []
+        aborted = degradation_summary.get("aborted")
+        if any(value for _, value in counters) or operators or aborted:
+            parts = [f"{name}={value}" for name, value in counters if value]
+            if operators:
+                parts.append("degraded_operators=" + "|".join(str(op) for op in operators))
+            lines.append("resilience: " + ", ".join(parts))
+            if aborted:
+                lines.append(f"  ~ aborted: {aborted}")
     if marketplace_stats is not None:
         considerations = getattr(marketplace_stats, "considerations", None)
         per_assignment = getattr(

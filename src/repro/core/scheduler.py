@@ -598,6 +598,18 @@ class PipelineScheduler:
         :meth:`_settle_outstanding`) after a failed step."""
         self._settle_outstanding()
 
+    def partial_rows(self) -> list[Row]:
+        """Rows the root operator has emitted so far (graceful degradation).
+
+        The session's resilience layer finalizes an aborted query with
+        these instead of discarding them. Drains the root queue first so
+        chunks produced but not yet collected are included. A stalled or
+        degraded HIT group cannot wedge the ordering behind this: tickets
+        carry their finish times from submission, harvests only move the
+        clock forward, and :meth:`settle` collects whatever was posted."""
+        self._drain_root()
+        return list(self._results)
+
     def finish(self) -> list[Row]:
         """Record the whole-query pipeline summary and return the rows.
 

@@ -67,17 +67,34 @@ from repro.core.plan import PlanNode
 from repro.core.planner import build_plan
 from repro.core.scheduler import PipelineScheduler
 from repro.crowd.marketplace import MarketplaceClient
-from repro.errors import ExecutionError, PlanError
+from repro.errors import (
+    BudgetExceededError,
+    ExecutionError,
+    MarketplaceError,
+    PlanError,
+)
 from repro.hits.cache import TaskCache, TaskCacheView
 from repro.hits.manager import CrowdPlatform, TaskManager, platform_supports_overlap
 from repro.hits.pricing import CostLedger
+from repro.hits.resilience import ResilienceState, build_resilience
 from repro.language.ast import SelectQuery
 from repro.relational.catalog import Catalog
 from repro.relational.table import Table
 from repro.util import adapt as adapt_toggle
 from repro.util import fastpath
 from repro.util import pipeline as pipeline_toggle
+from repro.util import resilience as resilience_toggle
 from repro.util import sortscale as sortscale_toggle
+
+
+_SESSION_FAULT_COUNTERS = (
+    "abandoned_assignments",
+    "expired_slots",
+    "spam_assignments",
+    "straggler_assignments",
+    "transient_errors",
+)
+"""Marketplace fault counters snapshotted per query (default-client case)."""
 
 
 @dataclass
@@ -112,9 +129,15 @@ class SessionQuery:
     sees only its own observations, so its re-planning is a deterministic
     function of its own progress, never of how far siblings happen to have
     advanced in the round-robin."""
+    resilience_state: ResilienceState | None = None
+    """The query's own resilience bundle (retry policy, degradation
+    summary, circuit breaker); ``None`` when the layer is inert. Strictly
+    per-query: an aborted or degraded query settles its own groups while
+    siblings and the shared cache stay untouched."""
     epoch: float = 0.0
     _sched: PipelineScheduler | None = None
     _stats_before: tuple[int, int, int] | None = None
+    _faults_before: dict[str, int] | None = None
 
     @property
     def ok(self) -> bool:
@@ -273,6 +296,7 @@ class EngineSession:
         fastpath.refresh_from_env()
         adapt_toggle.refresh_from_env()
         sortscale_toggle.refresh_from_env()
+        resilience_toggle.refresh_from_env()
         self.platform = platform
         self.config = config or ExecutionConfig()
         self.catalog = catalog or Catalog()
@@ -359,10 +383,14 @@ class EngineSession:
                     client_id=handle.key if multi else None,
                     on_submit=self._admission_logger(stats, handle.key),
                 )
+            handle.resilience_state = build_resilience(
+                handle.config, handle.client or self.platform
+            )
             manager = TaskManager(
                 handle.client or self.platform,
                 ledger=handle.ledger,
                 cache=handle.cache_view,
+                resilience=handle.resilience_state,
             )
             handle.adapt_state = build_state(handle.config)
             handle.ctx = QueryContext(
@@ -440,7 +468,8 @@ class EngineSession:
                 assert handle.ctx is not None
                 rows = run_plan(handle.plan, handle.ctx)
             except Exception as exc:
-                handle.error = exc
+                if not self._absorb_failure(handle, exc):
+                    handle.error = exc
             else:
                 self._finalize(handle, rows)
 
@@ -472,7 +501,8 @@ class EngineSession:
                 except Exception as exc:
                     if handle._sched is not None:
                         handle._sched.settle()
-                    handle.error = exc
+                    if not self._absorb_failure(handle, exc):
+                        handle.error = exc
                     live.remove(handle)
                     progressed = True
             if live and not progressed:
@@ -494,6 +524,24 @@ class EngineSession:
             return True
         return progressed
 
+    def _absorb_failure(self, handle: SessionQuery, exc: Exception) -> bool:
+        """Graceful query-level degradation: with the resilience layer
+        armed, a budget/platform failure completes the query with the rows
+        produced so far (plus an ``aborted`` entry in the degradation
+        summary) instead of failing the handle. The scheduler was already
+        settled by the caller, so the query's own groups are harvested;
+        siblings and the shared cache are untouched. Returns whether the
+        failure was absorbed."""
+        state = handle.resilience_state
+        if state is None or not isinstance(
+            exc, (BudgetExceededError, MarketplaceError)
+        ):
+            return False
+        rows = handle._sched.partial_rows() if handle._sched is not None else []
+        state.aborted = f"{type(exc).__name__}: {exc}"
+        self._finalize(handle, rows)
+        return True
+
     def _note_stats_before(self, handle: SessionQuery) -> None:
         if handle.client is not None:
             return  # per-client deltas come from the facade itself
@@ -504,6 +552,9 @@ class EngineSession:
                 getattr(live_stats, "refusals", 0),
                 getattr(live_stats, "assignments_completed", 0),
             )
+            handle._faults_before = {
+                name: getattr(live_stats, name, 0) for name in _SESSION_FAULT_COUNTERS
+            }
 
     def _snapshot(self, handle: SessionQuery) -> MarketplaceSnapshot | None:
         if handle.client is not None:
@@ -523,6 +574,25 @@ class EngineSession:
             )
         return None
 
+    def _fault_deltas(self, handle: SessionQuery) -> dict[str, int] | None:
+        """This query's injected-fault counts (client counters or platform
+        stat diffs), for its degradation summary."""
+        if handle.client is not None:
+            client = handle.client
+            return {
+                "abandoned_assignments": client.abandoned_assignments,
+                "expired_slots": client.expired_slots,
+                "spam_assignments": client.spam_assignments,
+                "straggler_assignments": client.straggler_assignments,
+            }
+        if handle._faults_before is not None:
+            live_stats = getattr(self.platform, "stats", None)
+            return {
+                name: getattr(live_stats, name, 0) - before
+                for name, before in handle._faults_before.items()
+            }
+        return None
+
     def _finalize(self, handle: SessionQuery, rows) -> None:
         assert handle.ctx is not None and handle.plan is not None
         if handle.client is not None and handle.client.last_finish_time is not None:
@@ -531,6 +601,15 @@ class EngineSession:
             elapsed = 0.0  # no crowd work reached the marketplace
         else:
             elapsed = self.platform.clock_seconds - handle.epoch
+        degradation = None
+        state = handle.resilience_state
+        if state is not None:
+            degradation = state.summary.as_dict()
+            faults = self._fault_deltas(handle)
+            if faults is not None:
+                degradation.update(faults)
+            if state.aborted is not None:
+                degradation["aborted"] = state.aborted
         handle.result = QueryResult(
             rows=rows,
             plan=handle.plan,
@@ -547,4 +626,5 @@ class EngineSession:
             )
             if handle.adapt_state is not None
             else None,
+            degradation_summary=degradation,
         )

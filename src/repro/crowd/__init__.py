@@ -9,6 +9,7 @@ executor's multi-client outstanding-HIT API
 (``submit_hit_group``/``harvest``, see :class:`HITGroupTicket`).
 """
 
+from repro.crowd.faults import FaultPlan, GroupFaultRecord
 from repro.crowd.latency import LatencyConfig, LatencyModel, TimeOfDay
 from repro.crowd.marketplace import (
     HITGroupTicket,
@@ -21,8 +22,10 @@ from repro.crowd.truth import FeatureTruth, GroundTruth, RankTruth
 from repro.crowd.worker import WorkerProfile, make_reliable, make_sloppy, make_spammer
 
 __all__ = [
+    "FaultPlan",
     "FeatureTruth",
     "GroundTruth",
+    "GroupFaultRecord",
     "HITGroupTicket",
     "HITTypeParams",
     "LatencyConfig",

@@ -25,6 +25,7 @@ Noise models:
 
 from __future__ import annotations
 
+from dataclasses import replace
 from functools import lru_cache
 
 from repro.crowd.truth import GroundTruth
@@ -77,6 +78,22 @@ def answer_hit(
             answer_payload(worker, payload, truth, rng, units=units, combined=combined)
         )
     return answers
+
+
+def spam_answer_hit(
+    worker: WorkerProfile, hit: HIT, truth: GroundTruth, rng: RandomSource
+) -> dict[str, object]:
+    """The answers ``worker`` would give if they spammed this HIT.
+
+    Used by the fault-injection overlay (:mod:`repro.crowd.faults`) to
+    replace an honest assignment's answers with garbage: the worker is
+    answered through a spammer twin (``is_spammer=True, spam_style="random"``)
+    against a caller-supplied stream, so the honest dispatch draws are
+    untouched. Spammer branches never take the fastpath lanes, so the
+    replacement is identical under both executors.
+    """
+    twin = replace(worker, is_spammer=True, spam_style="random")
+    return answer_hit(twin, hit, truth, rng)
 
 
 def answer_payload(

@@ -54,12 +54,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Sequence
 
-from repro.crowd.behavior import answer_hit
+from repro.crowd.behavior import answer_hit, spam_answer_hit
+from repro.crowd.faults import FaultPlan, GroupFaultRecord
 from repro.crowd.latency import LatencyConfig, LatencyModel, TimeOfDay
 from repro.crowd.pool import PoolConfig, WorkerPool
 from repro.crowd.truth import GroundTruth
+from repro.errors import MarketplaceError, TransientMarketplaceError
 from repro.hits.hit import HIT, Assignment
-from repro.util import fastpath
+from repro.util import fastpath, resilience
 from repro.util.rng import RandomSource, child_seed_from_material
 
 
@@ -74,6 +76,11 @@ class MarketplaceStats:
     uncompleted_hits: int = 0
     groups_submitted: int = 0
     peak_outstanding_groups: int = 0
+    abandoned_assignments: int = 0
+    expired_slots: int = 0
+    spam_assignments: int = 0
+    straggler_assignments: int = 0
+    transient_errors: int = 0
     worker_assignment_counts: dict[str, int] = field(default_factory=dict)
 
     def record_work(self, worker_id: str) -> None:
@@ -82,6 +89,15 @@ class MarketplaceStats:
         self.worker_assignment_counts[worker_id] = (
             self.worker_assignment_counts.get(worker_id, 0) + 1
         )
+
+    def uncount_work(self, worker_id: str) -> None:
+        """Reverse :meth:`record_work` for an assignment a fault removed."""
+        self.assignments_completed -= 1
+        remaining = self.worker_assignment_counts.get(worker_id, 0) - 1
+        if remaining > 0:
+            self.worker_assignment_counts[worker_id] = remaining
+        else:
+            self.worker_assignment_counts.pop(worker_id, None)
 
     @property
     def considerations_per_assignment(self) -> float:
@@ -123,6 +139,9 @@ class HITGroupTicket:
     finish_time: float
     assignments: tuple[Assignment, ...]
     incomplete_hit_ids: frozenset[str]
+    faults: GroupFaultRecord | None = None
+    """What the fault overlay did to this group; ``None`` when no faults
+    were injected (no plan, zero rates, or ``REPRO_RESILIENCE=0``)."""
 
 
 class _FenwickSlots:
@@ -200,6 +219,7 @@ class SimulatedMarketplace:
         seed: int = 0,
         time_of_day: TimeOfDay | str = TimeOfDay.MORNING,
         latency: LatencyModel | None = None,
+        faults: FaultPlan | None = None,
     ) -> None:
         self.truth = truth
         self.pool = pool or WorkerPool.build(PoolConfig(), seed=seed)
@@ -207,8 +227,14 @@ class SimulatedMarketplace:
         if isinstance(time_of_day, str):
             time_of_day = TimeOfDay(time_of_day)
         self.time_of_day = time_of_day
+        self.faults = faults
         self.stats = MarketplaceStats()
         self._rng = RandomSource(seed).child("marketplace")
+        # Child derivation is seed arithmetic, not a draw: creating this
+        # stream perturbs nothing even when no plan is configured.
+        self._transient_rng = self._rng.child("transient")
+        self._suppress_transient = False
+        self._workers_by_id: dict[str, object] | None = None
         self._clock = 0.0
         self._assignment_counter = 0
         self._ticket_counter = 0
@@ -238,11 +264,22 @@ class SimulatedMarketplace:
         posting deadline passes, or the marketplace concludes nobody will
         ever take the work (sustained refusals — oversized batches).
         Equivalent to :meth:`submit_hit_group` at the current clock followed
-        by an immediate :meth:`harvest`.
+        by an immediate :meth:`harvest`. Injected transient errors strike
+        only the submit half here: the harvest half skips injection so a
+        retried blocking post never double-submits the group.
         """
         if not hits:
             return []
-        return self.harvest(self.submit_hit_group(hits, group_id=group_id))
+        ticket = self.submit_hit_group(hits, group_id=group_id)
+        # Harvest through the public method (subclasses hook it to observe
+        # completions) but with injection suppressed: the submit above
+        # already committed state, so a retried blocking post must never
+        # double-submit the group.
+        self._suppress_transient = True
+        try:
+            return self.harvest(ticket)
+        finally:
+            self._suppress_transient = False
 
     def submit_hit_group(
         self,
@@ -267,6 +304,7 @@ class SimulatedMarketplace:
         counter is the client's own posted-HITs count, making the draws a
         function of that client's posting order alone.
         """
+        self._maybe_transient("submit")
         if post_time is None:
             post_time = self._clock
         self.stats.hits_posted += len(hits)
@@ -308,6 +346,13 @@ class SimulatedMarketplace:
             )
             incomplete_hits = {slot.hit.hit_id for slot in leftover}
 
+        fault_record: GroupFaultRecord | None = None
+        plan = self.faults
+        if plan is not None and plan.disrupts_dispatch and resilience.enabled():
+            completed, incomplete_hits, fault_record = self._apply_faults(
+                hits, completed, incomplete_hits, post_time, rng
+            )
+
         self.stats.uncompleted_hits += len(incomplete_hits)
         if incomplete_hits:
             # The posting sat (partially) unclaimed until we gave up on it.
@@ -326,6 +371,7 @@ class SimulatedMarketplace:
             finish_time=finish_time,
             assignments=tuple(completed),
             incomplete_hit_ids=frozenset(incomplete_hits),
+            faults=fault_record,
         )
         self._outstanding[ticket.ticket_id] = ticket
         self.stats.peak_outstanding_groups = max(
@@ -340,9 +386,18 @@ class SimulatedMarketplace:
         ever moves forward, to the latest harvested finish time — for a
         serial chain of groups that is the sum of their durations, for
         overlapped groups it is the makespan.
+
+        With an active fault plan this call may raise
+        :class:`~repro.errors.TransientMarketplaceError` *before* touching
+        the ticket, which stays outstanding — retrying the harvest is safe.
         """
+        self._maybe_transient("harvest")
+        return self._harvest(ticket)
+
+    def _harvest(self, ticket: HITGroupTicket) -> list[Assignment]:
+        """:meth:`harvest` minus fault injection (internal retry-safe path)."""
         if self._outstanding.pop(ticket.ticket_id, None) is None:
-            raise ValueError(
+            raise MarketplaceError(
                 f"ticket {ticket.ticket_id} (group {ticket.group_id!r}) is not "
                 "outstanding — already harvested?"
             )
@@ -374,6 +429,114 @@ class SimulatedMarketplace:
     def outstanding_count(self) -> int:
         """Number of submitted-but-unharvested HIT groups."""
         return len(self._outstanding)
+
+    # ------------------------------------------------------------------
+    # Fault injection
+
+    def _maybe_transient(self, operation: str) -> None:
+        """Raise a simulated transient platform failure, maybe.
+
+        Fires before any state changes, so the failed call is replayable:
+        a retried submit reposts nothing twice and a retried harvest finds
+        its ticket still outstanding. Draws come from a dedicated serial
+        stream (never the group streams), consumed only when the rate is
+        non-zero and the toggle is on — zero-rate plans and
+        ``REPRO_RESILIENCE=0`` touch nothing.
+        """
+        if self._suppress_transient:
+            return
+        plan = self.faults
+        if plan is None or plan.transient_error_rate <= 0 or not resilience.enabled():
+            return
+        if self._transient_rng.chance(plan.transient_error_rate):
+            self.stats.transient_errors += 1
+            raise TransientMarketplaceError(
+                f"simulated transient platform failure during {operation}"
+            )
+
+    def _apply_faults(
+        self,
+        hits: Sequence[HIT],
+        completed: list[Assignment],
+        incomplete_hits: set[str],
+        post_time: float,
+        rng: RandomSource,
+    ) -> tuple[list[Assignment], set[str], GroupFaultRecord]:
+        """Overlay the fault plan on a group's dispatched assignments.
+
+        Runs *after* dispatch so the reference/fast loops stay untouched;
+        all draws come from a child of the group's stream seed, so the
+        overlay is identical under both dispatch implementations and both
+        executors (group streams are keyed by posting order). Per-rate
+        guards keep zero rates from consuming any draw.
+        """
+        plan = self.faults
+        frng = RandomSource(child_seed_from_material(f"{rng.seed}:faults"))
+        lifetime: float | None = None
+        if plan.expiration_rate > 0 and frng.chance(plan.expiration_rate):
+            # The lifetime is a fraction of the group's own accept window
+            # (not the posting deadline — accepts cluster near the post, so
+            # a deadline-relative cutoff would never trip): slots accepted
+            # after the cutoff find the group already expired.
+            span = (
+                max((a.accept_time for a in completed), default=post_time)
+                - post_time
+            )
+            lifetime = post_time + span * plan.expiration_lifetime_fraction
+        hits_by_id = {hit.hit_id: hit for hit in hits}
+        survivors: list[Assignment] = []
+        incomplete = set(incomplete_hits)
+        stats = self.stats
+        abandoned = expired = stragglers = spammed = 0
+        for assignment in completed:
+            if lifetime is not None and assignment.accept_time > lifetime:
+                # The group's lifetime lapsed before this slot was accepted.
+                expired += 1
+                stats.expired_slots += 1
+                stats.uncount_work(assignment.worker_id)
+                incomplete.add(assignment.hit_id)
+                continue
+            if plan.abandonment_rate > 0 and frng.chance(plan.abandonment_rate):
+                abandoned += 1
+                stats.abandoned_assignments += 1
+                stats.uncount_work(assignment.worker_id)
+                incomplete.add(assignment.hit_id)
+                continue
+            if plan.spam_rate > 0 and frng.chance(plan.spam_rate):
+                spammed += 1
+                stats.spam_assignments += 1
+                worker = self._worker_profile(assignment.worker_id)
+                answers = spam_answer_hit(
+                    worker,
+                    hits_by_id[assignment.hit_id],
+                    self.truth,
+                    frng.child("spam", assignment.assignment_id),
+                )
+                assignment = assignment._replace(answers=answers)
+            if plan.straggler_rate > 0 and frng.chance(plan.straggler_rate):
+                stragglers += 1
+                stats.straggler_assignments += 1
+                work = assignment.submit_time - assignment.accept_time
+                assignment = assignment._replace(
+                    submit_time=assignment.accept_time + work * plan.straggler_factor
+                )
+            survivors.append(assignment)
+        record = GroupFaultRecord(
+            abandoned=abandoned,
+            expired_slots=expired,
+            stragglers=stragglers,
+            spammed=spammed,
+        )
+        return survivors, incomplete, record
+
+    def _worker_profile(self, worker_id: str):
+        """Worker lookup for the spam overlay (lazy id → profile map)."""
+        table = self._workers_by_id
+        if table is None:
+            table = self._workers_by_id = {
+                worker.worker_id: worker for worker in self.pool.workers
+            }
+        return table[worker_id]
 
     def _dispatch_reference(
         self,
@@ -588,6 +751,10 @@ class MarketplaceClient:
         self.considerations = 0
         self.refusals = 0
         self.assignments_completed = 0
+        self.abandoned_assignments = 0
+        self.expired_slots = 0
+        self.spam_assignments = 0
+        self.straggler_assignments = 0
         self.last_finish_time: float | None = None
         """Latest virtual finish this client has harvested; ``None`` until
         the first harvest. A client's makespan is this minus its epoch."""
@@ -613,6 +780,10 @@ class MarketplaceClient:
         considerations = shared.considerations
         refusals = shared.refusals
         completed = shared.assignments_completed
+        abandoned = shared.abandoned_assignments
+        expired = shared.expired_slots
+        spammed = shared.spam_assignments
+        stragglers = shared.straggler_assignments
         ticket = self.market.submit_hit_group(
             hits, group_id=group_id, post_time=post_time, client_id=self.client_id
         )
@@ -621,6 +792,10 @@ class MarketplaceClient:
         self.considerations += shared.considerations - considerations
         self.refusals += shared.refusals - refusals
         self.assignments_completed += shared.assignments_completed - completed
+        self.abandoned_assignments += shared.abandoned_assignments - abandoned
+        self.expired_slots += shared.expired_slots - expired
+        self.spam_assignments += shared.spam_assignments - spammed
+        self.straggler_assignments += shared.straggler_assignments - stragglers
         if self.on_submit is not None:
             self.on_submit(self, ticket)
         return ticket
@@ -636,7 +811,17 @@ class MarketplaceClient:
     def post_hit_group(
         self, hits: Sequence[HIT], group_id: str | None = None
     ) -> list[Assignment]:
-        """Blocking post on this client's stream (submit + harvest)."""
+        """Blocking post on this client's stream (submit + harvest).
+
+        Like :meth:`SimulatedMarketplace.post_hit_group`, the harvest half
+        skips transient-fault injection so a retried blocking post never
+        double-submits the group.
+        """
         if not hits:
             return []
-        return self.harvest(self.submit_hit_group(hits, group_id=group_id))
+        ticket = self.submit_hit_group(hits, group_id=group_id)
+        self.market._suppress_transient = True
+        try:
+            return self.harvest(ticket)
+        finally:
+            self.market._suppress_transient = False

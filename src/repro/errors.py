@@ -53,6 +53,17 @@ class MarketplaceError(QurkError):
     """The crowd platform rejected or could not complete a request."""
 
 
+class TransientMarketplaceError(MarketplaceError):
+    """A platform API call failed in a way that is safe to retry.
+
+    The fault-injection layer (:mod:`repro.crowd.faults`) raises this on
+    simulated post/harvest failures; a real platform shim would raise it
+    for throttling or 5xx responses. The Task Manager's resilience layer
+    retries these behind a circuit breaker; callers without that layer see
+    it as an ordinary :class:`MarketplaceError`.
+    """
+
+
 class HITUncompletedError(MarketplaceError):
     """A posted HIT attracted no willing workers within the deadline.
 

@@ -33,14 +33,23 @@ from repro.hits.hit import (
 )
 from repro.hits.manager import BatchOutcome, PendingBatch, TaskManager
 from repro.hits.pricing import CostLedger, PricingModel
+from repro.hits.resilience import (
+    CircuitBreaker,
+    DegradationSummary,
+    ResilienceState,
+    RetryPolicy,
+    build_resilience,
+)
 
 __all__ = [
     "HIT",
     "Assignment",
     "BatchOutcome",
+    "CircuitBreaker",
     "CompareGroup",
     "ComparePayload",
     "CostLedger",
+    "DegradationSummary",
     "FilterPayload",
     "FilterQuestion",
     "GenerativeFieldSpec",
@@ -55,10 +64,13 @@ __all__ = [
     "PricingModel",
     "RatePayload",
     "RateQuestion",
+    "ResilienceState",
+    "RetryPolicy",
     "TaskCache",
     "PendingBatch",
     "TaskManager",
     "Vote",
+    "build_resilience",
     "compare_qid",
     "join_qid",
 ]

@@ -33,12 +33,19 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Protocol, Sequence
 
-from repro.errors import HITUncompletedError, TaskError
+from repro.errors import (
+    ExecutionError,
+    HITUncompletedError,
+    MarketplaceError,
+    TaskError,
+    TransientMarketplaceError,
+)
 from repro.hits.cache import HITCache, payload_cache_key
 from repro.util import fastpath
 from repro.hits.compiler import HITCompiler, merge_payloads
 from repro.hits.hit import HIT, Assignment, Payload, Vote
 from repro.hits.pricing import CostLedger
+from repro.hits.resilience import ResilienceState
 
 
 class CrowdPlatform(Protocol):
@@ -118,14 +125,53 @@ class TaskManager:
         compiler: HITCompiler | None = None,
         cache: HITCache | None = None,
         reward: float = 0.01,
+        resilience: ResilienceState | None = None,
     ) -> None:
         self.platform = platform
         self.ledger = ledger or CostLedger()
         self.compiler = compiler or HITCompiler()
         self.cache = cache
         self.reward = reward
+        self.resilience = resilience
+        """Per-query resilience bundle (:func:`repro.hits.resilience.build_resilience`);
+        ``None`` keeps the manager's historical strict behaviour exactly."""
         self._hit_counter = 0
         self._group_counter = 0
+
+    def _call_platform(self, call):
+        """Run a platform call, absorbing transient failures when resilient.
+
+        Without a resilience state the call runs bare — a
+        :class:`TransientMarketplaceError` then propagates like any other
+        :class:`MarketplaceError`, today's behaviour. With one, transient
+        failures are retried behind the circuit breaker; when the breaker
+        opens (``circuit_threshold`` consecutive failures) a plain
+        :class:`MarketplaceError` is raised instead of hammering on, which
+        the engine facades absorb into a degraded/aborted query.
+        """
+        state = self.resilience
+        if state is None:
+            return call()
+        breaker = state.breaker
+        while True:
+            if not breaker.allow(self.platform.clock_seconds):
+                raise MarketplaceError(
+                    "circuit breaker open: platform failed transiently "
+                    f"{breaker.failures} time(s) in a row"
+                )
+            try:
+                result = call()
+            except TransientMarketplaceError:
+                state.summary.transient_retries += 1
+                if breaker.record_failure(self.platform.clock_seconds):
+                    state.summary.circuit_opens += 1
+                    raise MarketplaceError(
+                        "circuit breaker opened after "
+                        f"{breaker.failures} consecutive transient platform failures"
+                    )
+                continue
+            breaker.record_success()
+            return result
 
     def _next_hit_id(self, label: str) -> str:
         self._hit_counter += 1
@@ -305,13 +351,15 @@ class TaskManager:
             for hit in to_post:
                 hit.group_id = group_id
             if post_time is None:
-                pending._completed = self.platform.post_hit_group(
-                    to_post, group_id=group_id
+                pending._completed = self._call_platform(
+                    lambda: self.platform.post_hit_group(to_post, group_id=group_id)
                 )
                 pending._finish_time = self.platform.clock_seconds
             else:
-                pending._ticket = self.platform.submit_hit_group(
-                    to_post, group_id=group_id, post_time=post_time
+                pending._ticket = self._call_platform(
+                    lambda: self.platform.submit_hit_group(
+                        to_post, group_id=group_id, post_time=post_time
+                    )
                 )
                 pending._finish_time = pending._ticket.finish_time
                 if self.cache is not None:
@@ -360,8 +408,17 @@ class TaskManager:
         cache_stored: bool = False,
     ) -> BatchOutcome:
         """Fold a group's completed assignments into its outcome: per-HIT
-        bookkeeping, cache stores, ledger charges, vote buckets, strictness."""
+        bookkeeping, shortfall recovery, cache stores, ledger charges, vote
+        buckets, strictness/degradation."""
+        state = self.resilience
         if to_post:
+            completed = list(completed)
+            refreshed: set[str] = set()
+            reposted = 0
+            if state is not None and state.policy.max_reposts > 0:
+                completed, finish_time, refreshed, reposted = self._recover_shortfall(
+                    to_post, completed, label, outcome.post_time, finish_time
+                )
             by_hit = self._group_by_hit(completed)
             for hit in to_post:
                 hit_assignments = by_hit.get(hit.hit_id, [])
@@ -369,14 +426,28 @@ class TaskManager:
                 outcome.assignments.extend(hit_assignments)
                 if not hit_assignments:
                     outcome.uncompleted_hit_ids.append(hit.hit_id)
-                elif self.cache is not None and not cache_stored:
+                elif self.cache is not None and (
+                    not cache_stored or hit.hit_id in refreshed
+                ):
+                    # Recovered hits re-store: the eager at-submit store
+                    # cached the faulted (shortfall) assignment set.
                     self.cache.store(hit, hit_assignments)
-            # Only pay for work actually completed.
+            # Only pay for work actually completed (reposted clone HITs
+            # count as posted-HIT overhead).
             self.ledger.record(
                 label,
-                hits=len(to_post) - len(outcome.uncompleted_hit_ids),
+                hits=len(to_post) - len(outcome.uncompleted_hit_ids) + reposted,
                 assignments=len(completed),
             )
+            if state is not None:
+                quorum = state.policy.degrade_quorum
+                for hit in to_post:
+                    got = len(by_hit.get(hit.hit_id, []))
+                    need = hit.assignments_requested
+                    if got < need:
+                        state.summary.unfilled_assignments += need - got
+                        if got < need * quorum:
+                            state.summary.note_degraded(label)
 
         outcome.finish_time = finish_time
         if fastpath.enabled():
@@ -396,13 +467,120 @@ class TaskManager:
                         Vote(worker_id=assignment.worker_id, value=value)
                     )
         if strict and outcome.uncompleted_hit_ids:
-            raise HITUncompletedError(
-                f"{len(outcome.uncompleted_hit_ids)} HIT(s) in group {label!r} "
-                "were not completed by the crowd (workers likely refused the "
-                "batch size at this price)",
-                hit_ids=list(outcome.uncompleted_hit_ids),
-            )
+            if state is None:
+                raise HITUncompletedError(
+                    f"{len(outcome.uncompleted_hit_ids)} HIT(s) in group {label!r} "
+                    "were not completed by the crowd (workers likely refused the "
+                    "batch size at this price)",
+                    hit_ids=list(outcome.uncompleted_hit_ids),
+                )
+            if to_post and not outcome.assignments:
+                # Defensive hang guard: every slot of every HIT went
+                # unfilled even after retries — downstream combiners would
+                # spin on zero votes forever. Surface it loudly instead.
+                # ExecutionError is deliberately not absorbed by the
+                # graceful query-degradation layer.
+                raise ExecutionError(
+                    f"HIT group {label!r} can never finish: all "
+                    f"{sum(h.assignments_requested for h in to_post)} slot(s) "
+                    f"across {len(to_post)} HIT(s) went unfilled after "
+                    f"{self.resilience.summary.reposts} repost round(s)"
+                )
+            # Degraded completion: combiners work with the k-of-n votes
+            # that did arrive; the shortfall is in the summary.
         return outcome
+
+    def _recover_shortfall(
+        self,
+        to_post: list[HIT],
+        completed: list[Assignment],
+        label: str,
+        post_time: float,
+        finish_time: float,
+    ) -> tuple[list[Assignment], float, set[str], int]:
+        """Repost unfilled/abandoned slots with exponential backoff.
+
+        Each round clones every short HIT with ``assignments_requested``
+        set to its missing slot count (optionally escalating the reward),
+        posts the clones as a fresh group after the round's backoff, and
+        remaps the recovered assignments onto the original HIT ids.
+        Returns the augmented assignment list, the new finish time, the
+        original hit ids whose cache entries need re-storing, and the
+        number of clone HITs posted.
+        """
+        state = self.resilience
+        policy = state.policy
+        refreshed: set[str] = set()
+        reposted = 0
+        extra_cost = 0.0
+        use_overlap = platform_supports_overlap(self.platform)
+        zero_progress = 0
+        for attempt in range(1, policy.max_reposts + 1):
+            by_hit = self._group_by_hit(completed)
+            shortfall = [
+                (hit, hit.assignments_requested - len(by_hit.get(hit.hit_id, ())))
+                for hit in to_post
+            ]
+            shortfall = [(hit, missing) for hit, missing in shortfall if missing > 0]
+            if not shortfall:
+                break
+            repost_time = finish_time + policy.backoff_for(attempt)
+            if (
+                policy.retry_deadline is not None
+                and repost_time - post_time > policy.retry_deadline
+            ):
+                break
+            bump = self.reward * policy.price_escalation * attempt
+            clones: list[HIT] = []
+            clone_to_original: dict[str, str] = {}
+            for hit, missing in shortfall:
+                clone = HIT(
+                    hit_id=self._next_hit_id(f"{label}.r{attempt}"),
+                    payloads=hit.payloads,
+                    assignments_requested=missing,
+                    reward=self.reward + bump,
+                )
+                self.compiler.compile(clone)
+                clones.append(clone)
+                clone_to_original[clone.hit_id] = hit.hit_id
+            group_id = self._next_group_id(f"{label}.repost")
+            for clone in clones:
+                clone.group_id = group_id
+            if use_overlap:
+                ticket = self._call_platform(
+                    lambda: self.platform.submit_hit_group(
+                        clones, group_id=group_id, post_time=repost_time
+                    )
+                )
+                extras = self._call_platform(lambda: self.platform.harvest(ticket))
+                round_finish = ticket.finish_time
+            else:
+                extras = self._call_platform(
+                    lambda: self.platform.post_hit_group(clones, group_id=group_id)
+                )
+                round_finish = self.platform.clock_seconds
+            state.summary.reposts += 1
+            state.summary.reposted_hits += len(clones)
+            reposted += len(clones)
+            finish_time = max(finish_time, round_finish)
+            if not extras:
+                # Reposts that keep coming back empty (the faults ate the
+                # whole round) will not improve: stop after two in a row.
+                zero_progress += 1
+                if zero_progress >= 2:
+                    break
+                continue
+            zero_progress = 0
+            state.summary.recovered_assignments += len(extras)
+            if bump > 0:
+                extra_cost += len(extras) * bump
+            for assignment in extras:
+                original = clone_to_original[assignment.hit_id]
+                refreshed.add(original)
+                completed.append(assignment._replace(hit_id=original))
+        if extra_cost > 0:
+            self.ledger.record(label, 0, 0, extra_cost=extra_cost)
+        return completed, finish_time, refreshed, reposted
 
 
 class PendingBatch:
@@ -487,7 +665,11 @@ class PendingBatch:
         self._resolved = True
         completed = self._completed
         if self._ticket is not None:
-            completed = self._manager.platform.harvest(self._ticket)
+            # Routed through the transient-retry wrapper: a failed harvest
+            # leaves the ticket outstanding, so retrying it is safe.
+            completed = self._manager._call_platform(
+                lambda: self._manager.platform.harvest(self._ticket)
+            )
         return self._manager._finalize_outcome(
             self._outcome,
             self._to_post,
@@ -508,4 +690,13 @@ def collect_pending(pendings: Sequence[PendingBatch]) -> list[BatchOutcome]:
     """
     for pending in sorted(pendings, key=lambda p: p.finish_time):
         pending.result()
+        if not pending.done:
+            # Defensive hang guard: result() must resolve the batch (even a
+            # group whose every slot was abandoned resolves, to an outcome
+            # with no assignments). If it ever did not, looping or
+            # re-collecting would wedge the harvest ordering — fail loudly.
+            raise ExecutionError(
+                "pending HIT group did not resolve after harvest; "
+                "refusing to loop on an uncollectable group"
+            )
     return [pending.result() for pending in pendings]

@@ -35,11 +35,15 @@ class LedgerEntry:
 
     hits: int = 0
     assignments: int = 0
+    extra_cost: float = 0.0
+    """Dollars beyond the flat per-assignment price — reward escalation on
+    reposted HITs (:mod:`repro.hits.resilience`)."""
 
-    def add(self, hits: int, assignments: int) -> None:
+    def add(self, hits: int, assignments: int, extra_cost: float = 0.0) -> None:
         """Accumulate counts."""
         self.hits += hits
         self.assignments += assignments
+        self.extra_cost += extra_cost
 
 
 @dataclass
@@ -49,12 +53,14 @@ class CostLedger:
     pricing: PricingModel = field(default_factory=PricingModel)
     entries: dict[str, LedgerEntry] = field(default_factory=dict)
 
-    def record(self, label: str, hits: int, assignments: int) -> None:
+    def record(
+        self, label: str, hits: int, assignments: int, extra_cost: float = 0.0
+    ) -> None:
         """Record that ``hits`` HITs totalling ``assignments`` assignments
-        were posted under ``label``."""
-        if hits < 0 or assignments < 0:
+        were posted under ``label``, plus any above-base-price dollars."""
+        if hits < 0 or assignments < 0 or extra_cost < 0:
             raise ValueError("counts must be non-negative")
-        self.entries.setdefault(label, LedgerEntry()).add(hits, assignments)
+        self.entries.setdefault(label, LedgerEntry()).add(hits, assignments, extra_cost)
 
     @property
     def total_hits(self) -> int:
@@ -68,8 +74,18 @@ class CostLedger:
 
     @property
     def total_cost(self) -> float:
-        """Total dollars = assignments × (reward + commission)."""
-        return self.pricing.cost(self.total_assignments)
+        """Total dollars = assignments × (reward + commission) + extras.
+
+        The extras term is zero unless repost price escalation charged
+        above-base rewards, so fault-free totals are bit-identical to the
+        flat formula (adding literal 0.0 cannot change the float).
+        """
+        return self.pricing.cost(self.total_assignments) + self.total_extra_cost
+
+    @property
+    def total_extra_cost(self) -> float:
+        """Dollars charged above the flat per-assignment price."""
+        return sum(entry.extra_cost for entry in self.entries.values())
 
     def hits_for(self, label: str) -> int:
         """HITs recorded under one label."""
@@ -81,11 +97,16 @@ class CostLedger:
 
     def cost_for(self, label: str) -> float:
         """Dollar cost of one label."""
-        return self.pricing.cost(self.assignments_for(label))
+        entry = self.entries.get(label, LedgerEntry())
+        return self.pricing.cost(entry.assignments) + entry.extra_cost
 
     def breakdown(self) -> dict[str, tuple[int, int, float]]:
         """Label → (hits, assignments, dollars)."""
         return {
-            label: (entry.hits, entry.assignments, self.pricing.cost(entry.assignments))
+            label: (
+                entry.hits,
+                entry.assignments,
+                self.pricing.cost(entry.assignments) + entry.extra_cost,
+            )
             for label, entry in self.entries.items()
         }

@@ -52,7 +52,9 @@ class RecordingPlatform:
         return self.inner.clock_seconds
 
 
-def collect_trace(seed: int = 0, through_session: bool = False) -> dict:
+def collect_trace(
+    seed: int = 0, through_session: bool = False, faults=None
+) -> dict:
     """Run the fixed-seed join + sort query and trace everything observable.
 
     This is the movie query under the paper's optimized plan (numInScene
@@ -60,10 +62,12 @@ def collect_trace(seed: int = 0, through_session: bool = False) -> dict:
     and rating HITs in one pass. With ``through_session`` the same query
     runs as a single-query :class:`~repro.core.session.EngineSession`
     instead of a plain engine — the session layer's fidelity contract says
-    the trace must be identical.
+    the trace must be identical. ``faults`` installs a
+    :class:`~repro.crowd.faults.FaultPlan` on the marketplace (a zero-rate
+    plan must leave the trace untouched).
     """
     data = movie_dataset(seed=seed)
-    market = SimulatedMarketplace(data.truth, seed=seed)
+    market = SimulatedMarketplace(data.truth, seed=seed, faults=faults)
     platform = RecordingPlatform(market)
     config = ExecutionConfig(
         join_interface=JoinInterface.SMART,
@@ -162,6 +166,41 @@ def test_sortscale_reference_matches_golden():
 
     with sortscale.forced(False):
         trace = collect_trace(seed=0)
+    golden = json.loads(GOLDEN_PATH.read_text())
+    assert trace == golden
+
+
+def test_resilience_disabled_matches_golden():
+    """REPRO_RESILIENCE=0 reverts bit-identically: with the toggle off the
+    retry/repost machinery never arms and the golden query reproduces the
+    pinned trace exactly."""
+    from repro.util import resilience
+
+    with resilience.forced(False):
+        trace = collect_trace(seed=0)
+    golden = json.loads(GOLDEN_PATH.read_text())
+    assert trace == golden
+
+
+def test_zero_rate_fault_plan_matches_golden():
+    """A zero-rate FaultPlan consumes no draws: installing it on the
+    marketplace (with the resilience toggle at its default) leaves votes,
+    clock, ledger, and counters bit-identical to the golden trace."""
+    from repro.crowd import FaultPlan
+
+    trace = collect_trace(seed=0, faults=FaultPlan())
+    golden = json.loads(GOLDEN_PATH.read_text())
+    assert trace == golden
+
+
+def test_zero_rate_fault_plan_matches_golden_with_toggle_forced_on():
+    """Same pin with REPRO_RESILIENCE explicitly forced on: arming the
+    layer against a fault-free marketplace must still change nothing."""
+    from repro.crowd import FaultPlan
+    from repro.util import resilience
+
+    with resilience.forced(True):
+        trace = collect_trace(seed=0, faults=FaultPlan())
     golden = json.loads(GOLDEN_PATH.read_text())
     assert trace == golden
 

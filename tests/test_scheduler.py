@@ -30,6 +30,7 @@ from repro.core.context import ExecutionConfig
 from repro.core.engine import Qurk
 from repro.core.plan import ScanNode
 from repro.crowd import GroundTruth, SimulatedMarketplace
+from repro.errors import MarketplaceError
 from repro.datasets import (
     animals_dataset,
     celebrity_dataset,
@@ -348,12 +349,15 @@ def test_submit_then_harvest_equals_blocking_post():
 
 
 def test_harvest_rejects_double_collection():
+    """Double harvest raises from the marketplace error taxonomy (a
+    ``MarketplaceError``, not a bare ``ValueError``) so callers can catch
+    platform failures uniformly."""
     items = [f"img://item/{i}" for i in range(3)]
     market = SimulatedMarketplace(harvest_truth(items), seed=1)
     manager = TaskManager(market)
     ticket = market.submit_hit_group(filter_hits(manager, items), group_id="g")
     market.harvest(ticket)
-    with pytest.raises(ValueError):
+    with pytest.raises(MarketplaceError, match="not.*outstanding"):
         market.harvest(ticket)
 
 

@@ -18,7 +18,7 @@ from repro.core.engine import Qurk
 from repro.core.session import EngineSession
 from repro.crowd import SimulatedMarketplace
 from repro.datasets import animals_dataset
-from repro.util import adapt, fastpath, pipeline, sortscale
+from repro.util import adapt, fastpath, pipeline, resilience, sortscale
 
 
 def _require_unset(var: str) -> str | None:
@@ -37,6 +37,7 @@ def _restore(var: str, previous: str | None) -> None:
     fastpath.refresh_from_env()
     adapt.refresh_from_env()
     sortscale.refresh_from_env()
+    resilience.refresh_from_env()
 
 
 def animals_engine():
@@ -137,6 +138,60 @@ def test_sortscale_env_honored_by_session_construction():
         assert not sortscale.enabled()
     finally:
         _restore("REPRO_SORTSCALE", previous)
+
+
+def test_resilience_env_set_after_import_takes_effect_at_engine_construction():
+    previous = _require_unset("REPRO_RESILIENCE")
+    try:
+        os.environ["REPRO_RESILIENCE"] = "0"
+        assert resilience.enabled()  # not yet re-read: construction does that
+        engine, _ = animals_engine()
+        assert not resilience.enabled()
+    finally:
+        _restore("REPRO_RESILIENCE", previous)
+    animals_engine()
+    assert resilience.enabled()
+
+
+def test_resilience_env_honored_by_session_construction():
+    previous = _require_unset("REPRO_RESILIENCE")
+    try:
+        os.environ["REPRO_RESILIENCE"] = "0"
+        data = animals_dataset()
+        EngineSession(platform=SimulatedMarketplace(data.truth, seed=1))
+        assert not resilience.enabled()
+    finally:
+        _restore("REPRO_RESILIENCE", previous)
+
+
+def test_resilience_config_overrides_toggle():
+    """ExecutionConfig.resilience beats the toggle in both directions (on a
+    faulted marketplace, the only place the layer arms at all)."""
+    from repro.core.context import ExecutionConfig
+    from repro.crowd import FaultPlan
+    from repro.datasets import animals_dataset
+
+    data = animals_dataset()
+    query = "SELECT a.name FROM animals a"
+
+    def faulted_engine():
+        market = SimulatedMarketplace(
+            data.truth, seed=1, faults=FaultPlan(abandonment_rate=0.2)
+        )
+        engine = Qurk(platform=market)
+        engine.register_table(data.table)
+        return engine
+
+    with resilience.forced(True):
+        result = faulted_engine().execute(
+            query, config=ExecutionConfig(resilience=False)
+        )
+        assert result.degradation_summary is None
+    with resilience.forced(False):
+        result = faulted_engine().execute(
+            query, config=ExecutionConfig(resilience=True)
+        )
+        assert result.degradation_summary is not None
 
 
 def test_adapt_config_overrides_toggle():

@@ -1,0 +1,26 @@
+#!/usr/bin/env sh
+# Fast CI lane: the full test suite minus the >30s benchmark artifacts,
+# plus the persistent-store warm-path smoke guard.
+#
+#   scripts/ci_fast.sh            # from the repo root
+#
+# Two stages, both minutes-not-hours:
+#   1. `pytest -m "not slow"` over tests/ — every correctness, contract,
+#      determinism, and durability test (the `slow` marker only exists on
+#      long benchmark measurements, so nothing tier-1 is skipped);
+#   2. `profile_hotpath.py --check-store` — the store cold/warm restart
+#      micro-bench in smoke mode, failing on a >5% warm-path wall
+#      regression against the ratio recorded in benchmarks/BENCH_store.json
+#      (run `pytest benchmarks/bench_store.py` to (re)record it).
+#
+# The heavyweight lane stays `scripts/profile_hotpath.py --check` plus
+# `pytest benchmarks -q`.
+
+set -e
+
+cd "$(dirname "$0")/.."
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+export PYTHONPATH
+
+python -m pytest tests -q -m "not slow"
+python scripts/profile_hotpath.py --check-store --check-repeats "${CI_STORE_REPEATS:-3}"

@@ -45,7 +45,20 @@ is blown:
    machinery is gated off entirely on marketplaces without a fault plan,
    so any measurable overhead means the gate leaked onto the dispatch
    path. Same interleaved best-of measurement; the result is appended to
-   ``benchmarks/BENCH_resilience.json`` under ``ci_check``.
+   ``benchmarks/BENCH_resilience.json`` under ``ci_check``;
+7. the persistent answer store's warm/cold wall ratio regresses more than
+   5% against the one recorded in ``benchmarks/BENCH_store.json`` (written
+   by ``benchmarks/bench_store.py``) — the warm run is pure store-read
+   path (SQLite fetch, JSON decode, memory-layer promotion), so a rising
+   ratio means disk reuse started costing real time against the crowd
+   work it replaces. Measured via the shared
+   ``repro.experiments.store_workload.measure_cold_warm`` smoke (best-of
+   CPU, GC paused, fresh store file per repeat) and appended to
+   ``BENCH_store.json`` under ``ci_check``.
+
+``--check-store`` runs only check 7 (no profiling, no macro sweeps) — the
+fast lane ``scripts/ci_fast.sh`` uses it alongside the ``-m "not slow"``
+pytest suite for a minutes-not-hours smoke signal.
 """
 
 from __future__ import annotations
@@ -78,6 +91,7 @@ SESSION_REGRESSION_LIMIT = 1.05
 ADAPTIVE_OVERHEAD_LIMIT = 1.05
 SORT_SCALE_REGRESSION_LIMIT = 1.05
 RESILIENCE_OVERHEAD_LIMIT = 1.05
+STORE_WARM_REGRESSION_LIMIT = 1.05
 SESSION_QUERY_COUNT = 8
 SORT_SCALE_CHECK_ITEMS = 200
 BENCH_PIPELINE_PATH = Path(__file__).parent.parent / "benchmarks" / "BENCH_pipeline.json"
@@ -87,6 +101,7 @@ BENCH_SORT_PATH = Path(__file__).parent.parent / "benchmarks" / "BENCH_sort.json
 BENCH_RESILIENCE_PATH = (
     Path(__file__).parent.parent / "benchmarks" / "BENCH_resilience.json"
 )
+BENCH_STORE_PATH = Path(__file__).parent.parent / "benchmarks" / "BENCH_store.json"
 
 
 def run_workload(scale: int = 1, seed: int = 0) -> None:
@@ -402,6 +417,74 @@ def check_sort_scale(seed: int, repeats: int) -> dict | None:
     return report
 
 
+def check_store_warm_path(seed: int, repeats: int) -> dict | None:
+    """Measure the restart pair's warm/cold wall ratio vs. the recording.
+
+    Runs ``repro.experiments.store_workload.measure_cold_warm`` (the exact
+    smoke ``benchmarks/bench_store.py`` records) against a throwaway store
+    directory and compares the fresh warm/cold ratio to the recorded one;
+    CI fails when it exceeds the recording by more than
+    ``STORE_WARM_REGRESSION_LIMIT``. Ratios keep the guard
+    machine-independent: the cold run (crowd simulation + write-through)
+    anchors the scale the warm run's pure read path is judged against.
+    Returns None (with a warning) when no baseline has been recorded.
+    """
+    import tempfile
+
+    from repro.experiments.store_workload import measure_cold_warm
+
+    if not BENCH_STORE_PATH.exists():
+        print(
+            "warning: benchmarks/BENCH_store.json missing — run "
+            "`pytest benchmarks/bench_store.py` to record the store "
+            "baseline; skipping the store warm-path check.",
+            file=sys.stderr,
+        )
+        return None
+    recorded = json.loads(BENCH_STORE_PATH.read_text())
+    try:
+        baseline = recorded["latency"]["warm_cold_ratio"]
+    except KeyError:
+        print(
+            "warning: BENCH_store.json has no latency.warm_cold_ratio — "
+            "re-run the store benchmark; skipping the check.",
+            file=sys.stderr,
+        )
+        return None
+
+    with tempfile.TemporaryDirectory(prefix="repro-store-check-") as scratch:
+        measured = measure_cold_warm(scratch, seed=seed, repeats=repeats)
+    report = dict(measured)
+    report["recorded_warm_cold_ratio"] = baseline
+    report["limit"] = STORE_WARM_REGRESSION_LIMIT
+    _append_ci_check(BENCH_STORE_PATH, report)
+    return report
+
+
+def run_store_check(seed: int, repeats: int) -> int:
+    """Run the store warm-path guard; returns a process exit code."""
+    report = check_store_warm_path(seed, repeats)
+    if report is None:
+        return 0
+    allowed = report["recorded_warm_cold_ratio"] * STORE_WARM_REGRESSION_LIMIT
+    if report["warm_cold_ratio"] > allowed:
+        print(
+            "CHECK FAILED: store warm-run wall-clock is "
+            f"{report['warm_cold_ratio']:.3f}x the cold run, above the "
+            f"recorded {report['recorded_warm_cold_ratio']:.3f}x + "
+            f"{STORE_WARM_REGRESSION_LIMIT - 1:.0%} headroom: {report}",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        "check ok: store warm-run wall-clock is "
+        f"{report['warm_cold_ratio']:.3f}x the cold run "
+        f"(recorded {report['recorded_warm_cold_ratio']:.3f}x, "
+        f"headroom {STORE_WARM_REGRESSION_LIMIT - 1:.0%})"
+    )
+    return 0
+
+
 def top_cumulative_entries(stats: pstats.Stats, count: int) -> list[str]:
     """Function names of the top-``count`` entries by cumulative time,
     excluding the profiler scaffolding itself."""
@@ -450,7 +533,20 @@ def main() -> int:
             "(interleaved, best-of; raise on noisy machines)"
         ),
     )
+    parser.add_argument(
+        "--check-store",
+        action="store_true",
+        help=(
+            "run only the persistent-store warm-path guard (fast smoke: "
+            "no profiling, no macro sweeps) — exit nonzero if the restart "
+            "pair's warm/cold wall ratio regresses more than "
+            f"{STORE_WARM_REGRESSION_LIMIT - 1:.0%} vs BENCH_store.json"
+        ),
+    )
     args = parser.parse_args()
+
+    if args.check_store:
+        return run_store_check(args.seed, args.check_repeats)
 
     stats = profile(args.scale, args.seed)
     stats.sort_stats("cumulative").print_stats(args.top)
@@ -566,6 +662,8 @@ def main() -> int:
                 f"(recorded {session_report['recorded_wall_overhead']:.3f}x, "
                 f"headroom {SESSION_REGRESSION_LIMIT - 1:.0%})"
             )
+        if run_store_check(args.seed, args.check_repeats) != 0:
+            return 1
     return 0
 
 

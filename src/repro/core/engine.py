@@ -29,6 +29,7 @@ from repro.hits.cache import TaskCache
 from repro.hits.manager import CrowdPlatform, TaskManager
 from repro.hits.pricing import CostLedger
 from repro.hits.resilience import build_resilience
+from repro.hits.store import PersistentAnswerStore, StoreSpec, open_store
 from repro.language.ast import SelectQuery, TaskDefinition
 from repro.language.parser import parse_statements
 from repro.relational.catalog import Catalog
@@ -42,6 +43,72 @@ from repro.util import fastpath
 from repro.util import pipeline as pipeline_toggle
 from repro.util import resilience as resilience_toggle
 from repro.util import sortscale as sortscale_toggle
+from repro.util import store as store_toggle
+
+
+_STORE_COUNTERS = (
+    "hits",
+    "misses",
+    "persistent_hits",
+    "assignments_reused",
+    "evictions_ttl",
+    "evictions_budget",
+)
+"""Persistent-store counters snapshotted per query for the store summary."""
+
+
+def resolve_store(
+    spec: StoreSpec | None, cache: object | None
+) -> PersistentAnswerStore | None:
+    """The one store-attachment policy the engine and session share.
+
+    Returns the opened store to use as the task cache, or ``None`` when
+    nothing should be attached. With ``REPRO_STORE=0`` a configured store
+    is ignored *entirely* — not even the file is opened — so the facade
+    behaves bit-identically to one constructed without a store. A store
+    and an explicit cache are mutually exclusive (the store *is* the
+    cache).
+    """
+    if spec is None:
+        return None
+    if cache is not None:
+        raise PlanError(
+            "pass either cache= or store=, not both: a persistent store "
+            "serves as the task cache"
+        )
+    if not store_toggle.enabled():
+        return None
+    return open_store(spec)
+
+
+def store_counters(store: PersistentAnswerStore) -> dict[str, int]:
+    """Counter snapshot used for per-query store-summary deltas."""
+    return {name: getattr(store, name) for name in _STORE_COUNTERS}
+
+
+def store_summary_delta(
+    store: PersistentAnswerStore,
+    before: dict[str, int],
+    pricing,
+) -> dict[str, object]:
+    """Per-query (or per-session-run) store summary from a counter delta.
+
+    ``cost_saved`` prices the assignments served from *disk* — the dollars
+    a fresh process did not re-spend thanks to persistence. In-process
+    memory-layer hits are the plain task cache's win and are reported as
+    plain ``hits``.
+    """
+    delta = {
+        name: getattr(store, name) - before[name] for name in _STORE_COUNTERS
+    }
+    summary: dict[str, object] = dict(delta)
+    summary["cost_saved"] = pricing.cost(delta["assignments_reused"])
+    summary["rows"] = store.row_count()
+    if store.rebuilds:
+        summary["rebuilds"] = store.rebuilds
+    if store.degraded:
+        summary["degraded"] = True
+    return summary
 
 
 def register_task_definitions(
@@ -141,6 +208,11 @@ class QueryResult:
     counts, and ``aborted`` when the query was cut short and completed
     with partial rows); None when the layer was inert — toggle off or a
     fault-free platform."""
+    store_summary: dict[str, object] | None = None
+    """Persistent-answer-store traffic for this query (hits/misses, the
+    disk hits and assignments a fresh process reused, eviction counts, and
+    the dollars persistence saved); None when no store is attached
+    (including under ``REPRO_STORE=0``)."""
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -162,6 +234,7 @@ class QueryResult:
             pipeline_summary=self.pipeline_summary,
             adaptive_summary=self.adaptive_summary,
             degradation_summary=self.degradation_summary,
+            store_summary=self.store_summary,
         )
 
 
@@ -175,6 +248,7 @@ class Qurk:
         catalog: Catalog | None = None,
         ledger: CostLedger | None = None,
         cache: TaskCache | None = None,
+        store: StoreSpec | None = None,
     ) -> None:
         # Honour REPRO_* environment changes made after import (the
         # toggles' import-time capture used to swallow them silently).
@@ -183,29 +257,52 @@ class Qurk:
         adapt_toggle.refresh_from_env()
         sortscale_toggle.refresh_from_env()
         resilience_toggle.refresh_from_env()
+        store_toggle.refresh_from_env()
         self.platform = platform
         self.config = config or ExecutionConfig()
         self.catalog = catalog or Catalog()
         self.ledger = ledger or CostLedger()
-        self.manager = TaskManager(platform, ledger=self.ledger, cache=cache)
+        self.store = resolve_store(store, cache)
+        """The attached persistent answer store (``None`` when no ``store=``
+        was configured or ``REPRO_STORE=0`` ignored it)."""
+        # Explicit None test: an *empty* store is falsy (len() == 0) but
+        # must still be attached.
+        self.manager = TaskManager(
+            platform,
+            ledger=self.ledger,
+            cache=self.store if self.store is not None else cache,
+        )
         self.book = SelectivityBook()
         """The engine's online selectivity estimates, shared across its
         (serial) queries: a repeated workload's later queries start from
         the pass rates the earlier ones observed."""
 
-    def session(self, cache: TaskCache | None = None) -> "EngineSession":
+    def session(
+        self,
+        cache: TaskCache | None = None,
+        store: StoreSpec | None = None,
+    ) -> "EngineSession":
         """A multi-query session over this engine's platform and catalog.
 
         The session shares the engine's catalog (tables/tasks registered
         here are visible to session queries) and default config, but keeps
         its own per-query ledgers; pass a :class:`TaskCache` to seed the
-        session's shared cross-query cache. See
+        session's shared cross-query cache, or a store spec to persist it.
+        An engine constructed with ``store=`` hands its (already opened)
+        store to sessions by default, so session queries reuse — and feed
+        — the same cross-run answers. See
         :class:`repro.core.session.EngineSession`.
         """
         from repro.core.session import EngineSession
 
+        if store is None and cache is None:
+            store = self.store
         return EngineSession(
-            self.platform, config=self.config, catalog=self.catalog, cache=cache
+            self.platform,
+            config=self.config,
+            catalog=self.catalog,
+            cache=cache,
+            store=store,
         )
 
     # -- registration ------------------------------------------------------
@@ -262,6 +359,9 @@ class Qurk:
         assignments_before = self.ledger.total_assignments
         cost_before = self.ledger.total_cost
         clock_before = self.platform.clock_seconds
+        store_before = (
+            store_counters(self.store) if self.store is not None else None
+        )
         live_stats = getattr(self.platform, "stats", None)
         if live_stats is not None:
             considerations_before = getattr(live_stats, "considerations", 0)
@@ -318,6 +418,11 @@ class Qurk:
             if state is not None
             else None,
             degradation_summary=degradation,
+            store_summary=store_summary_delta(
+                self.store, store_before, self.ledger.pricing
+            )
+            if self.store is not None and store_before is not None
+            else None,
         )
 
     def explain(self, query: str | SelectQuery) -> str:

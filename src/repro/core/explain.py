@@ -60,6 +60,28 @@ def _pipeline_note(stats: OperatorStats) -> str | None:
     return "pipeline: " + ", ".join(parts)
 
 
+def _store_line(summary: Mapping[str, object]) -> str:
+    """The persistent-answer-store footer line (shared by the per-query
+    EXPLAIN and the session summary)."""
+    parts = [
+        f"hits={summary.get('hits', 0)}",
+        f"misses={summary.get('misses', 0)}",
+        f"persistent_hits={summary.get('persistent_hits', 0)}",
+        f"assignments_reused={summary.get('assignments_reused', 0)}",
+        f"cost_saved=${summary.get('cost_saved', 0.0):.2f}",
+    ]
+    evictions_ttl = summary.get("evictions_ttl", 0)
+    evictions_budget = summary.get("evictions_budget", 0)
+    if evictions_ttl or evictions_budget:
+        parts.append(f"evictions=ttl:{evictions_ttl}+budget:{evictions_budget}")
+    parts.append(f"rows={summary.get('rows', 0)}")
+    if summary.get("rebuilds"):
+        parts.append(f"rebuilds={summary['rebuilds']}")
+    if summary.get("degraded"):
+        parts.append("degraded=memory-only")
+    return "store: " + ", ".join(parts)
+
+
 def render_explain(
     plan: PlanNode,
     node_stats: dict[int, OperatorStats],
@@ -67,6 +89,7 @@ def render_explain(
     pipeline_summary: Mapping[str, float] | None = None,
     adaptive_summary: Mapping[str, object] | None = None,
     degradation_summary: Mapping[str, object] | None = None,
+    store_summary: Mapping[str, object] | None = None,
 ) -> str:
     """Render the plan tree annotated with collected operator signals.
 
@@ -84,7 +107,12 @@ def render_explain(
     layer was armed) and anything actually happened — retries, reposts,
     injected faults, degraded operators, an absorbed abort — a
     ``resilience:`` footer itemises it; a fault-free resilient run emits
-    no footer, keeping golden EXPLAIN output unchanged.
+    no footer, keeping golden EXPLAIN output unchanged. When
+    ``store_summary`` is provided (a persistent answer store is attached),
+    a ``store:`` footer reports this query's cache traffic, the
+    assignments it reused from *disk* (a previous process's crowd work)
+    and the dollars that saved, eviction counts, and — if the store was
+    rebuilt from a corrupt file or degraded to memory-only — says so.
     """
     lines: list[str] = []
 
@@ -192,6 +220,8 @@ def render_explain(
             lines.append("resilience: " + ", ".join(parts))
             if aborted:
                 lines.append(f"  ~ aborted: {aborted}")
+    if store_summary is not None:
+        lines.append(_store_line(store_summary))
     if marketplace_stats is not None:
         considerations = getattr(marketplace_stats, "considerations", None)
         per_assignment = getattr(
@@ -234,6 +264,9 @@ def render_session_summary(stats: object) -> str:
         f", assignments_reused={getattr(stats, 'cross_assignments_shared', 0)}"
         f", cost_saved=${getattr(stats, 'cost_saved', 0.0):.2f}"
     )
+    store_summary = getattr(stats, "store_summary", None)
+    if store_summary is not None:
+        lines.append("session " + _store_line(store_summary))
     if admitted:
         lines.append(f"session admission: groups per query: {admitted}")
     return "\n".join(lines)

@@ -59,6 +59,9 @@ from repro.core.engine import (
     QueryResult,
     parse_single_select,
     register_task_definitions,
+    resolve_store,
+    store_counters,
+    store_summary_delta,
 )
 from repro.core.executor import run_plan
 from repro.core.explain import render_session_summary
@@ -73,10 +76,11 @@ from repro.errors import (
     MarketplaceError,
     PlanError,
 )
-from repro.hits.cache import TaskCache, TaskCacheView
+from repro.hits.cache import HITCache, TaskCache, TaskCacheView
 from repro.hits.manager import CrowdPlatform, TaskManager, platform_supports_overlap
 from repro.hits.pricing import CostLedger
 from repro.hits.resilience import ResilienceState, build_resilience
+from repro.hits.store import StoreSpec
 from repro.language.ast import SelectQuery
 from repro.relational.catalog import Catalog
 from repro.relational.table import Table
@@ -85,6 +89,7 @@ from repro.util import fastpath
 from repro.util import pipeline as pipeline_toggle
 from repro.util import resilience as resilience_toggle
 from repro.util import sortscale as sortscale_toggle
+from repro.util import store as store_toggle
 
 
 _SESSION_FAULT_COUNTERS = (
@@ -179,6 +184,13 @@ class SessionStats:
     cross_assignments_shared: int = 0
     cost_saved: float = 0.0
     """Dollars the cross-query sharing avoided re-spending."""
+
+    store_summary: dict[str, object] | None = None
+    """Persistent-answer-store traffic for the whole run when the session's
+    shared cache is a :class:`~repro.hits.store.PersistentAnswerStore`
+    (hits/misses, disk reuse, evictions, dollars saved); None otherwise.
+    Session-wide rather than per-query: the store is shared, so disk reuse
+    belongs to the batch, not to whichever sibling happened to ask first."""
 
     groups_posted: dict[str, int] = field(default_factory=dict)
     admission_log: list[tuple[str, str | None]] = field(default_factory=list)
@@ -289,6 +301,7 @@ class EngineSession:
         config: ExecutionConfig | None = None,
         catalog: Catalog | None = None,
         cache: TaskCache | None = None,
+        store: StoreSpec | None = None,
     ) -> None:
         # Honour REPRO_* environment changes made after import (the
         # toggles' import-time capture used to swallow them silently).
@@ -297,10 +310,18 @@ class EngineSession:
         adapt_toggle.refresh_from_env()
         sortscale_toggle.refresh_from_env()
         resilience_toggle.refresh_from_env()
+        store_toggle.refresh_from_env()
         self.platform = platform
         self.config = config or ExecutionConfig()
         self.catalog = catalog or Catalog()
-        self.cache = cache or TaskCache()
+        self.store = resolve_store(store, cache)
+        """The attached persistent answer store (``None`` when no ``store=``
+        was configured or ``REPRO_STORE=0`` ignored it)."""
+        # Explicit None test: an *empty* store is falsy (len() == 0) but
+        # must still serve as the shared cache.
+        self.cache: HITCache = (
+            self.store if self.store is not None else (cache or TaskCache())
+        )
         self._owners: dict[str, str] = {}
         self.queries: list[SessionQuery] = []
         self._ran = False
@@ -370,6 +391,9 @@ class EngineSession:
             queries=len(self.queries),
             epoch=self.platform.clock_seconds,
         )
+        store_before = (
+            store_counters(self.store) if self.store is not None else None
+        )
 
         for handle in self.queries:
             handle.cache_view = TaskCacheView(
@@ -418,6 +442,10 @@ class EngineSession:
         )
         pricing = self.queries[0].ledger.pricing
         stats.cost_saved = pricing.cost(stats.cross_assignments_shared)
+        if self.store is not None and store_before is not None:
+            stats.store_summary = store_summary_delta(
+                self.store, store_before, pricing
+            )
         stats.groups_posted = {
             h.key: h.client.groups_posted
             for h in self.queries

@@ -87,6 +87,14 @@ class TaskCache:
 
         Budget pre-flight peeks at keys it may never look up for real;
         counting those probes would distort the hit-rate stats.
+
+        Contract: ``contains_key(k)`` is true iff an immediately following
+        :meth:`lookup` of a HIT with key ``k`` would hit. Every
+        :class:`HITCache` implementation must preserve this equivalence
+        (the persistent store applies TTL expiry inside both methods for
+        exactly this reason) so that
+        :meth:`~repro.hits.manager.TaskManager.projected_new_assignments`
+        never projects cache savings the real lookup won't deliver.
         """
         return cache_key in self._store
 
@@ -110,9 +118,25 @@ class TaskCacheView:
     *cross* hit — the work one query borrowed from another. ``hits`` /
     ``misses`` here are this client's own traffic; the shared cache keeps
     the session-wide totals.
+
+    Ownership contract
+    ------------------
+    Ownership is **attribution-only**: neither :meth:`lookup` nor
+    :meth:`contains_key` filters by owner — every client sees every shared
+    entry (that is the session's whole dedup win), and ``owners`` merely
+    decides whether a hit counts as *cross*-client for the sharing stats.
+    Consequently ``contains_key(k)`` ⇔ "a lookup of ``k`` through *any*
+    view would hit", exactly matching :meth:`TaskCache.contains_key`'s
+    contract, and budget pre-flight
+    (:meth:`~repro.hits.manager.TaskManager.projected_new_assignments`)
+    running through a view counts precisely the hits the executor will
+    later get. The shared cache may be a plain in-process
+    :class:`TaskCache` or a
+    :class:`~repro.hits.store.PersistentAnswerStore` — anything honouring
+    the :class:`HITCache` protocol.
     """
 
-    shared: TaskCache
+    shared: HITCache
     owner: str
     owners: dict[str, str] = field(default_factory=dict)
     hits: int = 0

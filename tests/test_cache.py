@@ -1,7 +1,12 @@
-"""Tests for the task cache."""
+"""Tests for the task cache: key stability, the view ownership contract,
+and budget pre-flight's reliance on ``contains_key`` ⇔ lookup-would-hit."""
 
-from repro.hits.cache import TaskCache, payload_cache_key
+import subprocess
+import sys
+
+from repro.hits.cache import TaskCache, TaskCacheView, payload_cache_key
 from repro.hits.hit import HIT, Assignment, FilterPayload, FilterQuestion
+from repro.hits.manager import TaskManager
 
 
 def make_hit(item: str = "a", assignments: int = 5) -> HIT:
@@ -75,3 +80,93 @@ def test_clear():
     cache.clear()
     assert len(cache) == 0
     assert cache.lookup(hit) is None
+
+
+def test_cache_key_stable_across_processes():
+    """The key a fresh interpreter computes for the same payloads is the
+    byte-for-byte same string — the property the persistent answer store
+    leans on when a restarted process looks up yesterday's answers. Run
+    under a different PYTHONHASHSEED to prove no hash-randomized ordering
+    (set/dict iteration, object hashes) leaks into the key."""
+    payloads = (
+        FilterPayload("t", (FilterQuestion("b"), FilterQuestion("a"))),
+        FilterPayload("other", (FilterQuestion("z"),)),
+    )
+    local_key = payload_cache_key(payloads, 5)
+    script = (
+        "from repro.hits.cache import payload_cache_key\n"
+        "from repro.hits.hit import FilterPayload, FilterQuestion\n"
+        "payloads = (\n"
+        "    FilterPayload('t', (FilterQuestion('b'), FilterQuestion('a'))),\n"
+        "    FilterPayload('other', (FilterQuestion('z'),)),\n"
+        ")\n"
+        "print(payload_cache_key(payloads, 5), end='')\n"
+    )
+    for hashseed in ("0", "1", "424242"):
+        child = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            env={"PYTHONPATH": "src", "PYTHONHASHSEED": hashseed},
+            cwd=__import__("pathlib").Path(__file__).parent.parent,
+            check=True,
+        )
+        assert child.stdout == local_key, hashseed
+
+
+# ---------------------------------------------------------------------------
+# TaskCacheView ownership contract
+# ---------------------------------------------------------------------------
+
+
+def make_view_pair() -> tuple[TaskCacheView, TaskCacheView, TaskCache]:
+    shared = TaskCache()
+    owners: dict[str, str] = {}
+    view_a = TaskCacheView(shared=shared, owner="a", owners=owners)
+    view_b = TaskCacheView(shared=shared, owner="b", owners=owners)
+    return view_a, view_b, shared
+
+
+def test_view_ownership_is_attribution_only():
+    """Neither lookup nor contains_key filters by owner: every client sees
+    every shared entry, and `owners` only decides *cross* attribution."""
+    view_a, view_b, shared = make_view_pair()
+    hit = make_hit()
+    view_a.store(hit, [make_assignment(hit)])
+
+    assert view_b.contains_key(hit.cache_key)  # other owner's entry visible
+    cached = view_b.lookup(hit)  # ... and servable
+    assert cached is not None
+    assert view_b.cross_hits == 1 and view_b.cross_assignments == 1
+    # The owner's own traffic is a plain (non-cross) hit.
+    assert view_a.lookup(hit) is cached
+    assert view_a.cross_hits == 0
+
+
+def test_view_contains_key_matches_lookup_would_hit():
+    """contains_key(k) ⇔ an immediately following lookup would hit — for
+    every view over the shared cache, regardless of who stored the key."""
+    view_a, view_b, shared = make_view_pair()
+    hit = make_hit()
+    for view in (view_a, view_b):
+        assert not view.contains_key(hit.cache_key)
+        assert view.lookup(hit) is None
+    view_a.store(hit, [make_assignment(hit)])
+    for view in (view_a, view_b):
+        assert view.contains_key(hit.cache_key)
+        assert view.lookup(hit) is not None
+
+
+def test_preflight_through_view_counts_cross_owner_hits():
+    """Budget pre-flight running through one client's view must count the
+    hits the executor will actually get — including entries another client
+    stored — so `projected_new_assignments` never overcounts."""
+    view_a, view_b, _ = make_view_pair()
+    unit = [FilterPayload("t", (FilterQuestion("a"),))]
+    merged = TaskManager.merge_units([unit], 1)[0]
+    hit = HIT(hit_id="h-pre", payloads=merged, assignments_requested=5)
+
+    manager_b = TaskManager(platform=None, cache=view_b)
+    assert manager_b.projected_new_assignments([unit], 1, 5) == 5
+    view_a.store(hit, [make_assignment(hit)])  # owned by the *other* client
+    assert manager_b.projected_new_assignments([unit], 1, 5) == 0

@@ -53,7 +53,7 @@ class RecordingPlatform:
 
 
 def collect_trace(
-    seed: int = 0, through_session: bool = False, faults=None
+    seed: int = 0, through_session: bool = False, faults=None, store=None
 ) -> dict:
     """Run the fixed-seed join + sort query and trace everything observable.
 
@@ -64,7 +64,9 @@ def collect_trace(
     instead of a plain engine — the session layer's fidelity contract says
     the trace must be identical. ``faults`` installs a
     :class:`~repro.crowd.faults.FaultPlan` on the marketplace (a zero-rate
-    plan must leave the trace untouched).
+    plan must leave the trace untouched). ``store`` passes a persistent
+    answer-store spec through to the facade — under ``REPRO_STORE=0`` a
+    configured store must leave the trace untouched too.
     """
     data = movie_dataset(seed=seed)
     market = SimulatedMarketplace(data.truth, seed=seed, faults=faults)
@@ -82,7 +84,7 @@ def collect_trace(
     if through_session:
         from repro.core.session import EngineSession
 
-        session = EngineSession(platform=platform, config=config)
+        session = EngineSession(platform=platform, config=config, store=store)
         session.register_table(data.actors)
         session.register_table(data.scenes)
         session.define(data.task_dsl)
@@ -90,7 +92,7 @@ def collect_trace(
         result = session.run()[handle]
         ledger = handle.ledger
     else:
-        engine = Qurk(platform=platform, config=config)
+        engine = Qurk(platform=platform, config=config, store=store)
         engine.register_table(data.actors)
         engine.register_table(data.scenes)
         engine.define(data.task_dsl)
@@ -180,6 +182,23 @@ def test_resilience_disabled_matches_golden():
         trace = collect_trace(seed=0)
     golden = json.loads(GOLDEN_PATH.read_text())
     assert trace == golden
+
+
+def test_store_disabled_matches_golden(tmp_path):
+    """REPRO_STORE=0 reverts bit-identically: a *configured* persistent
+    store is ignored entirely — the pinned trace reproduces exactly and
+    the store file is never even created — through both facades."""
+    from repro.util import store as store_toggle
+
+    golden = json.loads(GOLDEN_PATH.read_text())
+    for through_session in (False, True):
+        db_path = tmp_path / f"session-{through_session}.db"
+        with store_toggle.forced(False):
+            trace = collect_trace(
+                seed=0, through_session=through_session, store=db_path
+            )
+        assert trace == golden
+        assert not db_path.exists()
 
 
 def test_zero_rate_fault_plan_matches_golden():

@@ -155,6 +155,99 @@ def test_cycle_breaking_always_yields_total_order(edges):
 
 
 # ---------------------------------------------------------------------------
+# payload_cache_key (hits/cache.py) — the persistent store's join key
+# ---------------------------------------------------------------------------
+
+item_names = st.text(
+    alphabet=st.characters(whitelist_categories=("L", "N", "P", "S", "Z")),
+    min_size=1,
+    max_size=12,
+)
+
+filter_corpus = st.tuples(
+    item_names,
+    st.lists(item_names, min_size=1, max_size=6, unique=True).map(tuple),
+)
+"""(task_name, item list) — the primitive data a filter unit is built from."""
+
+
+def _build_filter_payloads(corpus) -> tuple:
+    """Fresh payload objects from primitive data — what a restarted process
+    does when it re-plans the same query from scratch."""
+    from repro.hits.hit import FilterPayload, FilterQuestion
+
+    task_name, items = corpus
+    return (
+        FilterPayload(task_name, tuple(FilterQuestion(item) for item in items)),
+    )
+
+
+@given(filter_corpus, st.integers(1, 9))
+@settings(max_examples=80, deadline=None)
+def test_cache_key_stable_across_rebuilds(corpus, assignments):
+    """Same primitive data ⇒ same key, even from freshly constructed
+    payload objects (simulating another process): the key depends only on
+    payload *content*, never on object identity."""
+    from repro.hits.cache import payload_cache_key
+
+    first = payload_cache_key(_build_filter_payloads(corpus), assignments)
+    second = payload_cache_key(_build_filter_payloads(corpus), assignments)
+    assert first == second
+
+
+@given(
+    st.lists(item_names, min_size=2, max_size=5, unique=True),
+    st.permutations(range(5)),
+    st.integers(1, 9),
+)
+@settings(max_examples=60, deadline=None)
+def test_cache_key_ignores_payload_tuple_order(items, perm, assignments):
+    """Payload order within a HIT is presentation, not content: the key
+    sorts payload reprs, so any permutation of the same payloads collides
+    (which is the point — identical questions share one cache row)."""
+    from repro.hits.cache import payload_cache_key
+    from repro.hits.hit import FilterPayload, FilterQuestion
+
+    payloads = tuple(
+        FilterPayload(f"t{k}", (FilterQuestion(item),))
+        for k, item in enumerate(items)
+    )
+    shuffled = tuple(payloads[i % len(payloads)] for i in perm[: len(payloads)])
+    if sorted(repr(p) for p in shuffled) != sorted(repr(p) for p in payloads):
+        return  # permutation dropped/duplicated payloads; not a reordering
+    assert payload_cache_key(payloads, assignments) == payload_cache_key(
+        shuffled, assignments
+    )
+
+
+@given(filter_corpus, st.integers(1, 9), st.integers(1, 9))
+@settings(max_examples=80, deadline=None)
+def test_cache_key_sensitive_to_replication(corpus, a, b):
+    """Different replication counts must never share a row: 5 stored
+    assignments cannot satisfy a 10-assignment request."""
+    from repro.hits.cache import payload_cache_key
+
+    payloads = _build_filter_payloads(corpus)
+    keys_equal = payload_cache_key(payloads, a) == payload_cache_key(payloads, b)
+    assert keys_equal == (a == b)
+
+
+@given(st.lists(filter_corpus, min_size=2, max_size=12, unique=True))
+@settings(max_examples=80, deadline=None)
+def test_cache_key_no_collisions_across_distinct_corpora(corpora):
+    """Distinct payload corpora (different task names or item sets) map to
+    distinct keys — a persistent store row never answers for a different
+    question."""
+    from repro.hits.cache import payload_cache_key
+
+    keys = {
+        payload_cache_key(_build_filter_payloads(corpus), 5)
+        for corpus in corpora
+    }
+    assert len(keys) == len(corpora)
+
+
+# ---------------------------------------------------------------------------
 # Misc utilities
 # ---------------------------------------------------------------------------
 

@@ -18,7 +18,7 @@ from repro.core.engine import Qurk
 from repro.core.session import EngineSession
 from repro.crowd import SimulatedMarketplace
 from repro.datasets import animals_dataset
-from repro.util import adapt, fastpath, pipeline, resilience, sortscale
+from repro.util import adapt, fastpath, pipeline, resilience, sortscale, store
 
 
 def _require_unset(var: str) -> str | None:
@@ -38,6 +38,7 @@ def _restore(var: str, previous: str | None) -> None:
     adapt.refresh_from_env()
     sortscale.refresh_from_env()
     resilience.refresh_from_env()
+    store.refresh_from_env()
 
 
 def animals_engine():
@@ -162,6 +163,67 @@ def test_resilience_env_honored_by_session_construction():
         assert not resilience.enabled()
     finally:
         _restore("REPRO_RESILIENCE", previous)
+
+
+def test_store_env_set_after_import_takes_effect_at_engine_construction(tmp_path):
+    previous = _require_unset("REPRO_STORE")
+    db_path = tmp_path / "answers.db"
+    try:
+        os.environ["REPRO_STORE"] = "0"
+        assert store.enabled()  # not yet re-read: construction does that
+        data = animals_dataset()
+        engine = Qurk(
+            platform=SimulatedMarketplace(data.truth, seed=1), store=db_path
+        )
+        assert not store.enabled()
+        assert engine.store is None  # configured store ignored entirely
+        engine.register_table(data.table)
+        result = engine.execute("SELECT a.name FROM animals a")
+        assert result.store_summary is None
+        assert not db_path.exists()  # not even the file was opened
+    finally:
+        _restore("REPRO_STORE", previous)
+    engine = Qurk(
+        platform=SimulatedMarketplace(data.truth, seed=1), store=db_path
+    )
+    assert store.enabled()
+    assert engine.store is not None
+    engine.store.close()
+
+
+def test_store_env_honored_by_session_construction(tmp_path):
+    previous = _require_unset("REPRO_STORE")
+    db_path = tmp_path / "answers.db"
+    try:
+        os.environ["REPRO_STORE"] = "0"
+        data = animals_dataset()
+        session = EngineSession(
+            platform=SimulatedMarketplace(data.truth, seed=1), store=db_path
+        )
+        assert not store.enabled()
+        assert session.store is None
+        # With the store ignored, the session falls back to a plain
+        # in-process TaskCache as its shared cross-query cache.
+        from repro.hits.cache import TaskCache
+
+        assert isinstance(session.cache, TaskCache)
+        assert not db_path.exists()
+    finally:
+        _restore("REPRO_STORE", previous)
+
+
+def test_store_refresh_does_not_clobber_forced_context(tmp_path):
+    """An unchanged environment leaves forced()/set_enabled() alone, so a
+    forced(False) block survives engine construction inside it."""
+    data = animals_dataset()
+    db_path = tmp_path / "answers.db"
+    with store.forced(False):
+        engine = Qurk(
+            platform=SimulatedMarketplace(data.truth, seed=1), store=db_path
+        )
+        assert not store.enabled()
+        assert engine.store is None
+    assert store.enabled()
 
 
 def test_resilience_config_overrides_toggle():

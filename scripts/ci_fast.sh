@@ -4,11 +4,14 @@
 #
 #   scripts/ci_fast.sh            # from the repo root
 #
-# Two stages, both minutes-not-hours:
+# Three stages, all minutes-not-hours:
 #   1. `pytest -m "not slow"` over tests/ — every correctness, contract,
 #      determinism, and durability test (the `slow` marker only exists on
 #      long benchmark measurements, so nothing tier-1 is skipped);
-#   2. `profile_hotpath.py --check-store` — the store cold/warm restart
+#   2. `python -m repro.analysis src tests` — the determinism & contract
+#      linter (docs/LINT.md): fails on any non-baselined finding and on
+#      stale baseline entries (shrink-only);
+#   3. `profile_hotpath.py --check-store` — the store cold/warm restart
 #      micro-bench in smoke mode, failing on a >5% warm-path wall
 #      regression against the ratio recorded in benchmarks/BENCH_store.json
 #      (run `pytest benchmarks/bench_store.py` to (re)record it).
@@ -23,4 +26,5 @@ PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 export PYTHONPATH
 
 python -m pytest tests -q -m "not slow"
+python -m repro.analysis src tests
 python scripts/profile_hotpath.py --check-store --check-repeats "${CI_STORE_REPEATS:-3}"

@@ -16,12 +16,43 @@ import json
 import sys
 from pathlib import Path
 
-sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "tests"))
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "tests"))
+sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from test_determinism_trace import GOLDEN_PATH, collect_trace  # noqa: E402
 
 
+def require_lint_clean() -> None:
+    """Refuse to regenerate while non-baselined lint findings exist.
+
+    The golden trace is the determinism contract's ground truth; rewriting
+    it from a tree that still carries a known determinism hazard (a fresh
+    RL001 hash() seed, an RL005 set-order leak, ...) would pin the hazard
+    *into* the contract. Fix the findings — or baseline them with a reason —
+    and rerun.
+    """
+    from repro.analysis import baseline as baseline_mod
+    from repro.analysis.engine import lint_paths
+
+    report = lint_paths(
+        [REPO_ROOT / "src", REPO_ROOT / "tests"], repo_root=REPO_ROOT
+    )
+    entries = baseline_mod.load_baseline(baseline_mod.DEFAULT_BASELINE)
+    new, _baselined, _stale = baseline_mod.partition(report.findings, entries)
+    if new:
+        print(
+            "refusing to regenerate the golden trace: "
+            f"{len(new)} non-baselined lint finding(s) (see docs/LINT.md):",
+            file=sys.stderr,
+        )
+        for finding in new:
+            print(f"  {finding.render()}", file=sys.stderr)
+        raise SystemExit(1)
+
+
 def main() -> None:
+    require_lint_clean()
     trace = collect_trace(seed=0)
     GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
     GOLDEN_PATH.write_text(json.dumps(trace, indent=1, sort_keys=True))

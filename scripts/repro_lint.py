@@ -1,0 +1,26 @@
+#!/usr/bin/env python
+"""Run the determinism & contract linter (qurklint) from a checkout.
+
+Equivalent to ``PYTHONPATH=src python -m repro.analysis`` but sets up the
+path itself, so it works from any cwd::
+
+    python scripts/repro_lint.py                 # lint src + tests
+    python scripts/repro_lint.py --format=json   # machine-readable
+    python scripts/repro_lint.py --list-rules    # the catalog
+
+See docs/LINT.md for the rule catalog, suppression syntax, and the
+shrink-only baseline workflow.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.analysis.cli import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,44 @@
+"""Static determinism & contract linting ("qurklint").
+
+The perf program's central promise — every ``REPRO_*`` toggle reverts
+bit-identically to the pinned golden trace — is enforced dynamically by
+``tests/test_determinism_trace.py``, but a dynamic check only fires *after* a
+violation ships. This package is the static half of the contract: a pure-stdlib
+:mod:`ast` lint framework with one rule class per known determinism /
+contract failure mode (see ``docs/LINT.md`` for the catalog), a CLI
+(``python -m repro.analysis``), inline suppressions with required
+justifications, and a shrink-only baseline for grandfathered findings.
+
+Entry points:
+
+* :func:`repro.analysis.engine.lint_paths` — lint a file tree, return a report;
+* :func:`repro.analysis.cli.main` — the CLI (also ``scripts/repro_lint.py``);
+* :data:`repro.analysis.engine.RULES` — the registry, populated by importing
+  :mod:`repro.analysis.rules`.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.engine import (
+    Finding,
+    LintReport,
+    ModuleInfo,
+    ProjectRule,
+    Rule,
+    RULES,
+    lint_paths,
+    lint_source,
+    load_rules,
+)
+
+__all__ = [
+    "Finding",
+    "LintReport",
+    "ModuleInfo",
+    "ProjectRule",
+    "Rule",
+    "RULES",
+    "lint_paths",
+    "lint_source",
+    "load_rules",
+]

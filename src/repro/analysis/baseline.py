@@ -1,0 +1,121 @@
+"""Shrink-only finding baseline.
+
+The baseline grandfathers findings that predate a rule (or are accepted
+long-term with a recorded reason) without weakening the CI gate for new
+code: a finding whose ``(rule, path, message)`` key appears in the baseline
+is *baselined*; anything else is *new* and fails the run. Matching ignores
+line numbers so unrelated edits that shift a grandfathered site do not
+resurrect it, but multiplicity counts — two identical findings in one file
+need two baseline entries.
+
+Shrink-only means the baseline may never grow silently and must not go
+stale: when a baselined site is fixed, its entry no longer matches anything
+and is reported as *stale*; CI fails until the entry is deleted (see
+``--allow-stale`` for local runs). Growing the file is always an explicit,
+reviewed edit (``--write-baseline``).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Sequence
+
+from repro.analysis.engine import Finding
+
+BASELINE_VERSION = 1
+
+#: The checked-in default, colocated with the package.
+DEFAULT_BASELINE = Path(__file__).resolve().parent / "baseline.json"
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    rule: str
+    path: str
+    line: int
+    message: str
+    reason: str = ""
+
+    @property
+    def key(self) -> tuple[str, str, str]:
+        return (self.rule, self.path, self.message)
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule} {self.message}"
+
+
+class BaselineError(ValueError):
+    """The baseline file is unreadable or structurally wrong."""
+
+
+def load_baseline(path: Path) -> list[BaselineEntry]:
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise BaselineError(f"cannot read baseline {path}: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("version") != BASELINE_VERSION:
+        raise BaselineError(
+            f"baseline {path} has unsupported structure/version "
+            f"(expected version {BASELINE_VERSION})"
+        )
+    entries = []
+    for raw in payload.get("findings", []):
+        try:
+            entries.append(
+                BaselineEntry(
+                    rule=str(raw["rule"]),
+                    path=str(raw["path"]),
+                    line=int(raw.get("line", 0)),
+                    message=str(raw["message"]),
+                    reason=str(raw.get("reason", "")),
+                )
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise BaselineError(f"malformed baseline entry {raw!r}") from exc
+    return entries
+
+
+def write_baseline(path: Path, findings: Sequence[Finding]) -> None:
+    payload = {
+        "version": BASELINE_VERSION,
+        "findings": [
+            {
+                "rule": f.rule,
+                "path": f.path,
+                "line": f.line,
+                "message": f.message,
+                "reason": "",
+            }
+            for f in sorted(findings)
+        ],
+    }
+    path.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+
+
+def partition(
+    findings: Sequence[Finding], entries: Sequence[BaselineEntry]
+) -> tuple[list[Finding], list[Finding], list[BaselineEntry]]:
+    """Split findings into (new, baselined) and surface stale entries.
+
+    Multiplicity-aware: each baseline entry absorbs at most one finding with
+    the same key; leftovers on either side are new findings / stale entries.
+    """
+    budget = Counter(entry.key for entry in entries)
+    new: list[Finding] = []
+    baselined: list[Finding] = []
+    for finding in sorted(findings):
+        if budget[finding.key] > 0:
+            budget[finding.key] -= 1
+            baselined.append(finding)
+        else:
+            new.append(finding)
+    stale: list[BaselineEntry] = []
+    remaining = dict(budget)
+    for entry in entries:
+        if remaining.get(entry.key, 0) > 0:
+            remaining[entry.key] -= 1
+            stale.append(entry)
+    return new, baselined, stale

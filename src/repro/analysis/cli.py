@@ -1,0 +1,168 @@
+"""``python -m repro.analysis`` — the qurklint CLI.
+
+Exit codes are CI-grade:
+
+* ``0`` — no non-baselined findings and the baseline is not stale;
+* ``1`` — new findings, or stale baseline entries (shrink-only enforcement;
+  ``--allow-stale`` downgrades staleness to a warning for local runs);
+* ``2`` — usage or framework errors (bad paths, unreadable baseline).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.analysis import baseline as baseline_mod
+from repro.analysis.engine import (
+    ProjectRule,
+    find_repo_root,
+    lint_paths,
+    load_rules,
+)
+
+JSON_SCHEMA_VERSION = 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="AST-based determinism & contract linter (see docs/LINT.md)",
+    )
+    parser.add_argument(
+        "paths", nargs="*",
+        help="files/directories to lint (default: src tests at the repo root)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text", dest="fmt",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline", type=Path, default=None,
+        help="baseline file (default: the checked-in analysis/baseline.json)",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore the baseline; every finding is reported as new",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="rewrite the baseline to exactly the current findings and exit 0",
+    )
+    parser.add_argument(
+        "--allow-stale", action="store_true",
+        help="report stale baseline entries without failing (local runs)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalog and exit",
+    )
+    return parser
+
+
+def _list_rules() -> str:
+    rules = load_rules()
+    out = []
+    for rule_id in sorted(rules):
+        rule = rules[rule_id]
+        kind = "project" if isinstance(rule, ProjectRule) else "module"
+        out.append(f"{rule_id}  [{kind}]  {rule.title}")
+        out.append(f"       {rule.rationale}")
+    return "\n".join(out)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+
+    repo_root = find_repo_root(Path(args.paths[0]) if args.paths else Path.cwd())
+    paths = [Path(p) for p in args.paths] or [repo_root / "src", repo_root / "tests"]
+    missing = [str(p) for p in paths if not p.exists()]
+    if missing:
+        print(f"repro-lint: no such path(s): {', '.join(missing)}", file=sys.stderr)
+        return 2
+
+    report = lint_paths(paths, repo_root=repo_root)
+
+    baseline_path = args.baseline or baseline_mod.DEFAULT_BASELINE
+    entries: list[baseline_mod.BaselineEntry] = []
+    if not args.no_baseline and not args.write_baseline and baseline_path.exists():
+        try:
+            entries = baseline_mod.load_baseline(baseline_path)
+        except baseline_mod.BaselineError as exc:
+            print(f"repro-lint: {exc}", file=sys.stderr)
+            return 2
+    if args.write_baseline:
+        baseline_mod.write_baseline(baseline_path, report.findings)
+        print(
+            f"repro-lint: wrote {len(report.findings)} finding(s) to {baseline_path}"
+        )
+        return 0
+
+    new, baselined, stale = baseline_mod.partition(report.findings, entries)
+    stale_fails = bool(stale) and not args.allow_stale
+    failed = bool(new) or stale_fails
+
+    if args.fmt == "json":
+        payload = {
+            "version": JSON_SCHEMA_VERSION,
+            "files_checked": report.files_checked,
+            "counts": {
+                "new": len(new),
+                "baselined": len(baselined),
+                "suppressed": len(report.suppressed),
+                "stale_baseline": len(stale),
+            },
+            "findings": [
+                {
+                    "rule": f.rule,
+                    "path": f.path,
+                    "line": f.line,
+                    "col": f.col,
+                    "message": f.message,
+                    "baselined": f in baselined,
+                }
+                for f in report.findings
+            ],
+            "suppressed": [
+                {
+                    "rule": f.rule,
+                    "path": f.path,
+                    "line": f.line,
+                    "message": f.message,
+                    "justification": why,
+                }
+                for f, why in report.suppressed
+            ],
+            "stale_baseline": [
+                {
+                    "rule": e.rule,
+                    "path": e.path,
+                    "line": e.line,
+                    "message": e.message,
+                }
+                for e in stale
+            ],
+            "ok": not failed,
+        }
+        print(json.dumps(payload, indent=1, sort_keys=True))
+        return 1 if failed else 0
+
+    for finding in new:
+        print(finding.render())
+    for finding in baselined:
+        print(f"{finding.render()} [baselined]")
+    for entry in stale:
+        marker = "" if args.allow_stale else " (shrink-only: delete this entry)"
+        print(f"stale baseline entry: {entry.render()}{marker}")
+    print(
+        f"repro-lint: {report.files_checked} file(s), {len(new)} new, "
+        f"{len(baselined)} baselined, {len(report.suppressed)} suppressed, "
+        f"{len(stale)} stale baseline entr{'y' if len(stale) == 1 else 'ies'}"
+    )
+    return 1 if failed else 0

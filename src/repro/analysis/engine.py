@@ -1,0 +1,418 @@
+"""Lint framework core: findings, module model, rule registry, runner.
+
+The framework is deliberately small and pure-stdlib. Each Python file is
+parsed once into a :class:`ModuleInfo`; every registered :class:`Rule` walks
+the tree and yields :class:`Finding`\\ s; inline suppression comments
+(``# repro-lint: disable=RLxxx -- justification``) filter findings on the
+line they annotate; :mod:`repro.analysis.baseline` then splits what is left
+into *new* findings (fail CI) and *baselined* ones (grandfathered, shrink-only).
+
+Rules come in two shapes:
+
+* :class:`Rule` — checked per module, sees one :class:`ModuleInfo`;
+* :class:`ProjectRule` — checked once over the whole module set plus the
+  repository root (for cross-file contracts like RL008's "every toggle name
+  appears in the env-contract tests and the API docs").
+
+Determinism of the linter itself is part of the point: files are walked in
+sorted order, rules run in registration (ID) order, and findings are sorted,
+so two runs over the same tree produce byte-identical output regardless of
+filesystem enumeration order or ``PYTHONHASHSEED``.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+#: Reserved rule ID for linter meta-findings (parse failures, malformed
+#: suppression comments). RL000 findings cannot be suppressed inline —
+#: a broken suppression must not be able to hide itself.
+META_RULE_ID = "RL000"
+
+_ENGINE_DIRS = (
+    "src/repro/core/",
+    "src/repro/crowd/",
+    "src/repro/hits/",
+    "src/repro/sorting/",
+)
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*disable=(?P<ids>[A-Za-z0-9_,\s]*?)"
+    r"(?:\s+--\s*(?P<why>.*?))?\s*$"
+)
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One lint finding, addressable for baselines and suppressions.
+
+    Baseline matching uses :attr:`key` — ``(rule, path, message)`` without
+    the line number — so a baselined finding does not go "new" every time an
+    unrelated edit shifts it a few lines.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    @property
+    def key(self) -> tuple[str, str, str]:
+        return (self.rule, self.path, self.message)
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """A parsed ``# repro-lint: disable=...`` comment.
+
+    ``line`` is the line the suppression *covers*: the comment's own line
+    for a trailing comment, or — for a whole-line comment — the next
+    following line that is code (skipping further comment/blank lines), so
+    a suppression block can sit above the statement it annotates.
+    """
+
+    line: int
+    rule_ids: tuple[str, ...]
+    justification: str
+
+
+class ModuleInfo:
+    """One parsed source file plus the path facts rules dispatch on."""
+
+    def __init__(self, rel_path: str, source: str) -> None:
+        self.rel_path = rel_path.replace("\\", "/")
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree: ast.Module = ast.parse(source, filename=self.rel_path)
+
+    # -- path classification -------------------------------------------------
+
+    @property
+    def in_src(self) -> bool:
+        return self.rel_path.startswith("src/")
+
+    @property
+    def in_tests(self) -> bool:
+        return self.rel_path.startswith("tests/")
+
+    @property
+    def in_util(self) -> bool:
+        return self.rel_path.startswith("src/repro/util/")
+
+    @property
+    def in_engine(self) -> bool:
+        """Under an engine hot-path package (core/crowd/hits/sorting)."""
+        return self.rel_path.startswith(_ENGINE_DIRS)
+
+    # -- suppressions --------------------------------------------------------
+
+    def suppressions(self) -> tuple[list[Suppression], list[Finding]]:
+        """Parse inline suppression comments; malformed ones become RL000s.
+
+        A suppression needs both a known rule list and a non-empty
+        justification after ``--``; anything less is reported instead of
+        honored, so a typo cannot silently disable a rule. Only genuine
+        comment tokens are considered — the marker appearing inside a string
+        or docstring (as in this package's own documentation) is inert.
+        """
+        parsed: list[Suppression] = []
+        meta: list[Finding] = []
+        for lineno, col, text in self._comments():
+            if "repro-lint:" not in text:
+                continue
+            match = _SUPPRESS_RE.search(text)
+            if match is None:
+                meta.append(
+                    Finding(
+                        self.rel_path,
+                        lineno,
+                        col,
+                        META_RULE_ID,
+                        "unparseable repro-lint comment; expected "
+                        "'# repro-lint: disable=RLxxx -- justification'",
+                    )
+                )
+                continue
+            ids = tuple(
+                part.strip() for part in match.group("ids").split(",") if part.strip()
+            )
+            why = (match.group("why") or "").strip()
+            if not ids:
+                meta.append(
+                    Finding(
+                        self.rel_path, lineno, col, META_RULE_ID,
+                        "suppression lists no rule IDs",
+                    )
+                )
+                continue
+            unknown = [rid for rid in ids if rid not in RULES or rid == META_RULE_ID]
+            if unknown:
+                meta.append(
+                    Finding(
+                        self.rel_path, lineno, col, META_RULE_ID,
+                        f"suppression names unknown/unsuppressable rule(s): "
+                        f"{', '.join(unknown)}",
+                    )
+                )
+                continue
+            if not why:
+                meta.append(
+                    Finding(
+                        self.rel_path, lineno, col, META_RULE_ID,
+                        f"suppression of {', '.join(ids)} has no justification; "
+                        "append ' -- <why this is safe>'",
+                    )
+                )
+                continue
+            parsed.append(Suppression(self._covered_line(lineno), ids, why))
+        return parsed, meta
+
+    def _covered_line(self, lineno: int) -> int:
+        """The code line a suppression on ``lineno`` covers (see
+        :class:`Suppression`)."""
+        text = self.lines[lineno - 1] if lineno - 1 < len(self.lines) else ""
+        if not text.lstrip().startswith("#"):
+            return lineno  # trailing comment: covers its own line
+        target = lineno + 1
+        while target <= len(self.lines):
+            candidate = self.lines[target - 1].strip()
+            if candidate and not candidate.startswith("#"):
+                return target
+            target += 1
+        return lineno
+
+    def _comments(self) -> list[tuple[int, int, str]]:
+        """(line, col, text) for every comment token in the module."""
+        comments: list[tuple[int, int, str]] = []
+        if "repro-lint:" not in self.source:
+            return comments  # skip the tokenize pass for the common case
+        reader = io.StringIO(self.source).readline
+        try:
+            for token in tokenize.generate_tokens(reader):
+                if token.type == tokenize.COMMENT:
+                    comments.append((token.start[0], token.start[1], token.string))
+        except (tokenize.TokenError, IndentationError):
+            pass  # the AST parsed, so any tail tokenize hiccup is cosmetic
+        return comments
+
+
+class Rule:
+    """Base class for per-module rules. Subclasses set the class attributes
+    and implement :meth:`check`; registration is by :func:`register`."""
+
+    id: str = ""
+    title: str = ""
+    rationale: str = ""
+
+    def applies(self, module: ModuleInfo) -> bool:
+        """Whether this rule runs on ``module`` at all (path scoping)."""
+        return True
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, module: ModuleInfo, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            module.rel_path,
+            getattr(node, "lineno", 1),
+            getattr(node, "col_offset", 0),
+            self.id,
+            message,
+        )
+
+
+class ProjectRule(Rule):
+    """A rule checked once across the whole walked module set."""
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        return iter(())
+
+    def check_project(
+        self, modules: Sequence[ModuleInfo], repo_root: Path
+    ) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
+#: The registry: rule ID -> rule instance. Populated by :func:`register`
+#: when :mod:`repro.analysis.rules` imports each rule module.
+RULES: dict[str, Rule] = {}
+
+
+def register(cls: type[Rule]) -> type[Rule]:
+    """Class decorator: instantiate and register a rule by its ID."""
+    rule = cls()
+    if not rule.id or not rule.id.startswith("RL"):
+        raise ValueError(f"rule {cls.__name__} has no RLxxx id")
+    if rule.id in RULES and type(RULES[rule.id]) is not cls:
+        raise ValueError(f"duplicate rule id {rule.id}")
+    RULES[rule.id] = rule
+    return cls
+
+
+def load_rules() -> dict[str, Rule]:
+    """Import the rule package (idempotent) and return the registry."""
+    import repro.analysis.rules  # noqa: F401  (import populates RULES)
+
+    return RULES
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run produced, pre-baseline."""
+
+    findings: list[Finding]
+    suppressed: list[tuple[Finding, str]]
+    files_checked: int
+
+    def render_text(self) -> str:
+        return "\n".join(f.render() for f in self.findings)
+
+
+def lint_source(
+    source: str,
+    rel_path: str,
+    *,
+    rules: Iterable[Rule] | None = None,
+) -> list[Finding]:
+    """Lint one in-memory source blob (per-module rules only).
+
+    The unit-test entry point: fixtures hand in a snippet plus the
+    repo-relative path it *pretends* to live at, which is what the path
+    scoping in :meth:`Rule.applies` dispatches on.
+    """
+    load_rules()
+    module = ModuleInfo(rel_path, source)
+    selected = list(rules) if rules is not None else _ordered_rules()
+    findings = _check_module(module, selected)
+    kept, _suppressed = _apply_suppressions(module, findings)
+    return sorted(kept)
+
+
+def _ordered_rules() -> list[Rule]:
+    return [RULES[rule_id] for rule_id in sorted(RULES)]
+
+
+def _check_module(module: ModuleInfo, rules: Sequence[Rule]) -> list[Finding]:
+    findings: list[Finding] = []
+    for rule in rules:
+        if isinstance(rule, ProjectRule):
+            continue
+        if rule.applies(module):
+            findings.extend(rule.check(module))
+    return findings
+
+
+def _apply_suppressions(
+    module: ModuleInfo, findings: list[Finding]
+) -> tuple[list[Finding], list[tuple[Finding, str]]]:
+    parsed, meta = module.suppressions()
+    by_line: dict[tuple[int, str], str] = {}
+    for suppression in parsed:
+        for rule_id in suppression.rule_ids:
+            by_line[(suppression.line, rule_id)] = suppression.justification
+    kept: list[Finding] = list(meta)
+    suppressed: list[tuple[Finding, str]] = []
+    for finding in findings:
+        why = by_line.get((finding.line, finding.rule))
+        if why is not None and finding.rule != META_RULE_ID:
+            suppressed.append((finding, why))
+        else:
+            kept.append(finding)
+    return kept, suppressed
+
+
+def find_repo_root(start: Path) -> Path:
+    """Walk up from ``start`` to the checkout root (setup.py / .git marker)."""
+    probe = start.resolve()
+    if probe.is_file():
+        probe = probe.parent
+    for candidate in (probe, *probe.parents):
+        if (candidate / "setup.py").exists() or (candidate / ".git").exists():
+            return candidate
+    return probe
+
+
+def collect_files(paths: Sequence[Path]) -> list[Path]:
+    """Expand the CLI path arguments to a sorted list of ``.py`` files."""
+    files: set[Path] = set()
+    for path in paths:
+        if path.is_dir():
+            files.update(
+                p for p in path.rglob("*.py") if "__pycache__" not in p.parts
+            )
+        elif path.suffix == ".py":
+            files.add(path)
+    return sorted(files)
+
+
+def lint_paths(
+    paths: Sequence[Path | str],
+    *,
+    repo_root: Path | None = None,
+) -> LintReport:
+    """Lint every ``.py`` file under ``paths``; returns the full report.
+
+    ``repo_root`` anchors the repo-relative paths rules dispatch on and the
+    contract files project rules read; it is derived from the first path
+    when not given.
+    """
+    load_rules()
+    resolved = [Path(p) for p in paths]
+    if repo_root is None:
+        anchor = resolved[0] if resolved else Path.cwd()
+        repo_root = find_repo_root(anchor)
+    rules = _ordered_rules()
+    findings: list[Finding] = []
+    suppressed: list[tuple[Finding, str]] = []
+    modules: list[ModuleInfo] = []
+    files = collect_files(resolved)
+    for file_path in files:
+        try:
+            rel = file_path.resolve().relative_to(repo_root).as_posix()
+        except ValueError:
+            rel = file_path.as_posix()
+        try:
+            module = ModuleInfo(rel, file_path.read_text(encoding="utf-8"))
+        except SyntaxError as exc:
+            findings.append(
+                Finding(rel, exc.lineno or 1, exc.offset or 0, META_RULE_ID,
+                        f"syntax error: {exc.msg}")
+            )
+            continue
+        modules.append(module)
+        kept, quiet = _apply_suppressions(module, _check_module(module, rules))
+        findings.extend(kept)
+        suppressed.extend(quiet)
+    # Project-rule findings honor the same inline suppressions: they anchor
+    # to a concrete (path, line), so the map built per module applies.
+    global_map: dict[tuple[str, int, str], str] = {}
+    for module in modules:
+        parsed, _ = module.suppressions()
+        for suppression in parsed:
+            for rule_id in suppression.rule_ids:
+                key = (module.rel_path, suppression.line, rule_id)
+                global_map[key] = suppression.justification
+    for rule in rules:
+        if not isinstance(rule, ProjectRule):
+            continue
+        for finding in rule.check_project(modules, repo_root):
+            why = global_map.get((finding.path, finding.line, finding.rule))
+            if why is not None:
+                suppressed.append((finding, why))
+            else:
+                findings.append(finding)
+    return LintReport(
+        findings=sorted(findings),
+        suppressed=sorted(suppressed, key=lambda pair: pair[0]),
+        files_checked=len(files),
+    )

@@ -1,0 +1,53 @@
+"""RL001 — builtin ``hash()`` feeding seeds or cache keys."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import Finding, ModuleInfo, Rule, register
+
+
+@register
+class HashSeedRule(Rule):
+    id = "RL001"
+    title = "builtin hash() of runtime values (PYTHONHASHSEED hazard)"
+    rationale = (
+        "hash() of str/bytes is salted per process by PYTHONHASHSEED, so any "
+        "seed, cache key, or ordering derived from it differs between runs — "
+        "the exact bug class PR 7 fixed in payload_cache_key. Derive stable "
+        "integers with repro.util.rng.stable_seed() or hashlib digests."
+    )
+
+    def applies(self, module: ModuleInfo) -> bool:
+        return module.in_src
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        # hash() inside a __hash__ implementation is the one legitimate use:
+        # delegating to the hashes of immutable members.
+        banned_stack: list[bool] = []
+
+        def visit(node: ast.AST) -> Iterator[Finding]:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                banned_stack.append(node.name != "__hash__")
+                for child in ast.iter_child_nodes(node):
+                    yield from visit(child)
+                banned_stack.pop()
+                return
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "hash"
+                and (not banned_stack or banned_stack[-1])
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    "hash() is PYTHONHASHSEED-salted for strings; use "
+                    "repro.util.rng.stable_seed() (or a hashlib digest) for "
+                    "seeds and cache keys",
+                )
+            for child in ast.iter_child_nodes(node):
+                yield from visit(child)
+
+        yield from visit(module.tree)

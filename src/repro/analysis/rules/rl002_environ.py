@@ -1,0 +1,44 @@
+"""RL002 — environment reads outside the util/ toggle modules."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import Finding, ModuleInfo, Rule, register
+from repro.analysis.rules.common import is_env_read
+
+
+@register
+class EnvironOutsideUtilRule(Rule):
+    id = "RL002"
+    title = "os.environ read outside repro.util toggle modules"
+    rationale = (
+        "Every REPRO_* toggle funnels environment access through one util/ "
+        "module with a refresh_from_env() hook, so env semantics (changed "
+        "value wins, unchanged preserves programmatic overrides) live in one "
+        "audited place. Scattered os.environ reads re-open the import-time "
+        "capture bug PR 3 fixed."
+    )
+
+    def applies(self, module: ModuleInfo) -> bool:
+        return module.in_src and not module.in_util
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if is_env_read(node):
+                yield self.finding(
+                    module,
+                    node,
+                    "environment read outside repro.util; add (or reuse) a "
+                    "util/ toggle module with refresh_from_env() instead",
+                )
+            elif isinstance(node, ast.ImportFrom) and node.module == "os":
+                bad = [a.name for a in node.names if a.name in ("environ", "getenv")]
+                if bad:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"importing {', '.join(bad)} from os outside repro.util; "
+                        "route environment access through a util/ toggle module",
+                    )

@@ -1,0 +1,74 @@
+"""RL004 — wall-clock / unseeded randomness in engine hot paths."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import Finding, ModuleInfo, Rule, register
+from repro.analysis.rules.common import imported_roots, resolve_call
+
+_BANNED_CALLS = {
+    "time.time": "time.time()",
+    "time.time_ns": "time.time_ns()",
+    "time.monotonic": "time.monotonic()",
+    "time.monotonic_ns": "time.monotonic_ns()",
+    "time.perf_counter": "time.perf_counter()",
+    "time.perf_counter_ns": "time.perf_counter_ns()",
+    "datetime.datetime.now": "datetime.now()",
+    "datetime.datetime.utcnow": "datetime.utcnow()",
+    "datetime.datetime.today": "datetime.today()",
+    "datetime.date.today": "date.today()",
+    "uuid.uuid1": "uuid.uuid1()",
+    "uuid.uuid4": "uuid.uuid4()",
+}
+
+_GLOBAL_RNG_PREFIX = "random."
+
+
+@register
+class WallClockRule(Rule):
+    id = "RL004"
+    title = "wall clock / global RNG / uuid in an engine path"
+    rationale = (
+        "core/, crowd/, hits/ and sorting/ run on the marketplace's *virtual* "
+        "clock and explicitly seeded RandomSource streams; wall-clock reads, "
+        "the process-global random module, and uuid generation all leak "
+        "run-to-run nondeterminism straight into votes, ledgers, and posting "
+        "order. Inject a clock callable or a seeded stream instead."
+    )
+
+    def applies(self, module: ModuleInfo) -> bool:
+        return module.in_engine
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        roots = imported_roots(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = resolve_call(node, roots)
+            if resolved is None:
+                continue
+            if resolved in _BANNED_CALLS:
+                yield self.finding(
+                    module,
+                    node,
+                    f"{_BANNED_CALLS[resolved]} in an engine path; inject the "
+                    "virtual clock (or a clock callable default) instead",
+                )
+            elif resolved.startswith(_GLOBAL_RNG_PREFIX) and resolved.count(".") == 1:
+                attr = resolved.split(".", 1)[1]
+                if attr == "Random":
+                    if not node.args and not node.keywords:
+                        yield self.finding(
+                            module, node,
+                            "unseeded random.Random() in an engine path; pass "
+                            "an explicit seed or use repro.util.rng.spawn_rng",
+                        )
+                else:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"process-global random.{attr}() in an engine path; "
+                        "draw from a seeded repro.util.rng.RandomSource",
+                    )

@@ -1,0 +1,84 @@
+"""RL005 — iteration over set hash order in engine paths."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import Finding, ModuleInfo, Rule, register
+from repro.analysis.rules.common import is_setish_expr, scope_nodes, walk_scopes
+
+_ORDER_SENSITIVE_WRAPPERS = ("list", "tuple", "enumerate", "iter")
+
+
+@register
+class SetIterationOrderRule(Rule):
+    id = "RL005"
+    title = "iterating a set in an engine path without sorted(...)"
+    rationale = (
+        "Set iteration order follows the string hash, which PYTHONHASHSEED "
+        "salts per process — an unordered loop over HIT ids, item refs, or "
+        "worker ids can reach rows, votes, ledgers, or posting order and "
+        "break the golden trace between runs. Wrap the iteration in "
+        "sorted(...) or keep the collection a list."
+    )
+
+    def applies(self, module: ModuleInfo) -> bool:
+        return module.in_engine
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        for scope, _body in walk_scopes(module.tree):
+            set_names = self._stable_set_names(scope)
+            for node in scope_nodes(scope):
+                yield from self._check_node(module, node, set_names)
+
+    # A name counts as "definitely a set here" when every assignment to it
+    # in the scope is a set-constructing expression; one non-set rebinding
+    # drops it (conservative — no false positives on reuse as a list).
+    @staticmethod
+    def _stable_set_names(scope: ast.AST) -> frozenset[str]:
+        setish: set[str] = set()
+        tainted: set[str] = set()
+        for node in scope_nodes(scope):
+            targets: list[ast.expr] = []
+            value: ast.expr | None = None
+            if isinstance(node, ast.Assign):
+                targets, value = node.targets, node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets, value = [node.target], node.value
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                targets = [node.target]
+            elif isinstance(node, ast.AugAssign):
+                targets = [node.target]
+            for target in targets:
+                for leaf in ast.walk(target):
+                    if isinstance(leaf, ast.Name):
+                        if value is not None and is_setish_expr(value):
+                            setish.add(leaf.id)
+                        else:
+                            tainted.add(leaf.id)
+        return frozenset(setish - tainted)
+
+    def _check_node(
+        self, module: ModuleInfo, node: ast.AST, set_names: frozenset[str]
+    ) -> Iterator[Finding]:
+        message = (
+            "iteration over a set's hash order in an engine path; wrap in "
+            "sorted(...) (or keep a list) so the order cannot depend on "
+            "PYTHONHASHSEED"
+        )
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            if is_setish_expr(node.iter, set_names):
+                yield self.finding(module, node.iter, message)
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)):
+            for generator in node.generators:
+                if is_setish_expr(generator.iter, set_names):
+                    yield self.finding(module, generator.iter, message)
+        elif (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in _ORDER_SENSITIVE_WRAPPERS
+            and node.args
+            and is_setish_expr(node.args[0], set_names)
+        ):
+            yield self.finding(module, node.args[0], message)

@@ -1,0 +1,80 @@
+"""RL006 — exact float equality on cost/budget values."""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from repro.analysis.engine import Finding, ModuleInfo, Rule, register
+from repro.analysis.rules.common import dotted_name
+
+_MONEY_RE = re.compile(
+    r"(?:^|_)(cost|costs|budget|price|prices|pricing|dollar|dollars|spend|"
+    r"spent|balance|reward|fee)(?:_|$|s$)",
+    re.IGNORECASE,
+)
+
+
+def _mentions_money(node: ast.AST) -> bool:
+    for child in ast.walk(node):
+        name: str | None = None
+        if isinstance(child, ast.Name):
+            name = child.id
+        elif isinstance(child, ast.Attribute):
+            name = child.attr
+        elif isinstance(child, ast.arg):
+            name = child.arg
+        if name is not None and _MONEY_RE.search(name):
+            return True
+    return False
+
+
+def _exempt_operand(node: ast.AST) -> bool:
+    """Comparisons against None/str/bool are identity/category checks,
+    not the float-drift class."""
+    return isinstance(node, ast.Constant) and (
+        node.value is None or isinstance(node.value, (str, bool))
+    )
+
+
+@register
+class FloatMoneyEqualityRule(Rule):
+    id = "RL006"
+    title = "float == / != on cost or budget values"
+    rationale = (
+        "Money in the simulator is float dollars; accumulation drift means "
+        "exact equality on costs/budgets flips between arithmetically equal "
+        "evaluation orders — the PR 4 allocate_budget bug, fixed by integer "
+        "trim steps. Compare with a tolerance, or restructure the arithmetic "
+        "to exact integer steps as allocate_budget now does."
+    )
+
+    def applies(self, module: ModuleInfo) -> bool:
+        return module.in_src
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for index, op in enumerate(node.ops):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                left, right = operands[index], operands[index + 1]
+                if _exempt_operand(left) or _exempt_operand(right):
+                    continue
+                if _mentions_money(left) or _mentions_money(right):
+                    op_text = "==" if isinstance(op, ast.Eq) else "!="
+                    name = (
+                        dotted_name(left)
+                        or dotted_name(right)
+                        or "a cost/budget value"
+                    )
+                    yield self.finding(
+                        module,
+                        node,
+                        f"exact float {op_text} on {name}; float-dollar drift "
+                        "makes exact equality order-dependent — use a "
+                        "tolerance or integer arithmetic (PR 4 drift class)",
+                    )

@@ -1,0 +1,51 @@
+"""RL007 — mutable default arguments."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import Finding, ModuleInfo, Rule, register
+
+_MUTABLE_CALLS = ("list", "dict", "set", "bytearray", "defaultdict", "deque")
+
+
+def _is_mutable_default(node: ast.AST) -> bool:
+    if isinstance(
+        node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)
+    ):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in _MUTABLE_CALLS
+    return False
+
+
+@register
+class MutableDefaultRule(Rule):
+    id = "RL007"
+    title = "mutable default argument"
+    rationale = (
+        "A default list/dict/set is evaluated once and shared across every "
+        "call, so state leaks between queries and sessions — in a simulator "
+        "whose contract is run-to-run bit-identity, cross-call leakage is a "
+        "determinism bug, not just a style smell. Default to None and build "
+        "the collection inside the function."
+    )
+
+    def applies(self, module: ModuleInfo) -> bool:
+        return module.in_src or module.in_tests
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            defaults = [*node.args.defaults, *node.args.kw_defaults]
+            for default in defaults:
+                if default is not None and _is_mutable_default(default):
+                    name = getattr(node, "name", "<lambda>")
+                    yield self.finding(
+                        module,
+                        default,
+                        f"mutable default argument on {name}(); use None and "
+                        "construct inside the body",
+                    )

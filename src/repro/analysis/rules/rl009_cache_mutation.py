@@ -1,0 +1,97 @@
+"""RL009 — mutation of tuple-contract cache payloads."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import Finding, ModuleInfo, Rule, register
+from repro.analysis.rules.common import scope_nodes, walk_scopes
+
+#: Cache accessors whose return payloads are shared under the tuple
+#: (immutability) contract — TaskCache.lookup, TaskCacheView.lookup,
+#: PersistentAnswerStore.lookup.
+_CONTRACT_ACCESSORS = ("lookup",)
+
+_MUTATORS = (
+    "append", "extend", "insert", "remove", "pop", "clear", "sort",
+    "reverse", "update", "setdefault", "popitem", "add", "discard",
+)
+
+
+def _is_contract_call(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr in _CONTRACT_ACCESSORS
+    )
+
+
+@register
+class CachePayloadMutationRule(Rule):
+    id = "RL009"
+    title = "mutating a cache lookup() payload"
+    rationale = (
+        "TaskCache and PersistentAnswerStore payloads are shared between the "
+        "cache and every consumer under the tuple contract (PR 1): a caller "
+        "that appends to or re-sorts a looked-up payload corrupts what every "
+        "later cache hit sees. Copy (list(payload)) before modifying."
+    )
+
+    def applies(self, module: ModuleInfo) -> bool:
+        return module.in_src
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        for scope, _body in walk_scopes(module.tree):
+            tainted = self._lookup_names(scope)
+            for node in scope_nodes(scope):
+                yield from self._check_node(module, node, tainted)
+
+    @staticmethod
+    def _lookup_names(scope: ast.AST) -> frozenset[str]:
+        names: set[str] = set()
+        for node in scope_nodes(scope):
+            if isinstance(node, ast.Assign) and _is_contract_call(node.value):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        names.add(target.id)
+            elif (
+                isinstance(node, ast.AnnAssign)
+                and node.value is not None
+                and _is_contract_call(node.value)
+                and isinstance(node.target, ast.Name)
+            ):
+                names.add(node.target.id)
+        return frozenset(names)
+
+    def _check_node(
+        self, module: ModuleInfo, node: ast.AST, tainted: frozenset[str]
+    ) -> Iterator[Finding]:
+        def is_payload(expr: ast.AST) -> bool:
+            if isinstance(expr, ast.Name) and expr.id in tainted:
+                return True
+            return _is_contract_call(expr)
+
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _MUTATORS
+            and is_payload(node.func.value)
+        ):
+            yield self.finding(
+                module,
+                node,
+                f".{node.func.attr}() on a cache lookup() payload; payloads "
+                "are shared tuple-contract state — copy before mutating",
+            )
+        elif isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                if isinstance(target, ast.Subscript) and is_payload(target.value):
+                    yield self.finding(
+                        module,
+                        target,
+                        "item assignment into a cache lookup() payload; "
+                        "payloads are shared tuple-contract state — copy "
+                        "before mutating",
+                    )

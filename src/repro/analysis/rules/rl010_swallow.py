@@ -1,0 +1,60 @@
+"""RL010 — broad except handlers that silently swallow errors."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import Finding, ModuleInfo, Rule, register
+
+_BROAD = ("Exception", "BaseException")
+
+
+def _is_broad(handler_type: ast.expr | None) -> bool:
+    if handler_type is None:
+        return True
+    if isinstance(handler_type, ast.Name):
+        return handler_type.id in _BROAD
+    if isinstance(handler_type, ast.Tuple):
+        return any(_is_broad(el) for el in handler_type.elts)
+    return False
+
+
+def _swallows(body: list[ast.stmt]) -> bool:
+    for stmt in body:
+        if isinstance(stmt, (ast.Pass, ast.Continue, ast.Break)):
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+            continue  # docstring / Ellipsis
+        return False
+    return True
+
+
+@register
+class SwallowedExceptionRule(Rule):
+    id = "RL010"
+    title = "bare/broad except that swallows the error"
+    rationale = (
+        "`except Exception: pass` absorbs the whole MarketplaceError "
+        "taxonomy — double-harvest guards, budget aborts, fault-injection "
+        "signals — and turns a loud contract violation into silent state "
+        "divergence. Catch the specific type, or record the failure before "
+        "continuing."
+    )
+
+    def applies(self, module: ModuleInfo) -> bool:
+        return module.in_src
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if _is_broad(node.type) and _swallows(node.body):
+                shape = "bare except" if node.type is None else "except Exception"
+                yield self.finding(
+                    module,
+                    node,
+                    f"{shape} with a pass-only body swallows MarketplaceError "
+                    "taxonomy members; catch specific types or record the "
+                    "failure",
+                )

@@ -20,6 +20,7 @@ from repro.sorting.hybrid import HybridSorter
 from repro.sorting.rating import RatingSummary
 from repro.tasks import task_from_definition
 from repro.tasks.rank import RankTask
+from repro.util.rng import stable_seed
 from repro.util.stats import mean, stddev
 
 
@@ -161,7 +162,7 @@ def run_fig6(seed: int = 0, sample_size: int = 10, n_samples: int = 50) -> Exper
         else:
             data_items, truth, dsl = animals.items, animals.truth, animals.task_dsl
         ctx = make_sort_context(
-            truth, dsl, seed=seed * 17 + hash(query_id) % 100,
+            truth, dsl, seed=seed * 17 + stable_seed(query_id) % 100,
             sort_method="compare", compare_group_size=5,
         )
         task = _task(ctx, task_name)

@@ -48,6 +48,19 @@ def child_seed(seed: int, *labels: object) -> int:
     return _derive_child_seed(material)
 
 
+def stable_seed(material: str) -> int:
+    """A stable 63-bit integer from a string, for seeds and cache keys.
+
+    The process-independent replacement for ``hash(some_id)``: builtin
+    ``hash`` of str/bytes is salted by ``PYTHONHASHSEED`` and therefore
+    differs between runs, while this digest (blake2b) is identical across
+    processes, platforms, and Python versions. Use it wherever a run id,
+    query id, or payload string needs to deterministically influence a seed.
+    """
+    digest = hashlib.blake2b(material.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big") & 0x7FFF_FFFF_FFFF_FFFF
+
+
 def child_seed_from_material(material: str) -> int:
     """:func:`child_seed` given the already-joined label material.
 

@@ -1,0 +1,89 @@
+"""EXP-SCEN — scenario pack: task types registered outside the engine.
+
+Two crowd task types that exist only in ``src/repro/scenarios/`` — an
+entity-resolution join (``ErJoin``) and a multi-class categorization
+(``Categorize``) — run end-to-end through the unmodified engine, and their
+operator optimizations reproduce the paper's *shapes* on new workloads:
+
+* the ER join's interface ladder mirrors Table 5's join column (Simple >>
+  Naive batching >> SmartBatch grids in HIT count, §3.1);
+* categorization batching mirrors §6's merging economics (batch-6 HITs cost
+  a fraction of unbatched at near-identical accuracy).
+
+Results land in ``BENCH_scenarios.json``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+
+from conftest import run_once
+
+from repro.scenarios.categorize import run_categorize_suite
+from repro.scenarios.er_join import run_er_join_suite
+
+RESULTS_PATH = Path(__file__).parent / "BENCH_scenarios.json"
+
+
+def _record(section: str, payload: object) -> None:
+    existing = {}
+    if RESULTS_PATH.exists():
+        existing = json.loads(RESULTS_PATH.read_text())
+    existing[section] = payload
+    RESULTS_PATH.write_text(json.dumps(existing, indent=1))
+
+
+def test_er_join_scenario(benchmark):
+    outcomes = run_once(benchmark, run_er_join_suite, seed=0)
+    print()
+    for outcome in outcomes:
+        print(
+            f"{outcome.label:>10}: {outcome.total_hits:4d} HITs  "
+            f"precision={outcome.precision:.2f} recall={outcome.recall:.2f}"
+        )
+
+    hits = {outcome.label: outcome.total_hits for outcome in outcomes}
+    # Table-5 shape on a brand-new task type: batching beats pairwise,
+    # grids beat batching.
+    assert hits["Simple"] > 3 * hits["Naive 5"]
+    assert hits["Naive 5"] > hits["Smart 3x3"]
+    # Quality stays usable across interfaces (grids may trade some recall).
+    for outcome in outcomes:
+        assert outcome.precision >= 0.9, outcome
+        assert outcome.recall >= 0.7, outcome
+
+    _record(
+        "er_join",
+        {
+            "workload": "repro.scenarios.er_join (catalog vs dirty listings)",
+            "variants": [asdict(outcome) for outcome in outcomes],
+        },
+    )
+
+
+def test_categorize_scenario(benchmark):
+    outcomes = run_once(benchmark, run_categorize_suite, seed=0)
+    print()
+    for outcome in outcomes:
+        print(
+            f"{outcome.label:>10}: {outcome.total_hits:4d} HITs  "
+            f"accuracy={outcome.accuracy:.2f}"
+        )
+
+    unbatched, batched = outcomes
+    # §6 merging economics on a brand-new generative type: batching cuts
+    # HITs by the batch factor while accuracy stays close.
+    assert batched.total_hits * 4 <= unbatched.total_hits
+    assert unbatched.accuracy >= 0.85
+    assert batched.accuracy >= 0.85
+    assert unbatched.result_rows == batched.result_rows
+
+    _record(
+        "categorize",
+        {
+            "workload": "repro.scenarios.categorize (4-department product labels)",
+            "variants": [asdict(outcome) for outcome in outcomes],
+        },
+    )

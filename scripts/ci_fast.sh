@@ -4,14 +4,21 @@
 #
 #   scripts/ci_fast.sh            # from the repo root
 #
-# Three stages, all minutes-not-hours:
+# Five stages, all minutes-not-hours:
 #   1. `pytest -m "not slow"` over tests/ — every correctness, contract,
 #      determinism, and durability test (the `slow` marker only exists on
 #      long benchmark measurements, so nothing tier-1 is skipped);
 #   2. `python -m repro.analysis src tests` — the determinism & contract
 #      linter (docs/LINT.md): fails on any non-baselined finding and on
 #      stale baseline entries (shrink-only);
-#   3. `profile_hotpath.py --check-store` — the store cold/warm restart
+#   3. registry smoke — the four builtin task types plus the scenario
+#      pack resolve through the executor registry, and both scenario
+#      types parse/plan end-to-end (a broken registration fails here,
+#      before the benchmarks);
+#   4. `pytest benchmarks/bench_scenarios.py` — the scenario-pack
+#      benchmarks at their fast settings, (re)recording
+#      benchmarks/BENCH_scenarios.json;
+#   5. `profile_hotpath.py --check-store` — the store cold/warm restart
 #      micro-bench in smoke mode, failing on a >5% warm-path wall
 #      regression against the ratio recorded in benchmarks/BENCH_store.json
 #      (run `pytest benchmarks/bench_store.py` to (re)record it).
@@ -27,4 +34,24 @@ export PYTHONPATH
 
 python -m pytest tests -q -m "not slow"
 python -m repro.analysis src tests
+python - <<'EOF'
+# Registry smoke: builtins + scenario pack resolve, scenarios execute.
+from repro.scenarios.categorize import run_categorize_variant, categorize_dataset
+from repro.scenarios.er_join import run_er_join_variant, er_join_dataset
+from repro.tasks.registry import default_registry
+
+available = default_registry().available()
+for key in ("Categorize", "EquiJoin", "ErJoin", "Filter", "Generative", "Rank"):
+    assert key in available, f"{key} missing from registry: {available}"
+
+from repro.joins.batching import JoinInterface
+
+er = run_er_join_variant(er_join_dataset(seed=0), "smoke", JoinInterface.SMART, seed=0)
+assert er.recall >= 0.7, er
+cat = run_categorize_variant(categorize_dataset(n=8, seed=0), "smoke", batch_size=4, seed=0)
+assert cat.accuracy >= 0.8, cat
+print(f"registry smoke OK: {len(available)} task types, "
+      f"er recall={er.recall:.2f}, categorize accuracy={cat.accuracy:.2f}")
+EOF
+python -m pytest benchmarks/bench_scenarios.py -q
 python scripts/profile_hotpath.py --check-store --check-repeats "${CI_STORE_REPEATS:-3}"

@@ -18,4 +18,5 @@ from repro.analysis.rules import (  # noqa: F401
     rl008_toggle_contract,
     rl009_cache_mutation,
     rl010_swallow,
+    rl011_dispatch_ladder,
 )

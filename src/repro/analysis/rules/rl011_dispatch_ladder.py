@@ -1,0 +1,98 @@
+"""RL011 — type-dispatch ladders that bypass the executor registry."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import Finding, ModuleInfo, Rule, register
+
+_SUFFIXES = ("Node", "Task", "Payload")
+
+_EXEMPT = (
+    # The registry is where dispatch *lives*; its docstrings and helpers
+    # legitimately name the dispatched families.
+    "src/repro/tasks/registry.py",
+)
+
+
+def _class_names(expr: ast.expr) -> list[str]:
+    """Class names an ``isinstance`` second argument tests against."""
+    if isinstance(expr, ast.Name):
+        return [expr.id]
+    if isinstance(expr, ast.Attribute):
+        return [expr.attr]
+    if isinstance(expr, ast.Tuple):
+        return [name for el in expr.elts for name in _class_names(el)]
+    return []
+
+
+def _dispatched_names(call: ast.Call) -> list[str]:
+    """Engine-family class names one ``isinstance`` call dispatches on."""
+    if not (
+        isinstance(call.func, ast.Name)
+        and call.func.id == "isinstance"
+        and len(call.args) == 2
+    ):
+        return []
+    return [
+        name
+        for name in _class_names(call.args[1])
+        if name.endswith(_SUFFIXES) and name not in _SUFFIXES
+    ]
+
+
+@register
+class DispatchLadderRule(Rule):
+    id = "RL011"
+    title = "isinstance/TaskType dispatch ladder outside the registry"
+    rationale = (
+        "A function that switch-cases over plan-node/task/payload classes "
+        "re-centralizes what the executor registry decentralized: the next "
+        "out-of-tree task type silently falls through its else branch. "
+        "Dispatch on the `kind`/`type_key` tag through a registry lookup "
+        "instead."
+    )
+
+    def applies(self, module: ModuleInfo) -> bool:
+        return module.in_src and module.rel_path not in _EXEMPT
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_function(module, node)
+        if not module.rel_path.startswith("src/repro/tasks/"):
+            yield from self._check_task_type_enum(module)
+
+    def _check_function(
+        self, module: ModuleInfo, func: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> Iterator[Finding]:
+        distinct: dict[str, ast.Call] = {}
+        for node in ast.walk(func):
+            if isinstance(node, ast.Call):
+                for name in _dispatched_names(node):
+                    distinct.setdefault(name, node)
+        if len(distinct) >= 2:
+            names = ", ".join(sorted(distinct))
+            yield self.finding(
+                module,
+                func,
+                f"function {func.name!r} isinstance-dispatches over "
+                f"{len(distinct)} engine classes ({names}); route through a "
+                "registry/DispatchTable keyed on the kind tag",
+            )
+
+    def _check_task_type_enum(self, module: ModuleInfo) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "TaskType"
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    f"TaskType.{node.attr} hardcodes a builtin task identity "
+                    "outside src/repro/tasks/; resolve the type through "
+                    "spec_for_task/task_role instead",
+                )

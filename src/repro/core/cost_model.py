@@ -38,6 +38,7 @@ from repro.core.plan import (
 )
 from repro.hits.pricing import PricingModel
 from repro.joins.batching import JoinInterface, hit_count_estimate
+from repro.tasks.registry import ROLE_GENERATIVE, DispatchTable, spec_for_task
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.adaptive import SelectivityBook
@@ -107,19 +108,18 @@ def join_key(task_name: str) -> str:
 def _filter_batch_for(node: CrowdPredicateNode, catalog: "Catalog", config: "ExecutionConfig") -> int:
     """The batch size the predicate's crowd calls will post at.
 
-    Filter tasks merge at ``filter_batch_size``; generative calls in a
+    Filter tasks merge at ``filter_batch_size``; generative-role calls in a
     WHERE clause batch at ``generative_batch_size``. A predicate mixing
     both is approximated by the smaller (more HITs — conservative).
     """
-    from repro.tasks.generative import GenerativeTask
-
     batch = config.filter_batch_size
     assert node.predicate is not None
     for call in node.predicate.udf_calls():
         if catalog.has_function(call.name):
             continue
-        if catalog.has_task(call.name) and isinstance(
-            catalog.task(call.name), GenerativeTask
+        if (
+            catalog.has_task(call.name)
+            and spec_for_task(catalog.task(call.name)).role == ROLE_GENERATIVE
         ):
             batch = min(batch, config.generative_batch_size)
     return batch
@@ -148,6 +148,22 @@ def _predicate_cost(
     )
 
 
+NODE_COST_MODELS = DispatchTable("plan-node cost model")
+"""Cost handlers keyed by ``PlanNode.kind``.
+
+Each handler takes ``(node, child_rows, catalog, config, book, pricing)``
+and returns an :class:`OperatorCost`. Node kinds without a handler get a
+pass-through cost (execution never depends on the forecast for
+correctness), so out-of-tree kinds degrade gracefully until they register
+their own arithmetic.
+"""
+
+
+def register_node_cost(kind: str, handler=None, *, replace: bool = False):
+    """Register a cost-model handler for a plan-node kind."""
+    return NODE_COST_MODELS.register(kind, handler, replace=replace)
+
+
 def estimate_plan_cost(
     plan: PlanNode,
     catalog: "Catalog",
@@ -163,38 +179,84 @@ def estimate_plan_cost(
         """Bottom-up: returns the node's estimated output cardinality."""
         child_rows = [visit(child) for child in node.inputs]
         rows = child_rows[0] if child_rows else 0.0
-        cost = OperatorCost(label=node.label(), rows_in=rows, rows_out=rows)
-
-        if isinstance(node, ScanNode):
-            n = float(len(catalog.table(node.table_name)))
-            cost = OperatorCost(label=node.label(), rows_in=n, rows_out=n)
-        elif isinstance(node, ComputedFilterNode):
-            sigma = book.estimate(predicate_key(node.predicate))
-            cost = OperatorCost(
-                label=node.label(), rows_in=rows, rows_out=rows * sigma
-            )
-        elif isinstance(node, CrowdPredicateNode):
-            cost = _predicate_cost(node, rows, catalog, config, book, pricing)
-        elif isinstance(node, AdaptiveFilterNode):
-            cost = _adaptive_chain_cost(
-                node, rows, catalog, config, book, pricing
-            )
-        elif isinstance(node, JoinNode):
-            cost = _join_cost(node, child_rows, catalog, config, book, pricing)
-        elif isinstance(node, SortNode):
-            cost = _sort_cost(node, rows, config, pricing)
-        elif isinstance(node, ProjectNode):
-            cost = _project_cost(node, rows, catalog, config, pricing)
-        elif isinstance(node, LimitNode):
-            cost = OperatorCost(
-                label=node.label(), rows_in=rows, rows_out=min(rows, node.count)
-            )
-
+        model = NODE_COST_MODELS.lookup(node.kind)
+        if model is None:
+            cost = OperatorCost(label=node.label(), rows_in=rows, rows_out=rows)
+        else:
+            cost = model(node, child_rows, catalog, config, book, pricing)
         estimate.per_node[id(node)] = cost
         return cost.rows_out
 
     visit(plan)
     return estimate
+
+
+def _scan_cost_entry(
+    node: ScanNode, child_rows, catalog, config, book, pricing
+) -> OperatorCost:
+    n = float(len(catalog.table(node.table_name)))
+    return OperatorCost(label=node.label(), rows_in=n, rows_out=n)
+
+
+def _computed_filter_cost_entry(
+    node: ComputedFilterNode, child_rows, catalog, config, book, pricing
+) -> OperatorCost:
+    rows = child_rows[0] if child_rows else 0.0
+    sigma = book.estimate(predicate_key(node.predicate))
+    return OperatorCost(label=node.label(), rows_in=rows, rows_out=rows * sigma)
+
+
+def _crowd_filter_cost_entry(
+    node: CrowdPredicateNode, child_rows, catalog, config, book, pricing
+) -> OperatorCost:
+    rows = child_rows[0] if child_rows else 0.0
+    return _predicate_cost(node, rows, catalog, config, book, pricing)
+
+
+def _adaptive_filter_cost_entry(
+    node: AdaptiveFilterNode, child_rows, catalog, config, book, pricing
+) -> OperatorCost:
+    rows = child_rows[0] if child_rows else 0.0
+    return _adaptive_chain_cost(node, rows, catalog, config, book, pricing)
+
+
+def _join_cost_entry(
+    node: JoinNode, child_rows, catalog, config, book, pricing
+) -> OperatorCost:
+    return _join_cost(node, child_rows, catalog, config, book, pricing)
+
+
+def _sort_cost_entry(
+    node: SortNode, child_rows, catalog, config, book, pricing
+) -> OperatorCost:
+    rows = child_rows[0] if child_rows else 0.0
+    return _sort_cost(node, rows, config, pricing)
+
+
+def _project_cost_entry(
+    node: ProjectNode, child_rows, catalog, config, book, pricing
+) -> OperatorCost:
+    rows = child_rows[0] if child_rows else 0.0
+    return _project_cost(node, rows, catalog, config, pricing)
+
+
+def _limit_cost_entry(
+    node: LimitNode, child_rows, catalog, config, book, pricing
+) -> OperatorCost:
+    rows = child_rows[0] if child_rows else 0.0
+    return OperatorCost(
+        label=node.label(), rows_in=rows, rows_out=min(rows, node.count)
+    )
+
+
+NODE_COST_MODELS.register(ScanNode.kind, _scan_cost_entry)
+NODE_COST_MODELS.register(ComputedFilterNode.kind, _computed_filter_cost_entry)
+NODE_COST_MODELS.register(CrowdPredicateNode.kind, _crowd_filter_cost_entry)
+NODE_COST_MODELS.register(AdaptiveFilterNode.kind, _adaptive_filter_cost_entry)
+NODE_COST_MODELS.register(JoinNode.kind, _join_cost_entry)
+NODE_COST_MODELS.register(SortNode.kind, _sort_cost_entry)
+NODE_COST_MODELS.register(ProjectNode.kind, _project_cost_entry)
+NODE_COST_MODELS.register(LimitNode.kind, _limit_cost_entry)
 
 
 def _adaptive_chain_cost(
@@ -293,7 +355,7 @@ def _join_cost(
             + math.ceil(right / config.generative_batch_size)
         )
         left_aliases = {
-            n.alias for n in node.inputs[0].walk() if isinstance(n, ScanNode)
+            n.alias for n in node.inputs[0].walk() if n.kind == ScanNode.kind
         }
         for expr in node.possibly:
             sel *= book.estimate(

@@ -9,7 +9,7 @@ per-item answers usable during expression evaluation.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping, Sequence
+from typing import TYPE_CHECKING, Mapping, Sequence
 
 from repro.combine.adaptive import AdaptivePolicy, needs_more_votes
 from repro.combine.base import combine_corpus
@@ -42,8 +42,16 @@ from repro.relational.expressions import (
 )
 from repro.relational.rows import Row
 from repro.tasks.base import Task, resolve_item_ref
-from repro.tasks.filter import FilterTask
-from repro.tasks.generative import GenerativeTask
+from repro.tasks.registry import (
+    ROLE_FILTER,
+    ROLE_GENERATIVE,
+    spec_for_task,
+    task_role,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.tasks.filter import FilterTask
+    from repro.tasks.generative import GenerativeTask
 
 
 def evaluate_arg(expr: Expression, row: Row, env: Mapping) -> object:
@@ -152,8 +160,10 @@ def run_filter_call(
 ) -> tuple[dict[str, bool], BatchOutcome]:
     """Execute one filter task over distinct item refs; returns ref → pass."""
     task = ctx.catalog.task(call.name)
-    if not isinstance(task, FilterTask):
+    spec = spec_for_task(task)
+    if spec.role != ROLE_FILTER:
         raise PlanError(f"{call.name!r} used as a filter but is {type(task).__name__}")
+    build_payload = spec.payload_builder or filter_payload_for
     env = ctx.catalog.functions()
     units: list[list[Payload]] = []
     seen: set[str] = set()
@@ -162,7 +172,7 @@ def run_filter_call(
         if ref in seen:
             continue
         seen.add(ref)
-        units.append([filter_payload_for(task, call, row, env)])
+        units.append([build_payload(task, call, row, env)])
     if not units:
         return {}, BatchOutcome()
     if ctx.config.adaptive is not None:
@@ -238,11 +248,14 @@ def begin_generative_units(
     combines — serial behaviour, draw-for-draw.
     """
     tasks = {name: ctx.catalog.task(name) for name in task_items}
+    builders = {}
     for name, task in tasks.items():
-        if not isinstance(task, GenerativeTask):
+        spec = spec_for_task(task)
+        if spec.role != ROLE_GENERATIVE:
             raise PlanError(
                 f"{name!r} used generatively but is {type(task).__name__}"
             )
+        builders[name] = spec.payload_builder or generative_payload_for
 
     units: list[list[Payload]] = []
     item_lists = [tuple(items) for items in task_items.values()]
@@ -253,15 +266,12 @@ def begin_generative_units(
     if combine_tasks and len(tasks) > 1:
         for item in item_lists[0]:
             units.append(
-                [
-                    generative_payload_for(tasks[name], item)  # type: ignore[arg-type]
-                    for name in task_items
-                ]
+                [builders[name](tasks[name], item) for name in task_items]
             )
     else:
         for name, items in task_items.items():
             for item in items:
-                units.append([generative_payload_for(tasks[name], item)])  # type: ignore[arg-type]
+                units.append([builders[name](tasks[name], item)])
 
     frozen_items = {name: tuple(items) for name, items in task_items.items()}
     if not units:
@@ -308,7 +318,6 @@ def _combine_generative(
     results: dict[str, dict[str, dict[str, object]]] = {}
     corpora: dict[str, dict[str, list[Vote]]] = {}
     for name, task in tasks.items():
-        assert isinstance(task, GenerativeTask)
         results[name] = {}
         corpora[name] = {}
         for gen_field in task.fields:
@@ -409,7 +418,6 @@ def evaluate_with_crowd(
                         )
                     return values[node.field]
                 task = ctx.catalog.task(node.name)
-                assert isinstance(task, GenerativeTask)
                 if len(task.fields) == 1:
                     return values.get(task.fields[0].name)
                 return values
@@ -450,7 +458,8 @@ def run_predicate_calls(
         if call.name in env:
             continue
         task = ctx.catalog.task(call.name)
-        if isinstance(task, FilterTask):
+        role = task_role(task)
+        if role == ROLE_FILTER:
             if call.name not in bindings.filters:
                 answers, outcome = run_filter_call(call, rows, ctx, f"{label}:{call.name}")
                 bindings.filters[call.name] = answers
@@ -459,7 +468,7 @@ def run_predicate_calls(
                     bindings.signals[f"{call.name}.yes_fraction"] = sum(
                         answers.values()
                     ) / len(answers)
-        elif isinstance(task, GenerativeTask):
+        elif role == ROLE_GENERATIVE:
             refs = generative_items.setdefault(call.name, [])
             generative_calls[call.name] = call
             for row in rows:

@@ -20,7 +20,7 @@ from typing import Callable, Sequence
 from repro.core.adaptive import SelectivityBook, build_state, preflight
 from repro.core.context import ExecutionConfig, OperatorStats, QueryContext
 from repro.core.executor import run_plan
-from repro.core.explain import render_explain
+from repro.core.explain import plan_task_labels, render_explain
 from repro.core.optimizer import optimize
 from repro.core.plan import PlanNode
 from repro.core.planner import build_plan
@@ -37,7 +37,7 @@ from repro.relational.rows import Row
 from repro.relational.table import Table
 from repro.sorting.topk import pick_extreme_order
 from repro.tasks.base import task_from_definition
-from repro.tasks.rank import RankTask
+from repro.tasks.registry import ROLE_RANK, task_role
 from repro.util import adapt as adapt_toggle
 from repro.util import fastpath
 from repro.util import pipeline as pipeline_toggle
@@ -213,6 +213,9 @@ class QueryResult:
     disk hits and assignments a fresh process reused, eviction counts, and
     the dollars persistence saved); None when no store is attached
     (including under ``REPRO_STORE=0``)."""
+    task_labels: dict[str, str] | None = None
+    """task name → registry EXPLAIN label for the crowd tasks this query
+    used (each task type's declared ``explain_label``)."""
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -235,6 +238,7 @@ class QueryResult:
             adaptive_summary=self.adaptive_summary,
             degradation_summary=self.degradation_summary,
             store_summary=self.store_summary,
+            task_labels=self.task_labels,
         )
 
 
@@ -423,11 +427,15 @@ class Qurk:
             )
             if self.store is not None and store_before is not None
             else None,
+            task_labels=plan_task_labels(plan, self.catalog),
         )
 
     def explain(self, query: str | SelectQuery) -> str:
         """The optimized plan tree without executing (no stats)."""
-        return render_explain(self.plan(query), {})
+        plan = self.plan(query)
+        return render_explain(
+            plan, {}, task_labels=plan_task_labels(plan, self.catalog)
+        )
 
     def _parse(self, query: str | SelectQuery) -> SelectQuery:
         return parse_single_select(query, self.catalog)
@@ -449,7 +457,7 @@ class Qurk:
         from repro.core.sort_exec import pick_best_payload, tally_pick_votes
 
         task = self.catalog.task(task_name)
-        if not isinstance(task, RankTask):
+        if task_role(task) != ROLE_RANK:
             raise PlanError(f"extreme() needs a Rank task, got {type(task).__name__}")
         votes_requested = assignments or self.config.assignments
 

@@ -45,6 +45,7 @@ from repro.core.plan import (
 from repro.core.sort_exec import execute_sort
 from repro.errors import ExecutionError
 from repro.hits.manager import platform_supports_overlap
+from repro.tasks.registry import DispatchTable
 from repro.relational.expressions import UDFCall
 from repro.relational.rows import Row
 from repro.util import pipeline as pipeline_toggle
@@ -66,36 +67,27 @@ def run_plan(node: PlanNode, ctx: QueryContext) -> list[Row]:
     return run_plan_depth_first(node, ctx)
 
 
+NODE_EXECUTORS = DispatchTable("depth-first plan-node executor")
+"""Depth-first handlers keyed by ``PlanNode.kind``.
+
+Each handler takes ``(node, ctx)`` and recurses through
+:func:`run_plan_depth_first` for its inputs. Out-of-tree node kinds
+register here (and in :data:`repro.core.scheduler.PIPELINE_GENERATORS` for
+the pipelined path) without touching this module.
+"""
+
+
+def register_node_executor(kind: str, handler=None, *, replace: bool = False):
+    """Register a depth-first executor for a plan-node kind."""
+    return NODE_EXECUTORS.register(kind, handler, replace=replace)
+
+
 def run_plan_depth_first(node: PlanNode, ctx: QueryContext) -> list[Row]:
     """The reference interpreter: recurse, materialise, apply."""
-    if isinstance(node, ScanNode):
-        return scan_rows(node, ctx)
-    if isinstance(node, ComputedFilterNode):
-        return computed_filter_rows(
-            node, run_plan_depth_first(node.inputs[0], ctx), ctx
-        )
-    if isinstance(node, CrowdPredicateNode):
-        return crowd_filter_rows(
-            node, run_plan_depth_first(node.inputs[0], ctx), ctx
-        )
-    if isinstance(node, AdaptiveFilterNode):
-        from repro.core.adaptive import adaptive_filter_rows
-
-        return adaptive_filter_rows(
-            node, run_plan_depth_first(node.inputs[0], ctx), ctx
-        )
-    if isinstance(node, JoinNode):
-        left_rows = run_plan_depth_first(node.inputs[0], ctx)
-        right_rows = run_plan_depth_first(node.inputs[1], ctx)
-        return join_rows(node, left_rows, right_rows, ctx)
-    if isinstance(node, SortNode):
-        rows = run_plan_depth_first(node.inputs[0], ctx)
-        return execute_sort(node, rows, ctx)
-    if isinstance(node, ProjectNode):
-        return project_rows(node, run_plan_depth_first(node.inputs[0], ctx), ctx)
-    if isinstance(node, LimitNode):
-        return limit_rows(node, run_plan_depth_first(node.inputs[0], ctx), ctx)
-    raise ExecutionError(f"no executor for plan node {type(node).__name__}")
+    run = NODE_EXECUTORS.lookup(node.kind)
+    if run is None:
+        raise ExecutionError(f"no executor for plan node {type(node).__name__}")
+    return run(node, ctx)
 
 
 # ---------------------------------------------------------------------------
@@ -169,7 +161,7 @@ def join_rows(
 
 def plan_aliases(node: PlanNode) -> set[str]:
     """Every scan alias bound inside a subtree."""
-    return {n.alias for n in node.walk() if isinstance(n, ScanNode)}
+    return {n.alias for n in node.walk() if n.kind == ScanNode.kind}
 
 
 def project_crowd_calls(node: ProjectNode, ctx: QueryContext) -> list[UDFCall]:
@@ -235,3 +227,51 @@ def _evaluate_plain(expr, row: Row, env) -> object:
             f"crowd UDF {expr.name!r} reached plain evaluation — planner bug"
         )
     return expr.evaluate(row, env)
+
+
+# ---------------------------------------------------------------------------
+# Builtin node-kind registrations (the paper's operators)
+# ---------------------------------------------------------------------------
+
+
+def _exec_computed_filter(node: ComputedFilterNode, ctx: QueryContext) -> list[Row]:
+    return computed_filter_rows(node, run_plan_depth_first(node.inputs[0], ctx), ctx)
+
+
+def _exec_crowd_filter(node: CrowdPredicateNode, ctx: QueryContext) -> list[Row]:
+    return crowd_filter_rows(node, run_plan_depth_first(node.inputs[0], ctx), ctx)
+
+
+def _exec_adaptive_filter(node: AdaptiveFilterNode, ctx: QueryContext) -> list[Row]:
+    from repro.core.adaptive import adaptive_filter_rows
+
+    return adaptive_filter_rows(node, run_plan_depth_first(node.inputs[0], ctx), ctx)
+
+
+def _exec_join(node: JoinNode, ctx: QueryContext) -> list[Row]:
+    left_rows = run_plan_depth_first(node.inputs[0], ctx)
+    right_rows = run_plan_depth_first(node.inputs[1], ctx)
+    return join_rows(node, left_rows, right_rows, ctx)
+
+
+def _exec_sort(node: SortNode, ctx: QueryContext) -> list[Row]:
+    rows = run_plan_depth_first(node.inputs[0], ctx)
+    return execute_sort(node, rows, ctx)
+
+
+def _exec_project(node: ProjectNode, ctx: QueryContext) -> list[Row]:
+    return project_rows(node, run_plan_depth_first(node.inputs[0], ctx), ctx)
+
+
+def _exec_limit(node: LimitNode, ctx: QueryContext) -> list[Row]:
+    return limit_rows(node, run_plan_depth_first(node.inputs[0], ctx), ctx)
+
+
+NODE_EXECUTORS.register(ScanNode.kind, scan_rows)
+NODE_EXECUTORS.register(ComputedFilterNode.kind, _exec_computed_filter)
+NODE_EXECUTORS.register(CrowdPredicateNode.kind, _exec_crowd_filter)
+NODE_EXECUTORS.register(AdaptiveFilterNode.kind, _exec_adaptive_filter)
+NODE_EXECUTORS.register(JoinNode.kind, _exec_join)
+NODE_EXECUTORS.register(SortNode.kind, _exec_sort)
+NODE_EXECUTORS.register(ProjectNode.kind, _exec_project)
+NODE_EXECUTORS.register(LimitNode.kind, _exec_limit)

@@ -82,6 +82,40 @@ def _store_line(summary: Mapping[str, object]) -> str:
     return "store: " + ", ".join(parts)
 
 
+def plan_task_labels(plan: PlanNode, catalog) -> dict[str, str]:
+    """task name → registry EXPLAIN label, for every crowd task a plan uses.
+
+    Labels come from each task type's :class:`~repro.tasks.registry.
+    TaskTypeSpec` (``explain_label``, defaulting to the registry key), so
+    out-of-tree task types name themselves in EXPLAIN output without engine
+    edits.
+    """
+    from repro.tasks.registry import spec_for_task
+
+    labels: dict[str, str] = {}
+    nodes = list(plan.walk())
+    for node in list(nodes):
+        nodes.extend(getattr(node, "members", ()))
+    for node in nodes:
+        exprs = []
+        for attr in ("predicate", "condition"):
+            value = getattr(node, attr, None)
+            if value is not None:
+                exprs.append(value)
+        exprs.extend(getattr(node, "possibly", ()))
+        for item in getattr(node, "items", ()):
+            exprs.append(item.expr)
+        for item in getattr(node, "order_items", ()):
+            exprs.append(item.expr)
+        for expr in exprs:
+            for call in expr.udf_calls():
+                if call.name not in labels and catalog.has_task(call.name):
+                    labels[call.name] = spec_for_task(
+                        catalog.task(call.name)
+                    ).label()
+    return labels
+
+
 def render_explain(
     plan: PlanNode,
     node_stats: dict[int, OperatorStats],
@@ -90,6 +124,7 @@ def render_explain(
     adaptive_summary: Mapping[str, object] | None = None,
     degradation_summary: Mapping[str, object] | None = None,
     store_summary: Mapping[str, object] | None = None,
+    task_labels: Mapping[str, str] | None = None,
 ) -> str:
     """Render the plan tree annotated with collected operator signals.
 
@@ -156,6 +191,11 @@ def render_explain(
             visit(child, depth + 1)
 
     visit(plan, 0)
+    if task_labels:
+        rendered = ", ".join(
+            f"{name}={label}" for name, label in sorted(task_labels.items())
+        )
+        lines.append(f"tasks: {rendered}")
     if adaptive_summary is not None:
         parts = [
             f"replans={adaptive_summary.get('replans', 0)}",

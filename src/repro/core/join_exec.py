@@ -13,7 +13,7 @@ left and right linear scans overlap in virtual time (§2.6).
 
 from __future__ import annotations
 
-from typing import Mapping, Sequence
+from typing import TYPE_CHECKING, Mapping, Sequence
 
 from repro.combine.base import combine_corpus
 from repro.core.context import QueryContext
@@ -49,8 +49,11 @@ from repro.relational.expressions import (
     feature_equal,
 )
 from repro.relational.rows import Row
-from repro.tasks.equijoin import EquiJoinTask
-from repro.tasks.generative import GenerativeTask
+from repro.tasks.registry import ROLE_GENERATIVE, ROLE_JOIN, task_role
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.tasks.equijoin import EquiJoinTask
+    from repro.tasks.generative import GenerativeTask
 
 
 class _PossiblyClauses:
@@ -78,7 +81,7 @@ def _classify_possibly(
         ]
         for call in calls:
             task = ctx.catalog.task(call.name)
-            if not isinstance(task, GenerativeTask):
+            if task_role(task) != ROLE_GENERATIVE:
                 raise PlanError(
                     f"POSSIBLY clause task {call.name!r} must be Generative"
                 )
@@ -135,8 +138,8 @@ def execute_join(
     """Run the crowd equijoin; returns merged rows for matching pairs."""
     assert node.condition is not None
     task = ctx.catalog.task(node.condition.name)
-    if not isinstance(task, EquiJoinTask):
-        raise PlanError(f"join task {node.condition.name!r} is not an EquiJoin")
+    if task_role(task) != ROLE_JOIN:
+        raise PlanError(f"join task {node.condition.name!r} is not a join task")
     stats = ctx.stats_for(node)
     stats.rows_in = len(left_rows) + len(right_rows)
     env = ctx.catalog.functions()
@@ -275,7 +278,6 @@ def _run_feature_extraction(
     # Unary predicates prune one side before the cross product forms.
     for expr, side, call in clauses.unary:
         task = ctx.catalog.task(call.name)
-        assert isinstance(task, GenerativeTask)
         results = left_results if side == "left" else right_results
         refs = left_refs if side == "left" else right_refs
         kept = []
@@ -298,8 +300,6 @@ def _run_feature_extraction(
     for key, left_call, right_call in clauses.equality:
         left_task = ctx.catalog.task(left_call.name)
         right_task = ctx.catalog.task(right_call.name)
-        assert isinstance(left_task, GenerativeTask)
-        assert isinstance(right_task, GenerativeTask)
         # Filtering values use the abstention rule: contested labels demote
         # to UNKNOWN so noisy features (hair) filter weakly, not wrongly.
         left_field = left_call.field or left_task.single_field.name

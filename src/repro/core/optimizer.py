@@ -79,7 +79,7 @@ def _fuse_crowd_chains(node: PlanNode, adapt: "AdaptiveState") -> PlanNode:
     """
     chain: list[CrowdPredicateNode] = []
     cursor: PlanNode = node
-    while isinstance(cursor, CrowdPredicateNode):
+    while cursor.kind == CrowdPredicateNode.kind:
         chain.append(cursor)
         cursor = cursor.inputs[0]
     below = _rewrite_inputs(cursor, adapt)
@@ -103,7 +103,7 @@ def _rewrite_inputs(node: PlanNode, adapt: "AdaptiveState") -> PlanNode:
 
 def _aliases_in(node: PlanNode) -> set[str]:
     """The table aliases visible in a subtree's output."""
-    return {n.alias for n in node.walk() if isinstance(n, ScanNode)}
+    return {n.alias for n in node.walk() if n.kind == ScanNode.kind}
 
 
 def _references_only(predicate: Expression, aliases: set[str]) -> bool:
@@ -147,27 +147,27 @@ def _push_down_once(node: PlanNode) -> tuple[PlanNode, bool]:
         changed |= child_changed
     node.inputs = tuple(new_inputs)
 
-    if isinstance(node, ComputedFilterNode):
+    if node.kind == ComputedFilterNode.kind:
         child = node.inputs[0]
         assert node.predicate is not None
 
         # Sink below crowd filters and sorts: the crowd then sees fewer
         # tuples (or the same tuples later, which is free).
-        if isinstance(child, (CrowdPredicateNode, SortNode)):
+        if child.kind in (CrowdPredicateNode.kind, SortNode.kind):
             node.inputs = child.inputs
             child.inputs = (node,)
             return child, True
 
         # Sink into the side of a join the predicate refers to.
-        if isinstance(child, JoinNode):
+        if child.kind == JoinNode.kind:
             sunk, did = _sink_into_join(node, node.predicate, child)
             if did:
                 return sunk, True
 
-    if isinstance(node, CrowdPredicateNode):
+    if node.kind == CrowdPredicateNode.kind:
         child = node.inputs[0]
         assert node.predicate is not None
-        if isinstance(child, JoinNode):
+        if child.kind == JoinNode.kind:
             sunk, did = _sink_into_join(node, node.predicate, child)
             if did:
                 return sunk, True

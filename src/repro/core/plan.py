@@ -16,7 +16,7 @@ Plans are passive trees; the executor interprets them. Node kinds:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator
+from typing import ClassVar, Iterator
 
 from repro.language.ast import OrderItem, SelectItem
 from repro.relational.expressions import Expression, UDFCall
@@ -24,7 +24,16 @@ from repro.relational.expressions import Expression, UDFCall
 
 @dataclass
 class PlanNode:
-    """Base class; children in ``inputs``."""
+    """Base class; children in ``inputs``.
+
+    Every node carries a string ``kind`` — its registry key. The executors,
+    scheduler, cost model, and optimizer dispatch on ``node.kind`` through
+    :class:`~repro.tasks.registry.DispatchTable`\\ s instead of switching on
+    node classes, so out-of-tree node kinds can register handlers without
+    engine edits.
+    """
+
+    kind: ClassVar[str] = ""
 
     inputs: tuple["PlanNode", ...] = field(default_factory=tuple, kw_only=True)
 
@@ -43,6 +52,8 @@ class PlanNode:
 class ScanNode(PlanNode):
     """Scan a registered table, qualifying columns with the alias."""
 
+    kind: ClassVar[str] = "scan"
+
     table_name: str = ""
     alias: str = ""
 
@@ -54,6 +65,8 @@ class ScanNode(PlanNode):
 class ComputedFilterNode(PlanNode):
     """A computer-evaluable predicate (no HITs)."""
 
+    kind: ClassVar[str] = "computed_filter"
+
     predicate: Expression | None = None
 
     def label(self) -> str:
@@ -63,6 +76,8 @@ class ComputedFilterNode(PlanNode):
 @dataclass
 class CrowdPredicateNode(PlanNode):
     """A predicate that needs crowd answers for its UDF calls."""
+
+    kind: ClassVar[str] = "crowd_filter"
 
     predicate: Expression | None = None
 
@@ -100,6 +115,8 @@ class AdaptiveFilterNode(PlanNode):
     as re-running a static plan against a different crowd would.
     """
 
+    kind: ClassVar[str] = "adaptive_filter"
+
     members: tuple[CrowdPredicateNode, ...] = ()
 
     def label(self) -> str:
@@ -110,6 +127,8 @@ class AdaptiveFilterNode(PlanNode):
 @dataclass
 class JoinNode(PlanNode):
     """Crowd equijoin of the two inputs with POSSIBLY feature clauses."""
+
+    kind: ClassVar[str] = "join"
 
     condition: UDFCall | None = None
     possibly: tuple[Expression, ...] = ()
@@ -122,6 +141,8 @@ class JoinNode(PlanNode):
 @dataclass
 class SortNode(PlanNode):
     """ORDER BY: leading plain expressions group; a Rank UDF sorts groups."""
+
+    kind: ClassVar[str] = "sort"
 
     order_items: tuple[OrderItem, ...] = ()
 
@@ -141,6 +162,8 @@ class SortNode(PlanNode):
 class ProjectNode(PlanNode):
     """Evaluate the select list (may trigger generative crowd work)."""
 
+    kind: ClassVar[str] = "project"
+
     items: tuple[SelectItem, ...] = ()
     star: bool = False
 
@@ -153,6 +176,8 @@ class ProjectNode(PlanNode):
 @dataclass
 class LimitNode(PlanNode):
     """Keep the first k rows (top-K over a crowd sort, §2.3)."""
+
+    kind: ClassVar[str] = "limit"
 
     count: int = 0
 

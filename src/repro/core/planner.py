@@ -113,12 +113,12 @@ def _join_condition(expr: Expression, catalog: Catalog) -> UDFCall:
     """The ON clause must be a single crowd equijoin call."""
     if isinstance(expr, UDFCall) and _is_crowd_call(expr, catalog):
         task = catalog.task(expr.name)
-        from repro.tasks.base import TaskType
+        from repro.tasks.registry import ROLE_JOIN, task_role
 
-        if task.task_type is not TaskType.EQUIJOIN:
+        if task_role(task) != ROLE_JOIN:
             raise PlanError(
-                f"join condition task {expr.name!r} must be an EquiJoin task, "
-                f"got {task.task_type.value}"
+                f"join condition task {expr.name!r} must be a join-role task "
+                f"(e.g. EquiJoin), got {task.type_key}"
             )
         if len(expr.args) != 2:
             raise PlanError(

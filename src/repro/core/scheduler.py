@@ -75,6 +75,7 @@ from repro.core.plan import (
 from repro.core.sort_exec import execute_sort
 from repro.errors import ExecutionError
 from repro.relational.rows import Row
+from repro.tasks.registry import DispatchTable
 
 
 # ---------------------------------------------------------------------------
@@ -328,7 +329,20 @@ class _OperatorManager:
 # ---------------------------------------------------------------------------
 
 
-_CHUNKABLE = (ScanNode, ComputedFilterNode, LimitNode)
+PIPELINE_GENERATORS = DispatchTable("pipelined plan-node generator")
+"""Pipelined generator factories keyed by ``PlanNode.kind``.
+
+Each handler takes ``(scheduler, task, node)`` and returns the operator's
+stepping generator. The builtin registrations mirror the depth-first
+table in :mod:`repro.core.executor` operator for operator, so both
+executors share one dispatch surface; out-of-tree node kinds register in
+both tables without engine edits.
+"""
+
+
+def register_pipeline_generator(kind: str, handler=None, *, replace: bool = False):
+    """Register a pipelined generator factory for a plan-node kind."""
+    return PIPELINE_GENERATORS.register(kind, handler, replace=replace)
 
 
 def run_plan_pipelined(root: PlanNode, ctx: QueryContext) -> list[Row]:
@@ -373,34 +387,10 @@ class PipelineScheduler:
 
     def _generator(self, task: OperatorTask):
         node = task.node
-        ctx = self.ctx
-        if isinstance(node, ScanNode):
-            return self._scan_gen(task, node, ctx)
-        if isinstance(node, ComputedFilterNode):
-            return self._stream_gen(
-                task, lambda rows: computed_filter_rows(node, rows, ctx)
-            )
-        if isinstance(node, LimitNode):
-            return self._limit_gen(task, node, ctx)
-        if isinstance(node, ProjectNode):
-            if project_crowd_calls(node, ctx):
-                return self._materialize_gen(
-                    task, lambda rows, c: project_rows(node, rows, c)
-                )
-            return self._stream_gen(task, lambda rows: project_rows(node, rows, ctx))
-        if isinstance(node, CrowdPredicateNode):
-            return self._materialize_gen(
-                task, lambda rows, c: crowd_filter_rows(node, rows, c)
-            )
-        if isinstance(node, AdaptiveFilterNode):
-            return self._adaptive_gen(task, node)
-        if isinstance(node, SortNode):
-            return self._materialize_gen(
-                task, lambda rows, c: execute_sort(node, rows, c)
-            )
-        if isinstance(node, JoinNode):
-            return self._join_gen(task, node)
-        raise ExecutionError(f"no executor for plan node {type(node).__name__}")
+        factory = PIPELINE_GENERATORS.lookup(node.kind)
+        if factory is None:
+            raise ExecutionError(f"no executor for plan node {type(node).__name__}")
+        return factory(self, task, node)
 
     def _operator_ctx(self, task: OperatorTask) -> QueryContext:
         """The operator's view of the context: posts ride its local clock."""
@@ -718,3 +708,60 @@ class PipelineScheduler:
         else:
             if task.out_queue.peak > task.pstats.queue_peak:
                 task.pstats.queue_peak = task.out_queue.peak
+
+
+# ---------------------------------------------------------------------------
+# Builtin node-kind registrations (mirror repro.core.executor's table)
+# ---------------------------------------------------------------------------
+
+
+def _gen_scan(sched: PipelineScheduler, task: OperatorTask, node: ScanNode):
+    return sched._scan_gen(task, node, sched.ctx)
+
+
+def _gen_computed_filter(
+    sched: PipelineScheduler, task: OperatorTask, node: ComputedFilterNode
+):
+    ctx = sched.ctx
+    return sched._stream_gen(task, lambda rows: computed_filter_rows(node, rows, ctx))
+
+
+def _gen_limit(sched: PipelineScheduler, task: OperatorTask, node: LimitNode):
+    return sched._limit_gen(task, node, sched.ctx)
+
+
+def _gen_project(sched: PipelineScheduler, task: OperatorTask, node: ProjectNode):
+    ctx = sched.ctx
+    if project_crowd_calls(node, ctx):
+        return sched._materialize_gen(task, lambda rows, c: project_rows(node, rows, c))
+    return sched._stream_gen(task, lambda rows: project_rows(node, rows, ctx))
+
+
+def _gen_crowd_filter(
+    sched: PipelineScheduler, task: OperatorTask, node: CrowdPredicateNode
+):
+    return sched._materialize_gen(task, lambda rows, c: crowd_filter_rows(node, rows, c))
+
+
+def _gen_adaptive_filter(
+    sched: PipelineScheduler, task: OperatorTask, node: AdaptiveFilterNode
+):
+    return sched._adaptive_gen(task, node)
+
+
+def _gen_sort(sched: PipelineScheduler, task: OperatorTask, node: SortNode):
+    return sched._materialize_gen(task, lambda rows, c: execute_sort(node, rows, c))
+
+
+def _gen_join(sched: PipelineScheduler, task: OperatorTask, node: JoinNode):
+    return sched._join_gen(task, node)
+
+
+PIPELINE_GENERATORS.register(ScanNode.kind, _gen_scan)
+PIPELINE_GENERATORS.register(ComputedFilterNode.kind, _gen_computed_filter)
+PIPELINE_GENERATORS.register(LimitNode.kind, _gen_limit)
+PIPELINE_GENERATORS.register(ProjectNode.kind, _gen_project)
+PIPELINE_GENERATORS.register(CrowdPredicateNode.kind, _gen_crowd_filter)
+PIPELINE_GENERATORS.register(AdaptiveFilterNode.kind, _gen_adaptive_filter)
+PIPELINE_GENERATORS.register(SortNode.kind, _gen_sort)
+PIPELINE_GENERATORS.register(JoinNode.kind, _gen_join)

@@ -19,7 +19,7 @@ repair loop.
 from __future__ import annotations
 
 from collections import Counter
-from typing import Mapping, Sequence
+from typing import TYPE_CHECKING, Mapping, Sequence
 
 from repro.core.context import QueryContext
 from repro.core.crowd_calls import call_item_ref, evaluate_arg
@@ -49,9 +49,12 @@ from repro.sorting.hybrid import (
 )
 from repro.sorting.rating import RatingSummary, order_by_rating, summarize_ratings
 from repro.sorting.topk import tournament_top_k
-from repro.tasks.rank import RankTask
+from repro.tasks.registry import ROLE_RANK, task_role
 from repro.util import sortscale
 from repro.util.rng import RandomSource
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.tasks.rank import RankTask
 
 
 def execute_sort(node: SortNode, rows: Sequence[Row], ctx: QueryContext) -> list[Row]:
@@ -95,7 +98,7 @@ def execute_sort(node: SortNode, rows: Sequence[Row], ctx: QueryContext) -> list
     call = crowd_item.expr
     assert isinstance(call, UDFCall)
     task = ctx.catalog.task(call.name)
-    if not isinstance(task, RankTask):
+    if task_role(task) != ROLE_RANK:
         raise PlanError(f"ORDER BY task {call.name!r} must be a Rank task")
 
     # Group rows by the plain prefix, then crowd-sort within each group.

@@ -48,6 +48,7 @@ from repro.hits.hit import (
     join_qid,
     rate_qid,
 )
+from repro.tasks.registry import DispatchTable
 from repro.util.rng import RandomSource
 
 GRID_MISS_PER_CELL = 0.025
@@ -96,6 +97,22 @@ def spam_answer_hit(
     return answer_hit(twin, hit, truth, rng)
 
 
+PAYLOAD_ANSWERERS = DispatchTable("payload behaviour model")
+"""``payload.kind`` → answer generator.
+
+Handlers share the uniform signature
+``(worker, payload, truth, rng, units, combined)`` and return the
+qid → answer dict one worker produces for one payload. Out-of-tree payload
+kinds register via :func:`register_payload_answerer` without touching this
+module.
+"""
+
+
+def register_payload_answerer(kind: str, handler=None, *, replace: bool = False):
+    """Register the behaviour model for a payload kind."""
+    return PAYLOAD_ANSWERERS.register(kind, handler, replace=replace)
+
+
 def answer_payload(
     worker: WorkerProfile,
     payload: Payload,
@@ -105,21 +122,10 @@ def answer_payload(
     combined: bool = False,
 ) -> dict[str, object]:
     """Answers for a single payload (see :func:`answer_hit`)."""
-    if isinstance(payload, FilterPayload):
-        return _answer_filter(worker, payload, truth, rng, units)
-    if isinstance(payload, GenerativePayload):
-        return _answer_generative(worker, payload, truth, rng, units, combined)
-    if isinstance(payload, ComparePayload):
-        return _answer_compare(worker, payload, truth, rng, units)
-    if isinstance(payload, RatePayload):
-        return _answer_rate(worker, payload, truth, rng, units)
-    if isinstance(payload, JoinPairsPayload):
-        return _answer_join_pairs(worker, payload, truth, rng, units)
-    if isinstance(payload, JoinGridPayload):
-        return _answer_join_grid(worker, payload, truth, rng)
-    if isinstance(payload, PickBestPayload):
-        return _answer_pick_best(worker, payload, truth, rng)
-    raise MarketplaceError(f"no behaviour model for {type(payload).__name__}")
+    handler = PAYLOAD_ANSWERERS.lookup(payload.kind)
+    if handler is None:
+        raise MarketplaceError(f"no behaviour model for {type(payload).__name__}")
+    return handler(worker, payload, truth, rng, units, combined)
 
 
 # ---------------------------------------------------------------------------
@@ -573,3 +579,53 @@ def _text_answer(
     if variant == 3:
         return answer.replace(" ", "  ")
     return answer
+
+
+# ---------------------------------------------------------------------------
+# Builtin payload-kind registrations
+# ---------------------------------------------------------------------------
+# Adapters narrow the uniform (worker, payload, truth, rng, units, combined)
+# signature down to what each generator actually reads.
+
+register_payload_answerer(
+    FilterPayload.kind,
+    lambda worker, payload, truth, rng, units, combined: _answer_filter(
+        worker, payload, truth, rng, units
+    ),
+)
+register_payload_answerer(
+    GenerativePayload.kind,
+    lambda worker, payload, truth, rng, units, combined: _answer_generative(
+        worker, payload, truth, rng, units, combined
+    ),
+)
+register_payload_answerer(
+    ComparePayload.kind,
+    lambda worker, payload, truth, rng, units, combined: _answer_compare(
+        worker, payload, truth, rng, units
+    ),
+)
+register_payload_answerer(
+    RatePayload.kind,
+    lambda worker, payload, truth, rng, units, combined: _answer_rate(
+        worker, payload, truth, rng, units
+    ),
+)
+register_payload_answerer(
+    JoinPairsPayload.kind,
+    lambda worker, payload, truth, rng, units, combined: _answer_join_pairs(
+        worker, payload, truth, rng, units
+    ),
+)
+register_payload_answerer(
+    JoinGridPayload.kind,
+    lambda worker, payload, truth, rng, units, combined: _answer_join_grid(
+        worker, payload, truth, rng
+    ),
+)
+register_payload_answerer(
+    PickBestPayload.kind,
+    lambda worker, payload, truth, rng, units, combined: _answer_pick_best(
+        worker, payload, truth, rng
+    ),
+)

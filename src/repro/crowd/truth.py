@@ -81,6 +81,7 @@ class GroundTruth:
         self._features: dict[tuple[str, str], FeatureTruth] = {}
         self._texts: dict[tuple[str, str], dict[str, str]] = {}
         self._joins: dict[str, set[tuple[str, str]]] = {}
+        self._custom: dict[tuple[str, str], object] = {}
 
     # -- registration (used by datasets) ----------------------------------
 
@@ -129,6 +130,25 @@ class GroundTruth:
         else:
             pairs.update(pair for pair, is_match in matches.items() if is_match)
 
+    def add_custom_task(self, kind: str, task_name: str, oracle: object) -> None:
+        """Register an opaque oracle for an out-of-tree task kind.
+
+        The engine never interprets ``oracle`` — a registered task type's
+        behaviour model fetches it back with :meth:`custom_answer` and
+        applies its own semantics. ``kind`` namespaces oracles so two task
+        types can reuse a task name without colliding.
+        """
+        self._custom[(kind, task_name)] = oracle
+
+    def custom_answer(self, kind: str, task_name: str) -> object:
+        """The opaque oracle registered for an out-of-tree task."""
+        try:
+            return self._custom[(kind, task_name)]
+        except KeyError as exc:
+            raise MarketplaceError(
+                f"no {kind!r} truth for task {task_name!r}"
+            ) from exc
+
     def merge(self, other: "GroundTruth") -> None:
         """Fold another oracle's registrations into this one."""
         for task, answers in other._filters.items():
@@ -139,6 +159,7 @@ class GroundTruth:
             self._texts.setdefault(key, {}).update(answers)
         for task, pairs in other._joins.items():
             self._joins.setdefault(task, set()).update(pairs)
+        self._custom.update(other._custom)
 
     # -- lookups (used by behaviour models) --------------------------------
 

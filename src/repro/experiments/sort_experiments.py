@@ -38,8 +38,11 @@ def make_sort_context(truth, dsl: str, seed: int, **config) -> QueryContext:
 
 
 def _task(ctx: QueryContext, name: str) -> RankTask:
+    from repro.tasks.registry import ROLE_RANK, task_role
+
     task = ctx.catalog.task(name)
-    assert isinstance(task, RankTask)
+    if task_role(task) != ROLE_RANK:
+        raise TypeError(f"sort experiment needs a Rank task, got {type(task).__name__}")
     return task
 
 

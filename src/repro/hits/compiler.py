@@ -5,6 +5,10 @@ HTML for each HIT and estimates worker effort. The simulated marketplace
 answers payloads directly, but the HTML is still produced (and tested)
 because it is the artifact a real crowd platform would receive, and because
 interface realism is what the paper's batching limits are about.
+
+Effort estimation, rendering, and merging all dispatch on ``payload.kind``
+through per-kind tables; out-of-tree payload kinds plug in via
+:func:`register_payload_kind` without touching this module.
 """
 
 from __future__ import annotations
@@ -25,6 +29,43 @@ from repro.hits.hit import (
     PickBestPayload,
     RatePayload,
 )
+from repro.tasks.registry import DispatchTable
+
+PAYLOAD_EFFORTS = DispatchTable("payload effort model")
+"""``kind`` → ``(effort_model, payload) -> seconds`` handlers."""
+
+PAYLOAD_RENDERERS = DispatchTable("payload HTML renderer")
+"""``kind`` → ``(compiler, payload) -> html`` handlers."""
+
+PAYLOAD_MERGERS = DispatchTable("payload merger")
+"""``kind`` → ``(payloads) -> payload`` handlers (merging, §2.6).
+
+Kinds without a merger (grids, pick-best) simply never batch across units.
+"""
+
+
+def register_payload_kind(
+    kind: str,
+    *,
+    effort=None,
+    renderer=None,
+    merger=None,
+    replace: bool = False,
+) -> None:
+    """Register compiler hooks for a payload kind in one call.
+
+    ``effort`` takes ``(effort_model, payload)``; ``renderer`` takes
+    ``(compiler, payload)``; ``merger`` takes a non-empty same-kind,
+    same-task payload list. Any hook may be omitted: a kind without an
+    effort model or renderer raises on use, one without a merger never
+    batches.
+    """
+    if effort is not None:
+        PAYLOAD_EFFORTS.register(kind, effort, replace=replace)
+    if renderer is not None:
+        PAYLOAD_RENDERERS.register(kind, renderer, replace=replace)
+    if merger is not None:
+        PAYLOAD_MERGERS.register(kind, merger, replace=replace)
 
 
 class EffortModel:
@@ -50,38 +91,50 @@ class EffortModel:
 
     def effort(self, payload: Payload) -> float:
         """Seconds of honest effort for one payload."""
-        if isinstance(payload, FilterPayload):
-            return self.FILTER_SECONDS * len(payload.questions)
-        if isinstance(payload, GenerativePayload):
-            # Radio clicks are quick "demographic survey" answers (§3.3.4);
-            # free-text fields take real typing time.
-            per_tuple = sum(
-                self.GENERATIVE_RADIO_FIELD_SECONDS
-                if spec.is_categorical
-                else self.GENERATIVE_TEXT_FIELD_SECONDS
-                for spec in payload.fields
-            ) or self.GENERATIVE_TEXT_FIELD_SECONDS
-            return per_tuple * len(payload.questions)
-        if isinstance(payload, RatePayload):
-            return (
-                self.RATE_SECONDS * len(payload.questions)
-                + self.RATE_ANCHOR_SECONDS * len(payload.anchors)
+        handler = PAYLOAD_EFFORTS.lookup(payload.kind)
+        if handler is None:
+            raise TaskError(
+                f"no effort model for payload type {type(payload).__name__}"
             )
-        if isinstance(payload, JoinPairsPayload):
-            return self.JOIN_PAIR_SECONDS * len(payload.pairs)
-        if isinstance(payload, JoinGridPayload):
-            # Smart batching is efficient: workers scan the two columns
-            # rather than every cell, so effort grows with r + s, not r × s.
-            return self.GRID_ITEM_SECONDS * (
-                len(payload.left_items) + len(payload.right_items)
-            )
-        if isinstance(payload, ComparePayload):
-            return self.COMPARE_ITEM_SECONDS * sum(
-                len(group.items) for group in payload.groups
-            )
-        if isinstance(payload, PickBestPayload):
-            return self.PICK_BEST_ITEM_SECONDS * len(payload.items)
-        raise TaskError(f"no effort model for payload type {type(payload).__name__}")
+        return handler(self, payload)
+
+    def _effort_filter(self, payload: FilterPayload) -> float:
+        return self.FILTER_SECONDS * len(payload.questions)
+
+    def _effort_generative(self, payload: GenerativePayload) -> float:
+        # Radio clicks are quick "demographic survey" answers (§3.3.4);
+        # free-text fields take real typing time.
+        per_tuple = sum(
+            self.GENERATIVE_RADIO_FIELD_SECONDS
+            if spec.is_categorical
+            else self.GENERATIVE_TEXT_FIELD_SECONDS
+            for spec in payload.fields
+        ) or self.GENERATIVE_TEXT_FIELD_SECONDS
+        return per_tuple * len(payload.questions)
+
+    def _effort_rate(self, payload: RatePayload) -> float:
+        return (
+            self.RATE_SECONDS * len(payload.questions)
+            + self.RATE_ANCHOR_SECONDS * len(payload.anchors)
+        )
+
+    def _effort_join_pairs(self, payload: JoinPairsPayload) -> float:
+        return self.JOIN_PAIR_SECONDS * len(payload.pairs)
+
+    def _effort_join_grid(self, payload: JoinGridPayload) -> float:
+        # Smart batching is efficient: workers scan the two columns
+        # rather than every cell, so effort grows with r + s, not r × s.
+        return self.GRID_ITEM_SECONDS * (
+            len(payload.left_items) + len(payload.right_items)
+        )
+
+    def _effort_compare(self, payload: ComparePayload) -> float:
+        return self.COMPARE_ITEM_SECONDS * sum(
+            len(group.items) for group in payload.groups
+        )
+
+    def _effort_pick_best(self, payload: PickBestPayload) -> float:
+        return self.PICK_BEST_ITEM_SECONDS * len(payload.items)
 
 
 def _esc(text: str) -> str:
@@ -134,21 +187,10 @@ class HITCompiler:
 
     def render_payload(self, payload: Payload) -> str:
         """HTML for one payload."""
-        if isinstance(payload, FilterPayload):
-            return self._render_filter(payload)
-        if isinstance(payload, GenerativePayload):
-            return self._render_generative(payload)
-        if isinstance(payload, RatePayload):
-            return self._render_rate(payload)
-        if isinstance(payload, JoinPairsPayload):
-            return self._render_join_pairs(payload)
-        if isinstance(payload, JoinGridPayload):
-            return self._render_join_grid(payload)
-        if isinstance(payload, ComparePayload):
-            return self._render_compare(payload)
-        if isinstance(payload, PickBestPayload):
-            return self._render_pick_best(payload)
-        raise TaskError(f"cannot render payload type {type(payload).__name__}")
+        handler = PAYLOAD_RENDERERS.lookup(payload.kind)
+        if handler is None:
+            raise TaskError(f"cannot render payload type {type(payload).__name__}")
+        return handler(self, payload)
 
     # -- per-payload renderers -------------------------------------------
 
@@ -290,44 +332,106 @@ def merge_payloads(payloads: list[Payload]) -> Payload:
         return first
     if any(type(p) is not type(first) or p.task_name != first.task_name for p in payloads):
         raise TaskError("can only merge payloads of the same type and task")
-    if isinstance(first, FilterPayload):
-        questions = tuple(q for p in payloads for q in p.questions)  # type: ignore[attr-defined]
-        return FilterPayload(
-            task_name=first.task_name,
-            questions=questions,
-            yes_text=first.yes_text,
-            no_text=first.no_text,
+    merger = PAYLOAD_MERGERS.lookup(first.kind)
+    if merger is None:
+        raise TaskError(
+            f"payload type {type(first).__name__} does not support merging"
         )
-    if isinstance(first, GenerativePayload):
-        questions = tuple(q for p in payloads for q in p.questions)  # type: ignore[attr-defined]
-        return GenerativePayload(
-            task_name=first.task_name, questions=questions, fields=first.fields
-        )
-    if isinstance(first, RatePayload):
-        questions = tuple(q for p in payloads for q in p.questions)  # type: ignore[attr-defined]
-        return RatePayload(
-            task_name=first.task_name,
-            questions=questions,
-            anchors=first.anchors,
-            scale_points=first.scale_points,
-            question=first.question,
-        )
-    if isinstance(first, JoinPairsPayload):
-        pairs = tuple(pair for p in payloads for pair in p.pairs)  # type: ignore[attr-defined]
-        return JoinPairsPayload(
-            task_name=first.task_name, pairs=pairs, question=first.question
-        )
-    if isinstance(first, ComparePayload):
-        groups: tuple[CompareGroup, ...] = tuple(
-            group for p in payloads for group in p.groups  # type: ignore[attr-defined]
-        )
-        item_html: dict[str, str] = {}
-        for p in payloads:
-            item_html.update(p.item_html)  # type: ignore[attr-defined]
-        return ComparePayload(
-            task_name=first.task_name,
-            groups=groups,
-            question=first.question,
-            item_html=item_html,
-        )
-    raise TaskError(f"payload type {type(first).__name__} does not support merging")
+    return merger(payloads)
+
+
+def _merge_filter(payloads: list[FilterPayload]) -> FilterPayload:
+    first = payloads[0]
+    questions = tuple(q for p in payloads for q in p.questions)
+    return FilterPayload(
+        task_name=first.task_name,
+        questions=questions,
+        yes_text=first.yes_text,
+        no_text=first.no_text,
+    )
+
+
+def _merge_generative(payloads: list[GenerativePayload]) -> GenerativePayload:
+    first = payloads[0]
+    questions = tuple(q for p in payloads for q in p.questions)
+    return GenerativePayload(
+        task_name=first.task_name, questions=questions, fields=first.fields
+    )
+
+
+def _merge_rate(payloads: list[RatePayload]) -> RatePayload:
+    first = payloads[0]
+    questions = tuple(q for p in payloads for q in p.questions)
+    return RatePayload(
+        task_name=first.task_name,
+        questions=questions,
+        anchors=first.anchors,
+        scale_points=first.scale_points,
+        question=first.question,
+    )
+
+
+def _merge_join_pairs(payloads: list[JoinPairsPayload]) -> JoinPairsPayload:
+    first = payloads[0]
+    pairs = tuple(pair for p in payloads for pair in p.pairs)
+    return JoinPairsPayload(
+        task_name=first.task_name, pairs=pairs, question=first.question
+    )
+
+
+def _merge_compare(payloads: list[ComparePayload]) -> ComparePayload:
+    first = payloads[0]
+    groups: tuple[CompareGroup, ...] = tuple(
+        group for p in payloads for group in p.groups
+    )
+    item_html: dict[str, str] = {}
+    for p in payloads:
+        item_html.update(p.item_html)
+    return ComparePayload(
+        task_name=first.task_name,
+        groups=groups,
+        question=first.question,
+        item_html=item_html,
+    )
+
+
+register_payload_kind(
+    FilterPayload.kind,
+    effort=EffortModel._effort_filter,
+    renderer=HITCompiler._render_filter,
+    merger=_merge_filter,
+)
+register_payload_kind(
+    GenerativePayload.kind,
+    effort=EffortModel._effort_generative,
+    renderer=HITCompiler._render_generative,
+    merger=_merge_generative,
+)
+register_payload_kind(
+    RatePayload.kind,
+    effort=EffortModel._effort_rate,
+    renderer=HITCompiler._render_rate,
+    merger=_merge_rate,
+)
+register_payload_kind(
+    JoinPairsPayload.kind,
+    effort=EffortModel._effort_join_pairs,
+    renderer=HITCompiler._render_join_pairs,
+    merger=_merge_join_pairs,
+)
+register_payload_kind(
+    JoinGridPayload.kind,
+    effort=EffortModel._effort_join_grid,
+    renderer=HITCompiler._render_join_grid,
+)
+register_payload_kind(
+    ComparePayload.kind,
+    effort=EffortModel._effort_compare,
+    renderer=HITCompiler._render_compare,
+    merger=_merge_compare,
+)
+register_payload_kind(
+    PickBestPayload.kind,
+    effort=EffortModel._effort_pick_best,
+    renderer=HITCompiler._render_pick_best,
+)

@@ -21,7 +21,7 @@ Question id conventions:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, NamedTuple, Sequence, Union
+from typing import Callable, ClassVar, NamedTuple, Sequence, Union
 
 from repro.errors import TaskError
 
@@ -76,6 +76,8 @@ class FilterQuestion:
 class FilterPayload:
     """A batch of filter questions from one task (merging batches tuples)."""
 
+    kind: ClassVar[str] = "filter"
+
     task_name: str
     questions: tuple[FilterQuestion, ...]
     yes_text: str = "Yes"
@@ -114,6 +116,8 @@ class GenerativeQuestion:
 class GenerativePayload:
     """A batch of generative questions sharing one task's field specs."""
 
+    kind: ClassVar[str] = "generative"
+
     task_name: str
     questions: tuple[GenerativeQuestion, ...]
     fields: tuple[GenerativeFieldSpec, ...]
@@ -151,6 +155,8 @@ class CompareGroup:
 class ComparePayload:
     """A batch of comparison groups (batching b groups per HIT, §4.1.1)."""
 
+    kind: ClassVar[str] = "compare"
+
     task_name: str
     groups: tuple[CompareGroup, ...]
     question: str = ""
@@ -177,6 +183,8 @@ class RatePayload:
     interface to give the worker a sense of the dataset's distribution.
     """
 
+    kind: ClassVar[str] = "rate"
+
     task_name: str
     questions: tuple[RateQuestion, ...]
     anchors: tuple[str, ...] = ()
@@ -200,6 +208,8 @@ class JoinPair:
 class JoinPairsPayload:
     """SimpleJoin (one pair) or NaiveBatch (b pairs stacked vertically)."""
 
+    kind: ClassVar[str] = "join_pairs"
+
     task_name: str
     pairs: tuple[JoinPair, ...]
     question: str = ""
@@ -212,6 +222,8 @@ class JoinPairsPayload:
 @dataclass(frozen=True)
 class JoinGridPayload:
     """SmartBatch: an r × s grid; workers click matching pairs (§3.1.3)."""
+
+    kind: ClassVar[str] = "join_grid"
 
     task_name: str
     left_items: tuple[str, ...]
@@ -245,6 +257,8 @@ class JoinGridPayload:
 class PickBestPayload:
     """MAX/MIN interface: pick the best element from a batch (§2.3)."""
 
+    kind: ClassVar[str] = "pick_best"
+
     task_name: str
     items: tuple[str, ...]
     question: str = ""
@@ -273,7 +287,13 @@ Payload = Union[
     JoinGridPayload,
     PickBestPayload,
 ]
-"""Every payload kind a HIT may carry."""
+"""The builtin payload kinds a HIT may carry.
+
+Out-of-tree payloads are duck-typed: any frozen dataclass with ``kind``
+(a :data:`~typing.ClassVar` string), ``task_name``, and ``unit_count``
+participates once its kind is registered with the compiler
+(:func:`repro.hits.compiler.register_payload_kind`) and the behaviour
+model (:func:`repro.crowd.behavior.register_payload_answerer`)."""
 
 
 # ---------------------------------------------------------------------------

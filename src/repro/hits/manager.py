@@ -229,7 +229,7 @@ class TaskManager:
                 if not unit:
                     raise TaskError("encountered an empty work unit")
                 for payload in unit:
-                    key = (type(payload).__name__, payload.task_name)
+                    key = (payload.kind, payload.task_name)
                     if key not in by_task:
                         by_task[key] = []
                         order.append(key)

@@ -318,7 +318,18 @@ class _Parser:
                 params.append(self._expect_ident("parameter name").value)
         self._expect_symbol(")")
         self._expect_keyword("TYPE")
+        type_token = self._peek()
         task_type = self._expect_ident("task type").value
+        from repro.tasks.registry import default_registry
+
+        registry = default_registry()
+        if not registry.has(task_type):
+            raise self._error(
+                f"unknown task type {task_type!r}; expected one of "
+                f"{registry.available()} (register new types via "
+                "repro.tasks.registry.register_task_type before parsing)",
+                type_token,
+            )
         self._expect_symbol(":")
         properties = self._parse_task_body(params)
         self._accept_symbol(";")

@@ -1,0 +1,14 @@
+"""Scenario pack: crowd task types registered outside the engine.
+
+Each scenario module defines a task type (a :class:`TaskTypeSpec` plugin),
+a dataset with ground truth, and a benchmark experiment — none of them
+touch ``core/``, ``hits/``, or ``crowd/``. Importing this package (or any
+scenario module) registers the types idempotently.
+"""
+
+from repro.scenarios import categorize, er_join
+
+er_join.register()
+categorize.register()
+
+__all__ = ["categorize", "er_join"]

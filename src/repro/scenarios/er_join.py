@@ -1,0 +1,261 @@
+"""Entity-resolution join scenario: dirty product listings vs a catalog.
+
+An out-of-tree task type registered through the public plugin surface
+(:mod:`repro.tasks.registry`) with **zero engine edits**: the ``ErJoin``
+type declares role ``join`` and duck-types the join lane's task protocol
+(``pair_question()`` / ``grid_question()``), so the Simple/Naive/Smart
+interfaces, POSSIBLY feature filtering machinery, batching arithmetic, and
+combiners all apply unchanged.
+
+Unlike the celebrity join (§3.3, strictly one photo per celebrity), entity
+resolution is many-to-one: each catalog product has one or more scraped
+listings (retailer duplicates, OCR'd titles), plus distractor listings that
+match nothing. Selectivity stays low, which is exactly the regime where
+SmartBatch grids win (§3.1.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.crowd.truth import GroundTruth
+from repro.errors import TaskError
+from repro.relational.schema import Schema
+from repro.relational.table import Table
+from repro.tasks.base import Task, _string_property
+from repro.tasks.registry import (
+    ROLE_JOIN,
+    TaskTypeSpec,
+    default_registry,
+    install_truth,
+    register_task_type,
+)
+from repro.util.rng import RandomSource
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.language.ast import TaskDefinition
+
+TYPE_KEY = "ErJoin"
+JOIN_TASK = "sameProduct"
+
+ER_QUERY = """
+SELECT c.listing, l.listing
+FROM catalog c JOIN listings l
+ON sameProduct(c.listing, l.listing)
+"""
+
+TASK_DSL = """
+TASK sameProduct(l1, l2) TYPE ErJoin:
+    Question: "Do these two product listings describe the same product?"
+    GridQuestion: "Click on pairs of listings (one from each column) \\
+        that describe the same product."
+    Combiner: MajorityVote
+"""
+
+
+class EntityResolutionJoinTask(Task):
+    """A pairwise "same product?" question over textual listings.
+
+    Listings are text blobs rather than photos, so the pair/grid instruction
+    lines come from the DSL declaration instead of the EquiJoin template's
+    image-centric defaults.
+    """
+
+    type_key = TYPE_KEY
+
+    def __init__(
+        self,
+        name: str,
+        params: tuple[str, ...],
+        question: str,
+        grid_question: str,
+        combiner: str = "MajorityVote",
+    ) -> None:
+        super().__init__(name, params, combiner)
+        if len(params) != 2:
+            raise TaskError(
+                f"er-join task {name!r} must declare exactly two parameters "
+                f"(left listing, right listing), got {list(params)}"
+            )
+        self.question = question
+        self._grid_question = grid_question
+
+    @classmethod
+    def from_definition(cls, defn: "TaskDefinition") -> "EntityResolutionJoinTask":
+        """Build from a parsed ``TASK ... TYPE ErJoin`` definition."""
+        return cls(
+            name=defn.name,
+            params=defn.params,
+            question=_string_property(
+                defn,
+                "Question",
+                "Do these two listings describe the same product?",
+            ),
+            grid_question=_string_property(
+                defn,
+                "GridQuestion",
+                "Click on pairs of listings (one from each column) "
+                "that describe the same product.",
+            ),
+            combiner=_string_property(defn, "Combiner", "MajorityVote"),
+        )
+
+    # Join-lane task protocol (duck-typed by core/join_exec.py).
+
+    def pair_question(self) -> str:
+        """The instruction line shown with each candidate pair."""
+        return self.question
+
+    def grid_question(self) -> str:
+        """The instruction line for a SmartBatch grid."""
+        return self._grid_question
+
+
+SPEC = TaskTypeSpec(
+    key=TYPE_KEY,
+    role=ROLE_JOIN,
+    builder=EntityResolutionJoinTask.from_definition,
+    combiner_default="MajorityVote",
+    # Vetting two textual listings (model numbers, pack sizes) is slower
+    # than eyeballing two photos.
+    unit_effort_seconds=4.5,
+    truth_hook=lambda truth, name, data: truth.add_join_task(name, data),
+    explain_label="ErJoin",
+)
+"""The entity-resolution join's registry plugin."""
+
+
+def register() -> None:
+    """Idempotently register ``ErJoin`` (safe to call from every importer)."""
+    if not default_registry().has(TYPE_KEY):
+        register_task_type(SPEC)
+
+
+@dataclass
+class ErJoinDataset:
+    """Catalog + scraped listings + oracle + DSL + true match pairs."""
+
+    catalog: Table
+    listings: Table
+    truth: GroundTruth
+    task_dsl: str
+    matches: list[tuple[str, str]]
+    """(catalog listing ref, scraped listing ref) true pairs."""
+
+
+def er_join_dataset(
+    n_products: int = 10,
+    max_duplicates: int = 2,
+    distractors: int = 5,
+    seed: int = 0,
+) -> ErJoinDataset:
+    """Build a dirty-duplicates entity-resolution dataset.
+
+    Each catalog product gets 1..``max_duplicates`` scraped listings;
+    ``distractors`` extra listings match no catalog product at all.
+    """
+    register()
+    rng = RandomSource(seed).child("er-join")
+    catalog = Table("catalog", Schema.of("sku text", "listing url"))
+    listings = Table("listings", Schema.of("id integer", "listing url"))
+    truth = GroundTruth()
+
+    matches: list[tuple[str, str]] = []
+    listing_id = 0
+    for i in range(n_products):
+        catalog_ref = f"er://catalog/{i}"
+        catalog.insert({"sku": f"sku-{i:03d}", "listing": catalog_ref})
+        duplicates = 1 + rng.weighted_index(
+            tuple(1.0 for _ in range(max_duplicates))
+        )
+        for _ in range(duplicates):
+            scraped_ref = f"er://scrape/{listing_id}"
+            listings.insert({"id": listing_id, "listing": scraped_ref})
+            matches.append((catalog_ref, scraped_ref))
+            listing_id += 1
+    for _ in range(distractors):
+        scraped_ref = f"er://scrape/{listing_id}"
+        listings.insert({"id": listing_id, "listing": scraped_ref})
+        listing_id += 1
+
+    install_truth(truth, TYPE_KEY, JOIN_TASK, set(matches))
+    return ErJoinDataset(
+        catalog=catalog,
+        listings=listings,
+        truth=truth,
+        task_dsl=TASK_DSL,
+        matches=matches,
+    )
+
+
+@dataclass
+class ErJoinOutcome:
+    """Measured counts for one interface variant."""
+
+    label: str
+    total_hits: int
+    result_rows: int
+    precision: float
+    recall: float
+    cost: float
+
+
+def run_er_join_variant(
+    data: ErJoinDataset,
+    label: str,
+    interface: "object",
+    *,
+    grid: int = 3,
+    naive_batch: int = 5,
+    seed: int = 0,
+) -> ErJoinOutcome:
+    """Execute the ER query under one join interface and score it."""
+    from repro.core.context import ExecutionConfig
+    from repro.core.engine import Qurk
+    from repro.crowd import SimulatedMarketplace
+
+    market = SimulatedMarketplace(data.truth, seed=seed)
+    config = ExecutionConfig(
+        join_interface=interface,
+        naive_batch_size=naive_batch,
+        grid_rows=grid,
+        grid_cols=grid,
+    )
+    engine = Qurk(platform=market, config=config)
+    engine.register_table(data.catalog)
+    engine.register_table(data.listings)
+    engine.define(data.task_dsl)
+    result = engine.execute(ER_QUERY)
+
+    reported = {
+        (str(row["c.listing"]), str(row["l.listing"])) for row in result.rows
+    }
+    true_pairs = set(data.matches)
+    hit_pairs = reported & true_pairs
+    precision = len(hit_pairs) / len(reported) if reported else 1.0
+    recall = len(hit_pairs) / len(true_pairs) if true_pairs else 1.0
+    return ErJoinOutcome(
+        label=label,
+        total_hits=engine.ledger.total_hits,
+        result_rows=len(result),
+        precision=precision,
+        recall=recall,
+        cost=engine.ledger.total_cost,
+    )
+
+
+def run_er_join_suite(seed: int = 0) -> list[ErJoinOutcome]:
+    """Table-5-style interface comparison for the ER join scenario."""
+    from repro.joins.batching import JoinInterface
+
+    data = er_join_dataset(seed=seed)
+    variants = [
+        ("Simple", JoinInterface.SIMPLE, {}),
+        ("Naive 5", JoinInterface.NAIVE, {"naive_batch": 5}),
+        ("Smart 3x3", JoinInterface.SMART, {"grid": 3}),
+    ]
+    return [
+        run_er_join_variant(data, label, interface, seed=seed * 31 + 7, **kwargs)
+        for label, interface, kwargs in variants
+    ]

@@ -1,4 +1,4 @@
-"""Crowd task templates (§2.1–2.4).
+"""Crowd task templates (§2.1–2.4) and the pluggable executor registry.
 
 A :class:`~repro.tasks.base.Task` describes *how to ask the crowd* about
 tuples: the prompt HTML, the response widgets, and how multiple worker
@@ -9,6 +9,10 @@ responses combine. Four pre-defined template types mirror the paper:
   data generation, with normalizers, possibly multi-field.
 * :class:`~repro.tasks.rank.RankTask` — ordering via comparisons or ratings.
 * :class:`~repro.tasks.equijoin.EquiJoinTask` — pairwise match questions.
+
+The set is open: each type is a :class:`~repro.tasks.registry.TaskTypeSpec`
+plugin in the :class:`~repro.tasks.registry.TaskExecutorRegistry`, and new
+types register from outside the engine (see ``repro.scenarios``).
 """
 
 from repro.tasks.base import Task, TaskType, resolve_item_ref, task_from_definition
@@ -16,15 +20,43 @@ from repro.tasks.equijoin import EquiJoinTask
 from repro.tasks.filter import FilterTask
 from repro.tasks.generative import GenerativeField, GenerativeTask
 from repro.tasks.rank import RankTask
+from repro.tasks.registry import (
+    ROLE_FILTER,
+    ROLE_GENERATIVE,
+    ROLE_JOIN,
+    ROLE_RANK,
+    DispatchTable,
+    TaskExecutorRegistry,
+    TaskTypeSpec,
+    default_registry,
+    install_truth,
+    register_task_type,
+    spec_for_task,
+    task_role,
+    task_type_spec,
+)
 
 __all__ = [
+    "DispatchTable",
     "EquiJoinTask",
     "FilterTask",
     "GenerativeField",
     "GenerativeTask",
+    "ROLE_FILTER",
+    "ROLE_GENERATIVE",
+    "ROLE_JOIN",
+    "ROLE_RANK",
     "RankTask",
     "Task",
+    "TaskExecutorRegistry",
     "TaskType",
+    "TaskTypeSpec",
+    "default_registry",
+    "install_truth",
+    "register_task_type",
     "resolve_item_ref",
+    "spec_for_task",
     "task_from_definition",
+    "task_role",
+    "task_type_spec",
 ]

@@ -13,7 +13,13 @@ if TYPE_CHECKING:  # pragma: no cover
 
 
 class TaskType(enum.Enum):
-    """The pre-defined task template types (§2.1)."""
+    """The paper's pre-defined task template types (§2.1).
+
+    Kept for the four builtin templates' public identity
+    (``task.task_type``); the open set of task types — builtins plus any
+    scenario-pack or third-party registrations — lives in
+    :mod:`repro.tasks.registry`, keyed by the string ``type_key``.
+    """
 
     FILTER = "Filter"
     GENERATIVE = "Generative"
@@ -28,9 +34,13 @@ class Task:
     declares formal parameters; a query binds them to columns when it calls
     the task as a UDF (``gender(c.img)`` binds parameter ``field`` to the
     ``img`` column of alias ``c``).
+
+    ``type_key`` names the task's :class:`~repro.tasks.registry.TaskTypeSpec`
+    in the executor registry — the engine resolves role, effort, combiner
+    default, and payload/truth hooks through it.
     """
 
-    task_type: TaskType
+    type_key: str = ""
 
     def __init__(self, name: str, params: tuple[str, ...], combiner: str = "MajorityVote") -> None:
         if not name:
@@ -49,9 +59,13 @@ class Task:
 
         The marketplace's refusal/latency model uses this to decide whether a
         batched HIT is still worth $0.01 to a worker (§6, "Choosing Batch
-        Size").
+        Size"). Effort is a declared field of the task type's registry spec
+        — not a hardcoded base-class constant — so new task types price
+        batch tuning and refusal modeling correctly.
         """
-        return 3.0
+        from repro.tasks.registry import spec_for_task
+
+        return spec_for_task(self).effort(self)
 
     def validate_arity(self, arg_count: int) -> None:
         """Check a UDF call's argument count against the declared parameters."""
@@ -117,23 +131,13 @@ def _string_property(defn: "TaskDefinition", key: str, default: str | None = Non
 
 
 def task_from_definition(defn: "TaskDefinition") -> Task:
-    """Build the concrete :class:`Task` for a parsed ``TASK`` definition."""
-    from repro.tasks.equijoin import EquiJoinTask
-    from repro.tasks.filter import FilterTask
-    from repro.tasks.generative import GenerativeTask
-    from repro.tasks.rank import RankTask
+    """Build the concrete :class:`Task` for a parsed ``TASK`` definition.
 
-    builders = {
-        TaskType.FILTER: FilterTask.from_definition,
-        TaskType.GENERATIVE: GenerativeTask.from_definition,
-        TaskType.RANK: RankTask.from_definition,
-        TaskType.EQUIJOIN: EquiJoinTask.from_definition,
-    }
-    try:
-        task_type = TaskType(defn.task_type)
-    except ValueError as exc:
-        raise TaskError(
-            f"unknown task type {defn.task_type!r}; "
-            f"expected one of {[t.value for t in TaskType]}"
-        ) from exc
-    return builders[task_type](defn)
+    Resolves ``defn.task_type`` against the executor registry, so task
+    types registered from outside the engine build through the same path
+    as the four paper templates. Unknown types raise :class:`TaskError`
+    naming the available types.
+    """
+    from repro.tasks.registry import default_registry
+
+    return default_registry().build(defn)

@@ -7,6 +7,7 @@ from typing import TYPE_CHECKING
 from repro.errors import TaskError
 from repro.language.templates import PromptTemplate
 from repro.tasks.base import Task, TaskType, _string_property, _template_property
+from repro.tasks.registry import ROLE_JOIN, TaskTypeSpec
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.language.ast import TaskDefinition
@@ -21,6 +22,7 @@ class EquiJoinTask(Task):
     """
 
     task_type = TaskType.EQUIJOIN
+    type_key = TaskType.EQUIJOIN.value
 
     def __init__(
         self,
@@ -91,12 +93,21 @@ class EquiJoinTask(Task):
             f"that show the same {self.singular_name}."
         )
 
-    def unit_effort_seconds(self) -> float:
-        # One pair comparison.
-        return 3.0
-
 
 def _require_template(defn: "TaskDefinition", key: str) -> PromptTemplate:
     template = _template_property(defn, key)
     assert template is not None
     return template
+
+
+SPEC = TaskTypeSpec(
+    key=EquiJoinTask.type_key,
+    role=ROLE_JOIN,
+    builder=EquiJoinTask.from_definition,
+    combiner_default="MajorityVote",
+    # One pair comparison.
+    unit_effort_seconds=3.0,
+    truth_hook=lambda truth, name, data: truth.add_join_task(name, data),
+    explain_label="CrowdJoin",
+)
+"""The equijoin template's registry plugin (pair/naive/smart interfaces)."""

@@ -6,6 +6,7 @@ from typing import TYPE_CHECKING
 
 from repro.language.templates import PromptTemplate
 from repro.tasks.base import Task, TaskType, _string_property, _template_property
+from repro.tasks.registry import ROLE_FILTER, TaskTypeSpec
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.language.ast import TaskDefinition
@@ -19,6 +20,7 @@ class FilterTask(Task):
     """
 
     task_type = TaskType.FILTER
+    type_key = TaskType.FILTER.value
 
     def __init__(
         self,
@@ -48,5 +50,14 @@ class FilterTask(Task):
             combiner=_string_property(defn, "Combiner", "MajorityVote"),
         )
 
-    def unit_effort_seconds(self) -> float:
-        return 2.0
+
+SPEC = TaskTypeSpec(
+    key=FilterTask.type_key,
+    role=ROLE_FILTER,
+    builder=FilterTask.from_definition,
+    combiner_default="MajorityVote",
+    unit_effort_seconds=2.0,
+    truth_hook=lambda truth, name, data: truth.add_filter_task(name, data),
+    explain_label="CrowdFilter",
+)
+"""The filter template's registry plugin (one yes/no question per tuple)."""

@@ -16,6 +16,7 @@ from repro.errors import TaskError
 from repro.language.ast import ResponseSpec
 from repro.language.templates import PromptTemplate
 from repro.tasks.base import Task, TaskType, _string_property, _template_property
+from repro.tasks.registry import ROLE_GENERATIVE, TaskTypeSpec
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.language.ast import TaskDefinition
@@ -48,6 +49,7 @@ class GenerativeTask(Task):
     """A prompt plus one or more generated output fields."""
 
     task_type = TaskType.GENERATIVE
+    type_key = TaskType.GENERATIVE.value
 
     def __init__(
         self,
@@ -130,10 +132,6 @@ class GenerativeTask(Task):
             combiner=_string_property(defn, "Combiner", "MajorityVote"),
         )
 
-    def unit_effort_seconds(self) -> float:
-        # Roughly 4 seconds per generated field.
-        return 4.0 * len(self.fields)
-
 
 def _field_from_spec(task_name: str, field_name: str, spec: object) -> GenerativeField:
     """Interpret one entry of a ``Fields`` block."""
@@ -160,3 +158,30 @@ def _field_from_spec(task_name: str, field_name: str, spec: object) -> Generativ
         combiner=combiner,
         normalizer=normalizer,
     )
+
+
+def _install_generative_truth(truth, task_name: str, data: Mapping) -> None:
+    """Route each field's truth to the categorical or free-text store.
+
+    ``data`` maps field name -> a :class:`~repro.crowd.truth.FeatureTruth`
+    (categorical, recognised by its ``answer_distribution`` method) or a
+    plain item->string mapping (free text).
+    """
+    for field_name, field_truth in data.items():
+        if hasattr(field_truth, "answer_distribution"):
+            truth.add_feature_task(task_name, field_name, field_truth)
+        else:
+            truth.add_text_task(task_name, field_name, field_truth)
+
+
+SPEC = TaskTypeSpec(
+    key=GenerativeTask.type_key,
+    role=ROLE_GENERATIVE,
+    builder=GenerativeTask.from_definition,
+    combiner_default="MajorityVote",
+    # Roughly 4 seconds per generated field.
+    unit_effort_seconds=lambda task: 4.0 * len(task.fields),
+    truth_hook=_install_generative_truth,
+    explain_label="Generative",
+)
+"""The generative template's registry plugin (per-field effort scaling)."""

@@ -14,6 +14,7 @@ from typing import TYPE_CHECKING
 
 from repro.language.templates import PromptTemplate
 from repro.tasks.base import Task, TaskType, _string_property, _template_property
+from repro.tasks.registry import ROLE_RANK, TaskTypeSpec
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.language.ast import TaskDefinition
@@ -26,6 +27,7 @@ class RankTask(Task):
     """Vocabulary + item HTML for crowd-powered ordering."""
 
     task_type = TaskType.RANK
+    type_key = TaskType.RANK.value
 
     def __init__(
         self,
@@ -82,7 +84,25 @@ class RankTask(Task):
             f"(1 = {self.least_name}, {self.scale_points} = {self.most_name})."
         )
 
-    def unit_effort_seconds(self) -> float:
-        # One rating; comparison-group effort scales with group size and is
-        # computed by the HIT compiler.
-        return 3.0
+
+def _install_rank_truth(truth, task_name: str, data: object) -> None:
+    """Register latent-value truth; ``data`` is either the latents mapping
+    or a kwargs dict (``latents`` plus ambiguity knobs)."""
+    if isinstance(data, dict) and "latents" in data:
+        truth.add_rank_task(task_name, **data)
+    else:
+        truth.add_rank_task(task_name, data)
+
+
+SPEC = TaskTypeSpec(
+    key=RankTask.type_key,
+    role=ROLE_RANK,
+    builder=RankTask.from_definition,
+    combiner_default="MajorityVote",
+    # One rating; comparison-group effort scales with group size and is
+    # computed by the HIT compiler.
+    unit_effort_seconds=3.0,
+    truth_hook=_install_rank_truth,
+    explain_label="Sort",
+)
+"""The rank template's registry plugin (compare/rate/hybrid sorting)."""

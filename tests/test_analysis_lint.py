@@ -45,9 +45,9 @@ def rules_of(findings):
 # ---------------------------------------------------------------------------
 
 
-def test_registry_has_the_ten_rules():
+def test_registry_has_the_eleven_rules():
     rules = load_rules()
-    assert sorted(rules) == [f"RL{n:03d}" for n in range(1, 11)]
+    assert sorted(rules) == [f"RL{n:03d}" for n in range(1, 12)]
     for rule in rules.values():
         assert rule.title and rule.rationale
 
@@ -400,6 +400,47 @@ def test_rl010_allows_specific_or_handled():
         "        log.append(exc)\n"
     )
     assert lint_source(src, SRC_PATH) == []
+
+
+# ---------------------------------------------------------------------------
+# RL011 — isinstance/TaskType dispatch ladders
+# ---------------------------------------------------------------------------
+
+
+def test_rl011_flags_isinstance_ladder_over_engine_classes():
+    src = (
+        "def run(node):\n"
+        "    if isinstance(node, ScanNode):\n"
+        "        return 1\n"
+        "    if isinstance(node, (JoinNode, SortNode)):\n"
+        "        return 2\n"
+    )
+    findings = lint_source(src, ENGINE_PATH)
+    assert rules_of(findings) == ["RL011"]
+    assert "JoinNode, ScanNode, SortNode" in findings[0].message
+
+
+def test_rl011_flags_task_type_enum_outside_tasks():
+    src = "def role(task):\n    return task.task_type == TaskType.FILTER\n"
+    assert rules_of(lint_source(src, ENGINE_PATH)) == ["RL011"]
+    # Inside src/repro/tasks/ the builtins legitimately name their enum.
+    assert lint_source(src, "src/repro/tasks/filter.py") == []
+
+
+def test_rl011_allows_single_class_checks_and_registry():
+    src = (
+        "def is_scan(node):\n"
+        "    return isinstance(node, ScanNode)\n"
+        "def other(x):\n"
+        "    return isinstance(x, (int, str))\n"
+    )
+    assert lint_source(src, ENGINE_PATH) == []
+    ladder = (
+        "def run(node):\n"
+        "    return isinstance(node, ScanNode) or isinstance(node, JoinNode)\n"
+    )
+    assert lint_source(ladder, "src/repro/tasks/registry.py") == []
+    assert lint_source(ladder, "tests/test_something.py") == []
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,260 @@
+"""The pluggable task-executor registry (ROADMAP item 2).
+
+Edge cases for the registry itself (deterministic duplicate rejection,
+unknown-type errors naming the available types, registration-order
+independence) plus the headline guarantee: a toy task type defined
+entirely in this test file — task class, payload kind, behaviour model,
+truth oracle — runs end-to-end through the unmodified engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import ClassVar
+
+import pytest
+
+from repro.core.context import ExecutionConfig
+from repro.core.engine import Qurk
+from repro.crowd import GroundTruth, SimulatedMarketplace
+from repro.crowd.behavior import PAYLOAD_ANSWERERS, register_payload_answerer
+from repro.errors import ParseError, TaskError
+from repro.hits.compiler import (
+    PAYLOAD_EFFORTS,
+    PAYLOAD_MERGERS,
+    PAYLOAD_RENDERERS,
+    register_payload_kind,
+)
+from repro.hits.hit import filter_qid
+from repro.language.ast import TaskDefinition
+from repro.relational.schema import Schema
+from repro.relational.table import Table
+from repro.tasks.base import Task
+from repro.tasks.registry import (
+    ROLE_FILTER,
+    DispatchTable,
+    TaskTypeSpec,
+    default_registry,
+    spec_for_task,
+)
+
+
+def _noop_builder(defn):  # pragma: no cover - never built in these tests
+    raise AssertionError("not built")
+
+
+def _spec(key: str) -> TaskTypeSpec:
+    return TaskTypeSpec(key=key, role=ROLE_FILTER, builder=_noop_builder)
+
+
+# ---------------------------------------------------------------------------
+# Registry edge cases
+# ---------------------------------------------------------------------------
+
+
+def test_duplicate_registration_is_rejected_deterministically():
+    registry = default_registry()
+    with registry.temporary(_spec("EdgeA")):
+        with pytest.raises(TaskError, match="'EdgeA' already registered"):
+            registry.register(_spec("EdgeA"))
+        # replace=True is the explicit override path.
+        replacement = _spec("EdgeA")
+        assert registry.register(replacement, replace=True) is replacement
+    assert not registry.has("EdgeA")
+
+
+def test_unknown_type_error_names_available_types():
+    registry = default_registry()
+    with pytest.raises(TaskError) as excinfo:
+        registry.get("Nope")
+    message = str(excinfo.value)
+    assert "unknown task type 'Nope'" in message
+    for builtin in ("Filter", "Generative", "Rank", "EquiJoin"):
+        assert builtin in message
+    assert "register_task_type" in message
+
+
+def test_unknown_type_rejected_at_parse_time():
+    engine = Qurk(SimulatedMarketplace(GroundTruth(), seed=0))
+    with pytest.raises(ParseError) as excinfo:
+        engine.define('TASK f(x) TYPE Nope:\n    Question: "?"')
+    message = str(excinfo.value)
+    assert "unknown task type 'Nope'" in message
+    assert "Filter" in message
+
+
+def test_unknown_type_rejected_at_build_time():
+    defn = TaskDefinition(name="f", params=("x",), task_type="Missing")
+    with pytest.raises(TaskError, match="unknown task type 'Missing'"):
+        default_registry().build(defn)
+
+
+def test_task_without_type_key_is_rejected():
+    class Bare(Task):
+        pass
+
+    with pytest.raises(TaskError, match="declares no type_key"):
+        spec_for_task(Bare("bare", ("x",)))
+
+
+def test_dispatch_table_duplicates_and_unknown_kinds():
+    table = DispatchTable("toy handler")
+    table.register("a", lambda: 1)
+    with pytest.raises(TaskError, match="toy handler for kind 'a' already registered"):
+        table.register("a", lambda: 2)
+    assert table.lookup("missing") is None
+    with pytest.raises(TaskError, match="no toy handler registered for kind 'missing'"):
+        table.resolve("missing")
+    assert table.available() == ["a"]
+
+
+def test_registration_order_does_not_affect_execution():
+    """Extra registrations, in any order, leave query results untouched."""
+    registry = default_registry()
+
+    def run() -> tuple:
+        truth = GroundTruth()
+        truth.add_filter_task(
+            "isEven", {f"img://item/{i}": i % 2 == 0 for i in range(8)}
+        )
+        items = Table("items", Schema.of("id integer", "img url"))
+        for i in range(8):
+            items.insert({"id": i, "img": f"img://item/{i}"})
+        engine = Qurk(SimulatedMarketplace(truth, seed=7))
+        engine.register_table(items)
+        engine.define(
+            'TASK isEven(field) TYPE Filter:\n'
+            '    Prompt: "<img src=\'%s\'> Even?", tuple[field]\n'
+            "    Combiner: MajorityVote"
+        )
+        result = engine.execute("SELECT i.id FROM items i WHERE isEven(i.img)")
+        return (
+            [row["i.id"] for row in result.rows],
+            engine.ledger.total_hits,
+            engine.platform.clock_seconds,
+        )
+
+    baseline = run()
+    with registry.temporary(_spec("OrderA"), _spec("OrderB")):
+        first = run()
+    with registry.temporary(_spec("OrderB"), _spec("OrderA")):
+        second = run()
+    assert first == baseline
+    assert second == baseline
+
+
+# ---------------------------------------------------------------------------
+# The zero-engine-edits toy task
+# ---------------------------------------------------------------------------
+
+TOY_KIND = "toy_screen"
+
+TOY_DSL = """
+TASK passesScreen(field) TYPE ToyScreen:
+    Note: "keep only shortlisted items"
+"""
+
+
+@dataclass(frozen=True)
+class ToyScreenPayload:
+    """A bare-bones filter-style payload: just item refs, no prompt."""
+
+    kind: ClassVar[str] = TOY_KIND
+
+    task_name: str
+    items: tuple[str, ...]
+
+    @property
+    def unit_count(self) -> int:
+        return len(self.items)
+
+
+class ToyScreenTask(Task):
+    """A filter-role task with no prompt machinery at all."""
+
+    type_key = "ToyScreen"
+
+    @classmethod
+    def from_definition(cls, defn):
+        return cls(name=defn.name, params=defn.params)
+
+
+def _toy_payload(task, call, row, env):
+    from repro.core.crowd_calls import call_item_ref
+
+    return ToyScreenPayload(task_name=task.name, items=(call_item_ref(call, row, env),))
+
+
+def _toy_answer(worker, payload, truth, rng, units, combined):
+    shortlist = truth.custom_answer(TOY_KIND, payload.task_name)
+    return {
+        filter_qid(payload.task_name, item): item in shortlist
+        for item in payload.items
+    }
+
+
+TOY_SPEC = TaskTypeSpec(
+    key=ToyScreenTask.type_key,
+    role=ROLE_FILTER,
+    builder=ToyScreenTask.from_definition,
+    unit_effort_seconds=1.0,
+    payload_builder=_toy_payload,
+    truth_hook=lambda truth, name, data: truth.add_custom_task(TOY_KIND, name, data),
+)
+
+
+@pytest.fixture
+def toy_type():
+    """Register the toy task type + payload kind; tear both down after."""
+    register_payload_kind(
+        TOY_KIND,
+        effort=lambda model, payload: 1.0 * len(payload.items),
+        renderer=lambda compiler, payload: "<p>shortlist?</p>",
+        merger=lambda payloads: ToyScreenPayload(
+            task_name=payloads[0].task_name,
+            items=tuple(item for p in payloads for item in p.items),
+        ),
+    )
+    register_payload_answerer(TOY_KIND, _toy_answer)
+    try:
+        with default_registry().temporary(TOY_SPEC):
+            yield
+    finally:
+        for table in (PAYLOAD_EFFORTS, PAYLOAD_RENDERERS, PAYLOAD_MERGERS, PAYLOAD_ANSWERERS):
+            table.unregister(TOY_KIND)
+
+
+def test_toy_task_runs_end_to_end_with_zero_engine_edits(toy_type):
+    truth = GroundTruth()
+    shortlist = {"img://toy/0", "img://toy/2", "img://toy/5"}
+    from repro.tasks.registry import install_truth
+
+    install_truth(truth, "ToyScreen", "passesScreen", shortlist)
+
+    items = Table("items", Schema.of("id integer", "img url"))
+    for i in range(6):
+        items.insert({"id": i, "img": f"img://toy/{i}"})
+
+    engine = Qurk(
+        SimulatedMarketplace(truth, seed=0),
+        config=ExecutionConfig(filter_batch_size=4),
+    )
+    engine.register_table(items)
+    engine.define(TOY_DSL)
+
+    explain = engine.explain("SELECT i.id FROM items i WHERE passesScreen(i.img)")
+    assert "passesScreen=ToyScreen" in explain
+
+    result = engine.execute("SELECT i.id FROM items i WHERE passesScreen(i.img)")
+    assert [row["i.id"] for row in result.rows] == [0, 2, 5]
+    # Batching went through the toy merger: 6 items at batch 4 → 2 HITs
+    # per assignment round.
+    assert engine.ledger.total_hits > 0
+
+    task = engine.catalog.task("passesScreen")
+    assert task.unit_effort_seconds() == 1.0
+
+
+def test_toy_type_gone_after_teardown():
+    assert not default_registry().has("ToyScreen")
+    assert PAYLOAD_ANSWERERS.lookup(TOY_KIND) is None

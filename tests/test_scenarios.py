@@ -1,0 +1,164 @@
+"""The scenario pack: out-of-tree task types through the full stack.
+
+Both scenario types live in ``src/repro/scenarios/`` and register through
+the public plugin API — these tests drive them parse → plan → execute →
+EXPLAIN and check the declarative validation their builders add.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.context import ExecutionConfig
+from repro.core.engine import Qurk
+from repro.crowd import SimulatedMarketplace
+from repro.errors import TaskError
+from repro.joins.batching import JoinInterface
+from repro.language.parser import parse_statements
+from repro.scenarios.categorize import (
+    CATEGORIZE_QUERY,
+    CategorizeTask,
+    categorize_dataset,
+    run_categorize_variant,
+)
+from repro.scenarios.er_join import (
+    ER_QUERY,
+    EntityResolutionJoinTask,
+    er_join_dataset,
+    run_er_join_variant,
+)
+from repro.tasks import task_from_definition
+from repro.tasks.registry import default_registry
+
+
+def _task_from_dsl(dsl: str):
+    (stmt,) = parse_statements(dsl)
+    return task_from_definition(stmt)
+
+
+# ---------------------------------------------------------------------------
+# Entity-resolution join
+# ---------------------------------------------------------------------------
+
+
+def test_er_join_registers_and_builds_from_dsl():
+    data = er_join_dataset(seed=0)
+    assert default_registry().has("ErJoin")
+    task = _task_from_dsl(data.task_dsl)
+    assert isinstance(task, EntityResolutionJoinTask)
+    assert task.pair_question().startswith("Do these two product listings")
+    assert "one from each column" in task.grid_question()
+    assert task.unit_effort_seconds() == 4.5
+
+
+def test_er_join_requires_two_parameters():
+    with pytest.raises(TaskError, match="exactly two parameters"):
+        EntityResolutionJoinTask("oneArg", ("x",), "q?", "grid?")
+
+
+def test_er_join_dataset_is_deterministic():
+    first = er_join_dataset(seed=3)
+    second = er_join_dataset(seed=3)
+    assert first.matches == second.matches
+    assert [dict(row) for row in first.listings] == [
+        dict(row) for row in second.listings
+    ]
+
+
+def test_er_join_explain_names_the_scenario_type():
+    data = er_join_dataset(seed=0)
+    engine = Qurk(SimulatedMarketplace(data.truth, seed=0))
+    engine.register_table(data.catalog)
+    engine.register_table(data.listings)
+    engine.define(data.task_dsl)
+    explain = engine.explain(ER_QUERY)
+    assert "CrowdJoin(sameProduct(c.listing, l.listing))" in explain
+    assert "sameProduct=ErJoin" in explain
+
+
+def test_er_join_runs_end_to_end_per_interface():
+    data = er_join_dataset(seed=0)
+    simple = run_er_join_variant(data, "Simple", JoinInterface.SIMPLE, seed=1)
+    smart = run_er_join_variant(data, "Smart", JoinInterface.SMART, grid=3, seed=1)
+    # Pairwise HITs scale with |R||S|; grids compress them hard.
+    assert simple.total_hits > 3 * smart.total_hits
+    # Dirty duplicates mean more matches than catalog rows.
+    assert len(data.matches) > len(data.catalog.rows)
+    assert simple.precision == 1.0
+    assert simple.recall == 1.0
+    assert smart.recall >= 0.7
+
+
+# ---------------------------------------------------------------------------
+# Multi-class categorization
+# ---------------------------------------------------------------------------
+
+
+def test_categorize_registers_and_builds_from_dsl():
+    data = categorize_dataset(seed=0)
+    assert default_registry().has("Categorize")
+    task = _task_from_dsl(data.task_dsl)
+    assert isinstance(task, CategorizeTask)
+    assert task.categories == ("electronics", "apparel", "home", "toys")
+    field = task.single_field
+    assert field.name == "category"
+    assert field.is_categorical
+    assert field.options == task.categories
+    # Effort scales with the label space: 1.5 + 0.25 * 4.
+    assert task.unit_effort_seconds() == 2.5
+
+
+def test_categorize_requires_at_least_three_classes():
+    with pytest.raises(TaskError, match="at least 3 categories"):
+        _task_from_dsl(
+            'TASK twoWay(field) TYPE Categorize:\n'
+            '    Prompt: "%s?", tuple[field]\n'
+            '    Categories: ["yes", "no"]'
+        )
+
+
+def test_categorize_rejects_non_list_categories():
+    with pytest.raises(TaskError, match="Categories list"):
+        _task_from_dsl(
+            'TASK broken(field) TYPE Categorize:\n'
+            '    Prompt: "%s?", tuple[field]\n'
+            '    Categories: "electronics"'
+        )
+
+
+def test_categorize_explain_names_the_scenario_type():
+    data = categorize_dataset(seed=0)
+    engine = Qurk(SimulatedMarketplace(data.truth, seed=0))
+    engine.register_table(data.products)
+    engine.define(data.task_dsl)
+    explain = engine.explain(CATEGORIZE_QUERY)
+    assert "department=Categorize" in explain
+
+
+def test_categorize_runs_end_to_end_and_batches():
+    data = categorize_dataset(seed=0)
+    unbatched = run_categorize_variant(data, "Unbatched", batch_size=1, seed=2)
+    batched = run_categorize_variant(data, "Batch 6", batch_size=6, seed=2)
+    assert unbatched.result_rows == len(data.products.rows)
+    assert batched.result_rows == unbatched.result_rows
+    assert batched.total_hits * 4 <= unbatched.total_hits
+    assert unbatched.accuracy >= 0.85
+    assert batched.accuracy >= 0.85
+
+
+def test_categorize_works_in_a_where_predicate():
+    data = categorize_dataset(n=12, seed=1)
+    engine = Qurk(
+        SimulatedMarketplace(data.truth, seed=5),
+        config=ExecutionConfig(generative_batch_size=4),
+    )
+    engine.register_table(data.products)
+    engine.define(data.task_dsl)
+    result = engine.execute(
+        "SELECT p.listing FROM products p WHERE department(p.listing) = 'toys'"
+    )
+    reported = {str(row["p.listing"]) for row in result.rows}
+    true_toys = {ref for ref, dept in data.departments.items() if dept == "toys"}
+    # Majority vote over the confusion kernels keeps this tight but not
+    # necessarily perfect.
+    assert len(reported & true_toys) >= max(1, len(true_toys) - 1)

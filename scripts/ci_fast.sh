@@ -4,7 +4,7 @@
 #
 #   scripts/ci_fast.sh            # from the repo root
 #
-# Five stages, all minutes-not-hours:
+# Six stages, all minutes-not-hours:
 #   1. `pytest -m "not slow"` over tests/ — every correctness, contract,
 #      determinism, and durability test (the `slow` marker only exists on
 #      long benchmark measurements, so nothing tier-1 is skipped);
@@ -21,7 +21,11 @@
 #   5. `profile_hotpath.py --check-store` — the store cold/warm restart
 #      micro-bench in smoke mode, failing on a >5% warm-path wall
 #      regression against the ratio recorded in benchmarks/BENCH_store.json
-#      (run `pytest benchmarks/bench_store.py` to (re)record it).
+#      (run `pytest benchmarks/bench_store.py` to (re)record it);
+#   6. `vector_smoke.py` — the 4x macro under the scalar fast path vs the
+#      REPRO_VECTOR numpy kernel: cross-domain workload counts within
+#      tolerance and vector run-to-run determinism. Exits 0 with a notice
+#      when numpy ([vector] extra) is not installed.
 #
 # The heavyweight lane stays `scripts/profile_hotpath.py --check` plus
 # `pytest benchmarks -q`.
@@ -55,3 +59,4 @@ print(f"registry smoke OK: {len(available)} task types, "
 EOF
 python -m pytest benchmarks/bench_scenarios.py -q
 python scripts/profile_hotpath.py --check-store --check-repeats "${CI_STORE_REPEATS:-3}"
+python scripts/vector_smoke.py

@@ -54,7 +54,15 @@ is blown:
    work it replaces. Measured via the shared
    ``repro.experiments.store_workload.measure_cold_warm`` smoke (best-of
    CPU, GC paused, fresh store file per repeat) and appended to
-   ``BENCH_store.json`` under ``ci_check``.
+   ``BENCH_store.json`` under ``ci_check``;
+8. the ``REPRO_VECTOR`` kernel's wall-clock ratio against the scalar fast
+   path on the 4x macro regresses more than 5% over the ratio recorded in
+   ``benchmarks/BENCH_perf_hotpath.json`` (``vector_macro.scale_4x.ratio``,
+   written by ``benchmarks/bench_perf_hotpath.py``) — the numpy batch
+   kernel stopped paying for its round bookkeeping. Skipped with a warning
+   when numpy (the ``[vector]`` extra) is missing or no baseline has been
+   recorded; otherwise measured interleaved best-of and appended to
+   ``BENCH_perf_hotpath.json`` under ``ci_check``.
 
 ``--check-store`` runs only check 7 (no profiling, no macro sweeps) — the
 fast lane ``scripts/ci_fast.sh`` uses it alongside the ``-m "not slow"``
@@ -92,8 +100,10 @@ ADAPTIVE_OVERHEAD_LIMIT = 1.05
 SORT_SCALE_REGRESSION_LIMIT = 1.05
 RESILIENCE_OVERHEAD_LIMIT = 1.05
 STORE_WARM_REGRESSION_LIMIT = 1.05
+VECTOR_RATIO_REGRESSION_LIMIT = 1.05
 SESSION_QUERY_COUNT = 8
 SORT_SCALE_CHECK_ITEMS = 200
+VECTOR_CHECK_SCALE = 4
 BENCH_PIPELINE_PATH = Path(__file__).parent.parent / "benchmarks" / "BENCH_pipeline.json"
 BENCH_SESSION_PATH = Path(__file__).parent.parent / "benchmarks" / "BENCH_session.json"
 BENCH_ADAPTIVE_PATH = Path(__file__).parent.parent / "benchmarks" / "BENCH_adaptive.json"
@@ -102,6 +112,9 @@ BENCH_RESILIENCE_PATH = (
     Path(__file__).parent.parent / "benchmarks" / "BENCH_resilience.json"
 )
 BENCH_STORE_PATH = Path(__file__).parent.parent / "benchmarks" / "BENCH_store.json"
+BENCH_PERF_PATH = (
+    Path(__file__).parent.parent / "benchmarks" / "BENCH_perf_hotpath.json"
+)
 
 
 def run_workload(scale: int = 1, seed: int = 0) -> None:
@@ -461,6 +474,72 @@ def check_store_warm_path(seed: int, repeats: int) -> dict | None:
     return report
 
 
+def check_vector_ratio(seed: int, repeats: int) -> dict | None:
+    """Measure the vector/fast macro wall ratio vs. the recording.
+
+    Runs the 4x macro workload with the scalar fast path and with
+    ``REPRO_VECTOR`` forced on (interleaved best-of CPU time, GC paused)
+    and compares the vector/fast ratio against the one recorded in
+    ``BENCH_perf_hotpath.json`` (``vector_macro.scale_4x.ratio``); CI fails
+    when the fresh ratio exceeds the recorded one by more than
+    ``VECTOR_RATIO_REGRESSION_LIMIT``. Returns None (with a warning) when
+    numpy is missing or no vector baseline has been recorded.
+    """
+    from repro.util import vector as vector_toggle
+
+    if not vector_toggle.available():
+        print(
+            "warning: numpy not installed ([vector] extra) — skipping the "
+            "vector dispatch wall-ratio check.",
+            file=sys.stderr,
+        )
+        return None
+    if not BENCH_PERF_PATH.exists():
+        print(
+            "warning: benchmarks/BENCH_perf_hotpath.json missing — run "
+            "`pytest benchmarks/bench_perf_hotpath.py` to record the vector "
+            "baseline; skipping the vector dispatch check.",
+            file=sys.stderr,
+        )
+        return None
+    recorded = json.loads(BENCH_PERF_PATH.read_text())
+    try:
+        baseline = recorded["vector_macro"][f"scale_{VECTOR_CHECK_SCALE}x"]["ratio"]
+    except KeyError:
+        print(
+            "warning: BENCH_perf_hotpath.json has no "
+            f"vector_macro.scale_{VECTOR_CHECK_SCALE}x ratio — re-run the "
+            "perf benchmark with numpy installed; skipping the check.",
+            file=sys.stderr,
+        )
+        return None
+
+    run_workload(scale=VECTOR_CHECK_SCALE, seed=seed)  # untimed warm-up
+
+    def mode(flag: bool):
+        def thunk() -> None:
+            with vector_toggle.forced(flag):
+                run_workload(scale=VECTOR_CHECK_SCALE, seed=seed)
+
+        return thunk
+
+    timings = _interleaved_best_of(
+        [("fast", mode(False)), ("vector", mode(True))], repeats
+    )
+    ratio = timings["vector"] / timings["fast"] if timings["fast"] > 0 else 0.0
+    report = {
+        "scale": VECTOR_CHECK_SCALE,
+        "repeats": repeats,
+        "fast_seconds": round(timings["fast"], 4),
+        "vector_seconds": round(timings["vector"], 4),
+        "wall_ratio": round(ratio, 4),
+        "recorded_wall_ratio": baseline,
+        "limit": VECTOR_RATIO_REGRESSION_LIMIT,
+    }
+    _append_ci_check(BENCH_PERF_PATH, report)
+    return report
+
+
 def run_store_check(seed: int, repeats: int) -> int:
     """Run the store warm-path guard; returns a process exit code."""
     report = check_store_warm_path(seed, repeats)
@@ -664,6 +743,28 @@ def main() -> int:
             )
         if run_store_check(args.seed, args.check_repeats) != 0:
             return 1
+        vector_report = check_vector_ratio(args.seed, args.check_repeats)
+        if vector_report is not None:
+            allowed = (
+                vector_report["recorded_wall_ratio"] * VECTOR_RATIO_REGRESSION_LIMIT
+            )
+            if vector_report["wall_ratio"] > allowed:
+                print(
+                    "CHECK FAILED: vector dispatch wall-clock is "
+                    f"{vector_report['wall_ratio']:.3f}x the scalar fast "
+                    f"path, above the recorded "
+                    f"{vector_report['recorded_wall_ratio']:.3f}x + "
+                    f"{VECTOR_RATIO_REGRESSION_LIMIT - 1:.0%} headroom: "
+                    f"{vector_report}",
+                    file=sys.stderr,
+                )
+                return 1
+            print(
+                "check ok: vector dispatch wall-clock is "
+                f"{vector_report['wall_ratio']:.3f}x the scalar fast path "
+                f"(recorded {vector_report['recorded_wall_ratio']:.3f}x, "
+                f"headroom {VECTOR_RATIO_REGRESSION_LIMIT - 1:.0%})"
+            )
     return 0
 
 

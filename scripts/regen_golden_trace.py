@@ -7,11 +7,19 @@ behaviour you trust — and call out the stream break in the PR description.
 
 Usage::
 
-    PYTHONPATH=src python scripts/regen_golden_trace.py
+    PYTHONPATH=src python scripts/regen_golden_trace.py            # scalar golden
+    PYTHONPATH=src python scripts/regen_golden_trace.py --vector   # vector golden
+
+``--vector`` regenerates the *second* determinism domain's golden
+(``tests/golden/determinism_trace_vector.json``), captured with the
+``REPRO_VECTOR`` numpy kernel forced on. It requires numpy (the
+``[vector]`` extra) and never touches the scalar golden — the two domains
+break independently.
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import sys
 from pathlib import Path
@@ -20,7 +28,11 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "tests"))
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
-from test_determinism_trace import GOLDEN_PATH, collect_trace  # noqa: E402
+from test_determinism_trace import (  # noqa: E402
+    GOLDEN_PATH,
+    VECTOR_GOLDEN_PATH,
+    collect_trace,
+)
 
 
 def require_lint_clean() -> None:
@@ -52,12 +64,34 @@ def require_lint_clean() -> None:
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--vector",
+        action="store_true",
+        help="regenerate the REPRO_VECTOR domain's golden instead of the scalar one",
+    )
+    options = parser.parse_args()
     require_lint_clean()
-    trace = collect_trace(seed=0)
-    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
-    GOLDEN_PATH.write_text(json.dumps(trace, indent=1, sort_keys=True))
+    if options.vector:
+        from repro.util import vector
+
+        if not vector.available():
+            print(
+                "numpy is not installed; the vector golden can only be "
+                "regenerated with the [vector] extra present",
+                file=sys.stderr,
+            )
+            raise SystemExit(1)
+        path = VECTOR_GOLDEN_PATH
+        with vector.forced(True):
+            trace = collect_trace(seed=0)
+    else:
+        path = GOLDEN_PATH
+        trace = collect_trace(seed=0)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(trace, indent=1, sort_keys=True))
     print(
-        f"wrote {GOLDEN_PATH}: {len(trace['votes'])} votes, "
+        f"wrote {path}: {len(trace['votes'])} votes, "
         f"clock={trace['clock_seconds']}, ledger={trace['ledger']}"
     )
 

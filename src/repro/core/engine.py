@@ -44,6 +44,7 @@ from repro.util import pipeline as pipeline_toggle
 from repro.util import resilience as resilience_toggle
 from repro.util import sortscale as sortscale_toggle
 from repro.util import store as store_toggle
+from repro.util import vector as vector_toggle
 
 
 _STORE_COUNTERS = (
@@ -262,6 +263,7 @@ class Qurk:
         sortscale_toggle.refresh_from_env()
         resilience_toggle.refresh_from_env()
         store_toggle.refresh_from_env()
+        vector_toggle.refresh_from_env()
         self.platform = platform
         self.config = config or ExecutionConfig()
         self.catalog = catalog or Catalog()

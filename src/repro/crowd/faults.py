@@ -17,14 +17,20 @@ ways a real crowd marketplace misbehaves:
 Determinism
 -----------
 Faults are applied as a post-processing overlay over a group's dispatched
-assignments, *never* inside the dispatch loops themselves — the reference
-and fast dispatch implementations stay byte-for-byte untouched. All fault
-draws come from a dedicated child stream derived from the group's own
-stream seed (``"<group seed>:faults"``), so:
+assignments, *never* inside the dispatch loops themselves — the reference,
+fast, and vectorized (``REPRO_VECTOR``) dispatch implementations stay
+byte-for-byte untouched. The overlay consumes only the dispatcher's
+returned ``(completed, now, incomplete)`` triple, so it composes with any
+registered dispatcher unchanged. All fault draws come from a dedicated
+child stream derived from the group's own stream seed
+(``"<group seed>:faults"``), not from any dispatch stream — in particular
+not from the vector kernel's numpy generator — so:
 
 * a given marketplace seed yields an identical fault trace run-to-run and
   under either executor (group streams are keyed by posting order, which
-  both executors share);
+  both executors share); within one dispatch domain the fault decisions
+  for a group depend only on its assignment list, never on which loop
+  produced it;
 * a zero-rate plan consults no stream at all (every draw is guarded by a
   ``rate > 0`` check), leaving the marketplace bit-identical to having no
   plan — the golden-trace contract ``tests/test_determinism_trace.py``

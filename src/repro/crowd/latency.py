@@ -77,6 +77,15 @@ class LatencyModel:
 
     def __init__(self, config: LatencyConfig | None = None) -> None:
         self.config = config or LatencyConfig()
+        # pickup_rate_table memoization. Sessions repost identically shaped
+        # groups all run long, so the log2 sweep is cached per (total,
+        # time_of_day); the per-posting trial factor is a pure elementwise
+        # scale applied on top. The fully scaled table is additionally kept
+        # in a single-slot memo keyed (total, time_of_day, trial_factor) —
+        # trial factors are drawn fresh per posting, so a dict keyed on them
+        # would grow one O(total) entry per group for the life of the run.
+        self._base_rate_tables: dict[tuple[int, TimeOfDay], tuple[float, ...]] = {}
+        self._last_rate_table: tuple[tuple[int, TimeOfDay, float], list[float]] | None = None
 
     @property
     def deadline_seconds(self) -> float:
@@ -125,7 +134,32 @@ class LatencyModel:
         instead of recomputing the log/branch per consideration. Every entry
         is evaluated with the exact expression (and operation order) of
         :meth:`pickup_rate`, so sampled gaps are bit-identical.
+
+        Memoized: the trial-factor-free sweep is cached per ``(total,
+        time_of_day)`` and the scaled result per ``(total, time_of_day,
+        trial_factor)`` (single slot; see ``__init__``). Entry 0 ignores the
+        trial factor entirely (``pickup_rate`` returns the unscaled base
+        rate for an empty group), so only entries 1..total are rescaled.
+        Callers must not mutate the returned list.
         """
+        key = (total, time_of_day, trial_factor)
+        last = self._last_rate_table
+        if last is not None and last[0] == key:
+            return last[1]
+        base_rates = self._base_rate_table(total, time_of_day)
+        table = [self.pickup_rate(0, total, time_of_day, trial_factor)]
+        table.extend(rate * trial_factor for rate in base_rates)
+        self._last_rate_table = (key, table)
+        return table
+
+    def _base_rate_table(
+        self, total: int, time_of_day: TimeOfDay
+    ) -> tuple[float, ...]:
+        """Trial-factor-free pickup rates for ``remaining`` in [1, total]."""
+        key = (total, time_of_day)
+        cached = self._base_rate_tables.get(key)
+        if cached is not None:
+            return cached
         config = self.config
         base = config.base_pickup_rate
         scale = config.attraction_log_scale
@@ -133,12 +167,17 @@ class LatencyModel:
         slowdown = config.straggler_slowdown
         tod_factor = time_of_day.rate_factor
         log2 = math.log2
-        table = [self.pickup_rate(0, total, time_of_day, trial_factor)]
+        rates = []
         for remaining in range(1, total + 1):
             rate = base * (1.0 + scale * log2(1 + remaining)) * tod_factor
             if remaining / total <= straggler_fraction:
                 rate *= slowdown
-            table.append(rate * trial_factor)
+            rates.append(rate)
+        if len(self._base_rate_tables) >= 64:
+            # Workloads cycle through a handful of group shapes; an
+            # unbounded map would pin one O(total) sweep per distinct shape.
+            self._base_rate_tables.clear()
+        table = self._base_rate_tables[key] = tuple(rates)
         return table
 
     def work_seconds(

@@ -61,7 +61,7 @@ from repro.crowd.pool import PoolConfig, WorkerPool
 from repro.crowd.truth import GroundTruth
 from repro.errors import MarketplaceError, TransientMarketplaceError
 from repro.hits.hit import HIT, Assignment
-from repro.util import fastpath, resilience
+from repro.util import fastpath, resilience, vector
 from repro.util.rng import RandomSource, child_seed_from_material
 
 
@@ -323,7 +323,16 @@ class SimulatedMarketplace:
         rng = stream_root.child("group", group_id or "anon", counter)
         trial_factor = self.latency.trial_rate_factor(rng.child("trial"))
 
-        if fastpath.enabled():
+        if vector.enabled():
+            # Second determinism domain: the numpy kernel draws from its
+            # own PCG64 stream derived from this group's seed, so it never
+            # consumes (or needs) the scalar shuffle/dispatch draws.
+            from repro.crowd.vector import dispatch_vector
+
+            completed, now, incomplete_hits = dispatch_vector(
+                self, hits, rng, post_time, trial_factor
+            )
+        elif fastpath.enabled():
             # Bare (hit, sequence) tuples: the fast loop unpacks them by
             # index. Shuffle draws depend only on length, so the slot
             # representation does not touch the stream.

@@ -62,6 +62,12 @@ class WorkerPool:
             int,
             tuple[list[WorkerProfile], list[float], list[float], float, dict[str, int]],
         ] = {}
+        # Scratch space for the vectorized dispatch kernel
+        # (repro.crowd.vector): numpy mirrors of the candidate tables plus
+        # per-worker parameter arrays, keyed by the kernel. Owned here only
+        # so ban() can invalidate every derived view in one place; the pool
+        # itself never reads it (and it stays empty with REPRO_VECTOR off).
+        self.vector_cache: dict[object, object] = {}
 
     @classmethod
     def build(cls, config: PoolConfig | None = None, seed: int = 0) -> "WorkerPool":
@@ -116,6 +122,7 @@ class WorkerPool:
         """Exclude workers from future pick-ups (§6: acting on QA output)."""
         self._banned.update(worker_ids)
         self._candidate_tables.clear()
+        self.vector_cache.clear()
 
     @property
     def banned(self) -> frozenset[str]:

@@ -103,6 +103,30 @@ class BatchOutcome:
         """Per-assignment completion latency relative to posting time."""
         return [a.submit_time - self.post_time for a in self.assignments]
 
+    def latency_quantiles(
+        self, probs: Sequence[float] = (0.5, 0.9), kind: str = "submit"
+    ) -> list[float]:
+        """Empirical latency quantiles relative to posting time.
+
+        ``kind`` selects the ``"submit"`` (completion) or ``"accept"``
+        (pick-up) timestamps. Quantiles use the nearest-rank convention on
+        the sorted latencies, so they stay exact for the determinism traces
+        and comparable between the scalar and vectorized dispatch domains
+        (``tests/test_vector_stats.py`` pins the two within tolerance).
+        Returns an empty list when the round completed no assignments.
+        """
+        if kind not in ("submit", "accept"):
+            raise ValueError(f"unknown latency kind: {kind!r}")
+        if not self.assignments:
+            return []
+        post_time = self.post_time
+        if kind == "submit":
+            stamps = sorted(a.submit_time - post_time for a in self.assignments)
+        else:
+            stamps = sorted(a.accept_time - post_time for a in self.assignments)
+        last = len(stamps) - 1
+        return [stamps[min(last, int(p * len(stamps)))] for p in probs]
+
     def merge(self, other: "BatchOutcome") -> None:
         """Fold another round's results into this one (serial phases)."""
         self.hits.extend(other.hits)

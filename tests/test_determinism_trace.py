@@ -33,6 +33,7 @@ from repro.joins.batching import JoinInterface
 from repro.util import fastpath
 
 GOLDEN_PATH = Path(__file__).parent / "golden" / "determinism_trace.json"
+VECTOR_GOLDEN_PATH = Path(__file__).parent / "golden" / "determinism_trace_vector.json"
 
 
 class RecordingPlatform:
@@ -222,6 +223,47 @@ def test_zero_rate_fault_plan_matches_golden_with_toggle_forced_on():
         trace = collect_trace(seed=0, faults=FaultPlan())
     golden = json.loads(GOLDEN_PATH.read_text())
     assert trace == golden
+
+
+def test_vector_disabled_matches_golden():
+    """REPRO_VECTOR=0 reverts bit-identically: with the vector kernel off
+    (its default) the scalar fast path runs untouched and the golden query
+    reproduces the pinned trace exactly."""
+    from repro.util import vector
+
+    with vector.forced(False):
+        trace = collect_trace(seed=0)
+    golden = json.loads(GOLDEN_PATH.read_text())
+    assert trace == golden
+
+
+def test_vector_path_matches_vector_golden():
+    """REPRO_VECTOR=1 is a *second* pinned determinism domain: the numpy
+    kernel draws from its own PCG64 stream, so its trace differs from the
+    scalar golden but is pinned against its own
+    (``determinism_trace_vector.json``, regenerated with
+    ``python scripts/regen_golden_trace.py --vector``)."""
+    from repro.util import vector
+
+    if not vector.available():
+        pytest.skip("numpy not installed; vector determinism domain inactive")
+    with vector.forced(True):
+        trace = collect_trace(seed=0)
+    golden = json.loads(VECTOR_GOLDEN_PATH.read_text())
+    assert trace == golden
+
+
+def test_vector_path_bit_reproducible_run_to_run():
+    """Two identical runs under REPRO_VECTOR=1 emit identical traces —
+    votes, clock, ledger, counters, assignment ids, and submit times."""
+    from repro.util import vector
+
+    if not vector.available():
+        pytest.skip("numpy not installed; vector determinism domain inactive")
+    with vector.forced(True):
+        first = collect_trace(seed=3)
+        second = collect_trace(seed=3)
+    assert first == second
 
 
 def test_fast_and_reference_agree_on_other_seeds(fast_trace):

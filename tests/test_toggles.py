@@ -18,7 +18,7 @@ from repro.core.engine import Qurk
 from repro.core.session import EngineSession
 from repro.crowd import SimulatedMarketplace
 from repro.datasets import animals_dataset
-from repro.util import adapt, fastpath, pipeline, resilience, sortscale, store
+from repro.util import adapt, fastpath, pipeline, resilience, sortscale, store, vector
 
 
 def _require_unset(var: str) -> str | None:
@@ -39,6 +39,7 @@ def _restore(var: str, previous: str | None) -> None:
     sortscale.refresh_from_env()
     resilience.refresh_from_env()
     store.refresh_from_env()
+    vector.refresh_from_env()
 
 
 def animals_engine():
@@ -224,6 +225,69 @@ def test_store_refresh_does_not_clobber_forced_context(tmp_path):
         assert not store.enabled()
         assert engine.store is None
     assert store.enabled()
+
+
+def test_vector_env_set_after_import_takes_effect_at_engine_construction():
+    """REPRO_VECTOR defaults *off* (opt-in), so the env contract runs in the
+    opposite direction from the other toggles: setting the variable after
+    import must arm the kernel at the next engine construction."""
+    previous = _require_unset("REPRO_VECTOR")
+    try:
+        os.environ["REPRO_VECTOR"] = "1"
+        assert not vector.requested()  # not yet re-read: construction does that
+        animals_engine()
+        assert vector.requested()
+        # enabled() additionally gates on numpy being importable.
+        assert vector.enabled() == vector.available()
+    finally:
+        _restore("REPRO_VECTOR", previous)
+    animals_engine()
+    assert not vector.requested()
+    assert not vector.enabled()
+
+
+def test_vector_env_honored_by_session_construction():
+    previous = _require_unset("REPRO_VECTOR")
+    try:
+        os.environ["REPRO_VECTOR"] = "1"
+        data = animals_dataset()
+        EngineSession(platform=SimulatedMarketplace(data.truth, seed=1))
+        assert vector.requested()
+    finally:
+        _restore("REPRO_VECTOR", previous)
+
+
+def test_vector_refresh_does_not_clobber_forced_context():
+    """An unchanged environment leaves forced()/set_enabled() alone, so a
+    forced(True) block survives engine construction inside it."""
+    _require_unset("REPRO_VECTOR")
+    with vector.forced(True):
+        animals_engine()
+        assert vector.requested()
+    assert not vector.requested()
+
+
+def test_vector_requested_without_numpy_degrades_to_scalar(monkeypatch):
+    """With numpy unimportable, a requested kernel must not break anything:
+    enabled() stays False, the degradation note appears, a RuntimeWarning
+    fires at construction, and the query runs on the scalar path."""
+    monkeypatch.setattr(vector, "_NUMPY", None)
+    monkeypatch.setattr(vector, "_NUMPY_PROBED", True)
+    # Both the forced() entry and engine construction warn; the whole
+    # block sits inside pytest.warns so neither leaks into the run log.
+    with pytest.warns(RuntimeWarning, match="REPRO_VECTOR"):
+        with vector.forced(True):
+            assert vector.requested()
+            assert not vector.available()
+            assert not vector.enabled()
+            assert vector.requested_but_unavailable()
+            note = vector.status_note()
+            assert note is not None and "numpy" in note
+            engine, _ = animals_engine()
+            result = engine.execute("SELECT a.name FROM animals a")
+            assert result.rows
+            # The degradation note also reaches the EXPLAIN footer.
+            assert "numpy is not installed" in result.explain()
 
 
 def test_resilience_config_overrides_toggle():
